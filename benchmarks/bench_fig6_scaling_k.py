@@ -1,0 +1,26 @@
+"""Benchmark: Figure 6 — scaling with the number of groups k.
+
+Regenerates a reduced fixed-n sweep over k and asserts the paper's
+exponential-growth claim via the semi-log fit.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_scaling_k import exponential_fit, run_fig6
+
+
+def _sweep():
+    return run_fig6(
+        n=120,
+        ks=(3, 4, 5, 6),
+        trials=6,
+        seed=10,
+    )
+
+
+def test_fig6_scaling(benchmark):
+    table = benchmark(_sweep)
+    means = [row["mean_interactions"] for row in table.rows]
+    assert means[-1] > 2 * means[0]
+    fit = exponential_fit(table)
+    assert fit.exponent > 1.2  # clear per-unit-k growth factor

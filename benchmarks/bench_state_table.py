@@ -1,0 +1,23 @@
+"""Benchmark: the state-complexity table (Table S).
+
+Builds every protocol for k = 2..12 and cross-checks the paper's
+formulas against the implementations' actual state counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.state_table import run_state_table
+
+
+def _build():
+    return run_state_table(ks=tuple(range(2, 13)))
+
+
+def test_state_table(benchmark):
+    table = benchmark(_build)
+    assert len(table) == 11
+    assert all(row["formulas_verified"] for row in table.rows)
+    # The headline: 3k-2 stays below k(k+3)/2 from k = 4 on.
+    for row in table.rows:
+        if row["k"] >= 4:
+            assert row["proposed_3k_minus_2"] < row["approx_k_k3_over_2"]

@@ -1,0 +1,22 @@
+"""Benchmark: uniformity-gap ablation (Algorithm 1 vs baselines).
+
+Regenerates the partition-quality comparison and asserts the ordering
+the paper argues from: Algorithm 1 is exactly uniform, the approximate
+baseline only meets its n/(2k) floor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.uniformity_gap import run_uniformity_gap
+
+
+def _sweep():
+    return run_uniformity_gap(k=4, n_values=(48, 96), trials=8, seed=11)
+
+
+def test_uniformity_gap(benchmark):
+    table = benchmark(_sweep)
+    for row in table.where(protocol="uniform-k-partition").rows:
+        assert row["max_spread"] <= 1
+    for row in table.where(protocol="approx-k-partition").rows:
+        assert row["worst_min_group"] >= row["guarantee_floor"]

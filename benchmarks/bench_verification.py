@@ -1,0 +1,33 @@
+"""Benchmarks: model checking, exact analysis, and the search engine.
+
+These time the verification machinery itself (the reproduction's
+evidence generators), with correctness asserted on each run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expected_interactions_exact, verify_kpartition
+from repro.analysis.search import search_lower_bound
+from repro.protocols import uniform_k_partition
+
+PROTO3 = uniform_k_partition(3)
+
+
+def test_model_check_theorem1(benchmark):
+    report = benchmark(lambda: verify_kpartition(PROTO3, 9))
+    assert report.correct
+    assert report.reachable > 50
+
+
+def test_exact_expectation_with_variance(benchmark):
+    ex = benchmark(
+        lambda: expected_interactions_exact(PROTO3, 8, with_variance=True)
+    )
+    assert ex.from_initial > 0
+    assert ex.variance_from_initial > 0
+
+
+def test_two_state_lower_bound_search(benchmark):
+    result = benchmark(lambda: search_lower_bound(2, 2, ns=(3, 4, 5, 6)))
+    assert result.lower_bound_holds
+    assert result.candidates == 32

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper figure/table at reduced scale
+(the full-scale sweeps run via ``repro-experiments`` and are recorded
+in EXPERIMENTS.md).  Benchmarks double as integration smoke tests:
+every benchmark asserts the qualitative shape of its figure before
+returning, so a passing ``pytest benchmarks/ --benchmark-only`` also
+re-validates the reproduction claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Keep benchmark runs short and comparable across machines.
+    config.option.benchmark_min_rounds = max(
+        getattr(config.option, "benchmark_min_rounds", 5) or 5, 3
+    )

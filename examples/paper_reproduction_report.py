@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""One-command reproduction check: every paper claim, with verdicts.
+
+Runs the consolidated report experiment at quick scale and prints the
+claim-by-claim verdict table — the programmatic counterpart of
+EXPERIMENTS.md.  Exits non-zero if any claim fails, so this script can
+serve as a reproduction CI gate.
+
+Run:  python examples/paper_reproduction_report.py   (~1-2 min)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.report import render_report, run_report
+
+
+def main() -> int:
+    table = run_report(quick=True)
+    print(render_report(table))
+    failing = [r for r in table.rows if not r["verdict"]]
+    if failing:
+        print(f"\n{len(failing)} claim(s) FAILED to reproduce", file=sys.stderr)
+        return 1
+    print("\nAll claims reproduce at quick scale. Full-scale results: EXPERIMENTS.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

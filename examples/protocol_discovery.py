@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Protocol discovery: search, verify, simulate, save.
+
+The paper's optimality claim rests on the [25] result that symmetric
+uniform bipartition needs four states.  This example mechanizes that
+bound by exhaustive search — and then drops the symmetry restriction,
+*discovers* a 3-state protocol, lifts it into a first-class Protocol
+object, simulates it with the engines, and serializes it to JSON.
+
+Run:  python examples/protocol_discovery.py   (~30 s)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.search import (
+    rule_table_to_protocol,
+    search_lower_bound,
+    solves_uniform_partition,
+)
+from repro.engine import CountBasedEngine, run_trials
+from repro.io import protocol_to_dict
+
+
+def main() -> None:
+    print("=== 1. Symmetric protocols: the 4-state bound, mechanized ===\n")
+    for s in (2, 3):
+        result = search_lower_bound(s, 2, ns=(3, 4, 5, 6), symmetric=True)
+        print(
+            f"  {s} states: {result.candidates:>7,} candidates "
+            f"-> {len(result.survivors)} survive n = 3..6"
+        )
+    print("  => no symmetric protocol below 4 states (necessity of [25])\n")
+
+    print("=== 2. Drop symmetry: search the 3-state asymmetric space ===\n")
+    result = search_lower_bound(3, 2, ns=(3, 4, 5, 6), symmetric=False)
+    print(f"  {result.candidates:,} candidates -> {len(result.survivors)} survivors")
+    rules, groups = result.survivors[0]
+    print(f"  first survivor: rules {rules}, groups {groups}\n")
+
+    print("=== 3. Lift the discovery into a Protocol and inspect it ===\n")
+    protocol = rule_table_to_protocol(rules, groups, name="discovered-bipartition")
+    print("\n".join("  " + line for line in protocol.describe().splitlines()))
+
+    print("\n=== 4. Re-verify on larger n and simulate ===\n")
+    for n in (8, 12, 20):
+        assert solves_uniform_partition(rules, groups, n, 3)
+    trials = run_trials(
+        protocol, 100, trials=50, engine=CountBasedEngine(), seed=0
+    )
+    assert trials.all_converged
+    sizes = trials.results[0].group_sizes
+    print(f"  n = 100, 50 trials: always converges; sizes {sizes.tolist()};")
+    print(f"  mean interactions {trials.mean_interactions:.0f} — far fewer than")
+    print("  the 4-state symmetric protocol needs (no initial' toggling!).")
+
+    four_state = run_trials(
+        __import__("repro").uniform_bipartition(), 100, trials=50, seed=0
+    )
+    print(f"  4-state symmetric protocol, same setup: "
+          f"{four_state.mean_interactions:.0f} interactions")
+
+    print("\n=== 5. Save the discovery ===\n")
+    payload = protocol_to_dict(protocol)
+    print(f"  serialized: {len(payload['rules'])} rules, "
+          f"{len(payload['states'])} states -> repro.io.save_protocol(...)")
+    print("\nThe price of symmetry, mechanized: exactly one state.")
+
+
+if __name__ == "__main__":
+    main()

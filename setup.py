@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This project uses a classic setup.py/setup.cfg layout (instead of a
+PEP 517 pyproject build) so that ``pip install -e .`` works in fully
+offline environments where the ``wheel`` package is unavailable: pip
+falls back to the legacy ``setup.py develop`` code path, which needs
+only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

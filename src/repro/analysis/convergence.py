@@ -1,0 +1,121 @@
+"""Convergence statistics and scaling-law fits.
+
+The paper's Section 5 draws two qualitative conclusions from its
+simulations:
+
+* the number of interactions grows *more than linearly but less than
+  exponentially* with the population size ``n`` (Figure 5), and
+* it grows *exponentially* with the number of groups ``k`` (Figure 6).
+
+These helpers quantify both claims from trial data: power-law and
+exponential least-squares fits with simple goodness-of-fit scores, so
+EXPERIMENTS.md can report measured exponents instead of eyeballed
+shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "FitResult",
+    "fit_power_law",
+    "fit_exponential",
+    "confidence_interval",
+    "growth_classification",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FitResult:
+    """A least-squares fit ``y = a * f(x; b)`` in transformed space."""
+
+    model: str
+    #: Prefactor ``a``.
+    amplitude: float
+    #: Exponent: ``y = a * x**b`` (power) or ``y = a * b**x`` (exponential).
+    exponent: float
+    #: Coefficient of determination in the fitted (log) space.
+    r_squared: float
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        x = np.asarray(x, dtype=np.float64)
+        if self.model == "power":
+            return self.amplitude * x**self.exponent
+        return self.amplitude * self.exponent**x
+
+
+def _r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    ss_res = float(((y - y_hat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = a * x^b`` by least squares in log-log space.
+
+    ``b`` near 1 means linear growth; the paper's Figure 5 data lands
+    around 1.1-1.5 depending on k.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size < 2 or x.size != y.size:
+        raise ValueError("need at least two (x, y) points of equal length")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fits require positive data")
+    lx, ly = np.log(x), np.log(y)
+    b, log_a = np.polyfit(lx, ly, 1)
+    fit = np.polyval([b, log_a], lx)
+    return FitResult("power", float(np.exp(log_a)), float(b), _r_squared(ly, fit))
+
+
+def fit_exponential(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = a * b^x`` by least squares in semi-log space.
+
+    ``b`` is the per-unit growth factor; the paper's Figure 6 claims
+    exponential growth in k, i.e. ``b`` substantially above 1 with a
+    good semi-log fit.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size < 2 or x.size != y.size:
+        raise ValueError("need at least two (x, y) points of equal length")
+    if (y <= 0).any():
+        raise ValueError("exponential fits require positive y data")
+    ly = np.log(y)
+    log_b, log_a = np.polyfit(x, ly, 1)
+    fit = np.polyval([log_b, log_a], x)
+    return FitResult("exponential", float(np.exp(log_a)), float(np.exp(log_b)), _r_squared(ly, fit))
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for a sample mean."""
+    from scipy import stats
+
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size < 2:
+        m = float(samples.mean()) if samples.size else float("nan")
+        return (m, m)
+    sem = float(samples.std(ddof=1) / np.sqrt(samples.size))
+    z = float(stats.norm.ppf(0.5 + confidence / 2))
+    m = float(samples.mean())
+    return (m - z * sem, m + z * sem)
+
+
+def growth_classification(x: Sequence[float], y: Sequence[float]) -> str:
+    """Classify growth as the better of power-law vs exponential.
+
+    Returns ``"power(b=...)"`` or ``"exponential(b=...)"`` depending on
+    which transformed-space fit explains the data better.  Used by the
+    experiment harness to state the Figure 5/6 conclusions.
+    """
+    p = fit_power_law(x, y)
+    e = fit_exponential(x, y)
+    if p.r_squared >= e.r_squared:
+        return f"power(b={p.exponent:.2f}, R2={p.r_squared:.3f})"
+    return f"exponential(b={e.exponent:.2f}, R2={e.r_squared:.3f})"

@@ -1,0 +1,133 @@
+"""Grouping decomposition — the analysis behind the paper's Figure 4.
+
+The paper instruments executions by *groupings*: the i-th grouping is
+complete when the i-th agent enters state ``g_k`` (after which that
+set of agents in ``g_1..g_k`` can never be torn down again).  With
+
+    NI_i  = interactions until the i-th grouping completes
+    NI'_i = NI_i - NI_{i-1}
+
+Figure 4 stacks the mean ``NI'_i`` and observes ``NI'_1 < NI'_2 < ...``
+(later groupings fight a shrinking pool of free agents) and that for
+``n = c*k + k`` and ``c*k + (k+1)`` the final grouping accounts for
+more than half of all interactions.
+
+Engines collect ``NI_i`` via ``track_state=g_k``; this module turns the
+per-trial milestone lists into the aggregated decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.runner import TrialSet
+
+__all__ = ["GroupingDecomposition", "decompose_groupings"]
+
+
+@dataclass(slots=True)
+class GroupingDecomposition:
+    """Aggregated per-grouping interaction costs for one (n, k) point."""
+
+    n: int
+    k: int
+    trials: int
+    #: mean NI'_i for i = 1..floor(n/k); shape (floor(n/k),).
+    mean_increments: np.ndarray
+    #: mean interactions spent after the last grouping (the leftover
+    #: r = n mod k agents settling into g_1..g_{r-1}, m_r).
+    mean_tail: float
+    #: mean total interactions to stability.
+    mean_total: float
+
+    @property
+    def num_groupings(self) -> int:
+        return int(self.mean_increments.size)
+
+    @property
+    def increments_are_increasing(self) -> bool:
+        """The paper's NI'_1 < NI'_2 < ... observation (non-strict),
+        checked from the second grouping onward.
+
+        The first grouping additionally pays the symmetry-breaking
+        warm-up (all n agents start in the designated initial state and
+        must toggle before rule 5 can fire), which at small n can make
+        NI'_1 slightly exceed NI'_2.  From NI'_2 on, the shrinking pool
+        of free agents makes the increments increase, as the paper
+        explains.  EXPERIMENTS.md discusses this reproduction nuance.
+        """
+        inc = self.mean_increments
+        return bool((np.diff(inc[1:]) >= 0).all()) if inc.size > 2 else True
+
+    @property
+    def warmup_excess(self) -> float:
+        """``NI'_1 - NI'_2``: the symmetry-breaking warm-up surplus."""
+        inc = self.mean_increments
+        if inc.size < 2:
+            return 0.0
+        return float(inc[0] - inc[1])
+
+    @property
+    def last_grouping_share(self) -> float:
+        """Fraction of all interactions spent on the final grouping."""
+        if self.mean_total <= 0 or self.mean_increments.size == 0:
+            return 0.0
+        return float(self.mean_increments[-1] / self.mean_total)
+
+    def stacked_rows(self) -> list[tuple[str, float]]:
+        """(label, mean) rows for the Figure 4 stacked rendering."""
+        rows = [
+            (f"{_ordinal(i + 1)}-grouping", float(v))
+            for i, v in enumerate(self.mean_increments)
+        ]
+        if self.mean_tail > 0:
+            rows.append(("remainder", self.mean_tail))
+        return rows
+
+
+def _ordinal(i: int) -> str:
+    if 10 <= i % 100 <= 20:
+        suffix = "th"
+    else:
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(i % 10, "th")
+    return f"{i}{suffix}"
+
+
+def decompose_groupings(trial_set: TrialSet, k: int) -> GroupingDecomposition:
+    """Aggregate a tracked trial set into the Figure 4 decomposition.
+
+    The trial set must have been run with ``track_state = g_k``; every
+    trial then carries exactly ``floor(n/k)`` milestones.
+    """
+    n = trial_set.n
+    expected = n // k
+    milestone_lists = trial_set.milestone_lists()
+    for i, m in enumerate(milestone_lists):
+        if len(m) != expected:
+            raise ValueError(
+                f"trial {i} recorded {len(m)} g_k milestones, expected {expected}; "
+                "was the trial set run with track_state=g_k?"
+            )
+    totals = trial_set.interactions.astype(np.float64)
+    if expected == 0:
+        return GroupingDecomposition(
+            n=n,
+            k=k,
+            trials=trial_set.trials,
+            mean_increments=np.zeros(0),
+            mean_tail=float(totals.mean()),
+            mean_total=float(totals.mean()),
+        )
+    ni = np.asarray(milestone_lists, dtype=np.float64)  # trials x groupings
+    increments = np.diff(np.concatenate([np.zeros((ni.shape[0], 1)), ni], axis=1), axis=1)
+    tails = totals - ni[:, -1]
+    return GroupingDecomposition(
+        n=n,
+        k=k,
+        trials=trial_set.trials,
+        mean_increments=increments.mean(axis=0),
+        mean_tail=float(tails.mean()),
+        mean_total=float(totals.mean()),
+    )

@@ -1,0 +1,97 @@
+"""Runtime checking of the paper's Lemma 1 invariant.
+
+Lemma 1: for every configuration reachable from the designated initial
+configuration,
+
+    #g_x  =  sum_{p > x} #m_p  +  sum_{q >= x} #d_q  +  #g_k
+
+holds for every ``x`` in ``1..k``.  The lemma is the backbone of the
+correctness proof (it is what guarantees that a completed group never
+starves another), so the test suite re-verifies it *dynamically*: an
+:class:`InvariantMonitor` plugs into an engine's ``on_effective`` hook
+and checks the residuals after every effective interaction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..protocols.kpartition import UniformKPartitionProtocol
+
+__all__ = ["InvariantViolation", "InvariantMonitor", "lemma1_holds_along"]
+
+
+class InvariantViolation(SimulationError):
+    """Raised when a monitored invariant fails during an execution."""
+
+    def __init__(self, message: str, interactions: int, counts: list[int]) -> None:
+        super().__init__(message)
+        self.interactions = interactions
+        self.counts = counts
+
+
+class InvariantMonitor:
+    """``on_effective`` callback that asserts an invariant every step.
+
+    Parameters
+    ----------
+    check:
+        ``check(counts) -> bool``; False triggers
+        :class:`InvariantViolation`.
+    description:
+        Used in the violation message.
+    every:
+        Check every ``every``-th effective interaction (1 = all).
+    """
+
+    def __init__(
+        self,
+        check: Callable[[Sequence[int]], bool],
+        description: str = "invariant",
+        *,
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"'every' must be positive, got {every}")
+        self._check = check
+        self._description = description
+        self._every = every
+        self._calls = 0
+        #: Number of times the invariant was actually evaluated.
+        self.checks_performed = 0
+
+    def __call__(self, interactions: int, counts: Sequence[int]) -> None:
+        self._calls += 1
+        if self._calls % self._every:
+            return
+        self.checks_performed += 1
+        if not self._check(counts):
+            raise InvariantViolation(
+                f"{self._description} violated after {interactions} interactions",
+                interactions,
+                list(counts),
+            )
+
+    @classmethod
+    def lemma1(
+        cls, protocol: UniformKPartitionProtocol, *, every: int = 1
+    ) -> "InvariantMonitor":
+        """Monitor for the paper's Lemma 1 on a k-partition protocol."""
+        return cls(
+            lambda counts: protocol.satisfies_lemma1(np.asarray(counts, dtype=np.int64)),
+            description=f"Lemma 1 invariant of {protocol.name}",
+            every=every,
+        )
+
+
+def lemma1_holds_along(
+    protocol: UniformKPartitionProtocol,
+    configurations: Sequence[Sequence[int]],
+) -> bool:
+    """Check Lemma 1 on an explicit sequence of count vectors."""
+    return all(
+        protocol.satisfies_lemma1(np.asarray(c, dtype=np.int64)) for c in configurations
+    )

@@ -1,0 +1,324 @@
+"""Exhaustive protocol search: mechanizing the space lower bound.
+
+The paper's asymptotic optimality argument rests on prior work: Yasumi
+et al. [25] proved that **four states are necessary and sufficient**
+for symmetric uniform bipartition with designated initial states under
+global fairness.  This module *mechanizes the necessity direction*: it
+enumerates every deterministic symmetric protocol with a given number
+of states (and every surjective group map), model-checks each candidate
+on a family of population sizes, and reports the survivors.
+
+For three states the search space is exhaustive and finite:
+
+* same-state pairs ``(s, s)``: the output must be ``(a, a)``
+  (symmetry) — ``num_states`` choices including null;
+* mixed pairs ``(s, t)``: any ordered output or null
+  (``num_states^2`` choices); the mirror rule is implied.
+
+A protocol "survives" if it solves uniform k-partition for **every**
+tested ``n`` (a protocol correct for all n must in particular be
+correct for the tested ones, so zero survivors proves the lower bound
+for the tested family — and since correctness must hold for all n, for
+the class of correct protocols altogether).
+
+``search_lower_bound(num_states=3, k=2, ns=(3, 4, 5, 6))`` reproduces
+the [25] necessity result in seconds of pure Python (118,098 candidates,
+zero survivors — n up to 6 is needed: eight degenerate candidates can
+balance n <= 5 but none survives n = 6); the test suite runs a
+reduced version and the positive control (the shipped 4-state
+bipartition protocol passes the same checker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from collections.abc import Callable, Iterator, Sequence
+
+__all__ = [
+    "RuleTable",
+    "enumerate_symmetric_rule_tables",
+    "enumerate_rule_tables",
+    "enumerate_group_maps",
+    "solves_uniform_partition",
+    "SearchResult",
+    "search_lower_bound",
+    "rule_table_to_protocol",
+]
+
+#: Canonical rule table: maps state-index pair ``(i, j)`` with ``i <= j``
+#: to an ordered output pair ``(a, b)`` (agent in i -> a, agent in j -> b).
+#: Missing pairs are null.  Mirrors are implied (symmetric protocols).
+RuleTable = dict[tuple[int, int], tuple[int, int]]
+
+
+def enumerate_symmetric_rule_tables(num_states: int) -> Iterator[RuleTable]:
+    """Yield every deterministic symmetric rule table on ``num_states``.
+
+    Identity outputs are canonicalized to "no rule", so each distinct
+    behaviour is produced exactly once.
+    """
+    return enumerate_rule_tables(num_states, symmetric=True)
+
+
+def enumerate_rule_tables(num_states: int, *, symmetric: bool) -> Iterator[RuleTable]:
+    """Yield every deterministic rule table on ``num_states`` states.
+
+    With ``symmetric=False`` the same-state pairs may break symmetry:
+    ``(s, s) -> (a, b)`` with ``a != b`` (canonicalized to ``a <= b`` —
+    which agent takes which output is immaterial in the count quotient).
+    Mixed-pair rules remain orientation-independent (the outcome depends
+    on the two states, not on who initiates), which covers the protocol
+    class of the paper and of [25].
+    """
+    if num_states < 1:
+        raise ValueError(f"num_states must be positive, got {num_states}")
+    pairs: list[tuple[int, int]] = [
+        (i, j) for i in range(num_states) for j in range(i, num_states)
+    ]
+    options: list[list[tuple[int, int] | None]] = []
+    for i, j in pairs:
+        if i == j:
+            opts: list[tuple[int, int] | None] = [None]
+            if symmetric:
+                # Symmetry: (s, s) -> (a, a); a == s is the null rule.
+                opts += [(a, a) for a in range(num_states) if a != i]
+            else:
+                # Any output multiset {a, b} except the identity {i, i}.
+                opts += [
+                    (a, b)
+                    for a in range(num_states)
+                    for b in range(a, num_states)
+                    if (a, b) != (i, i)
+                ]
+        else:
+            opts = [None]
+            opts += [
+                (a, b)
+                for a in range(num_states)
+                for b in range(num_states)
+                if (a, b) != (i, j)
+            ]
+        options.append(opts)
+    for combo in product(*options):
+        yield {
+            pair: out for pair, out in zip(pairs, combo) if out is not None
+        }
+
+
+def enumerate_group_maps(num_states: int, k: int) -> Iterator[tuple[int, ...]]:
+    """Yield every surjective map from states to groups ``0..k-1``."""
+    for combo in product(range(k), repeat=num_states):
+        if len(set(combo)) == k:
+            yield combo
+
+
+def solves_uniform_partition(
+    rules: RuleTable,
+    group_of: Sequence[int],
+    n: int,
+    num_states: int,
+    *,
+    initial_state: int = 0,
+    max_configs: int = 100_000,
+) -> bool:
+    """Model-check one candidate on one population size.
+
+    Semantics (count quotient, matching Section 2.2): the protocol
+    solves uniform k-partition for ``n`` iff from every reachable
+    configuration one can reach a configuration that (a) is balanced
+    (group sizes within 1) and (b) only reaches configurations whose
+    enabled transitions preserve both participants' groups (so each
+    agent's group is frozen and balance persists).
+    """
+    k = max(group_of) + 1
+
+    def successors(config: tuple[int, ...]) -> list[tuple[int, ...]]:
+        out = []
+        for (i, j), (a, b) in rules.items():
+            if i == j:
+                if config[i] < 2:
+                    continue
+            elif config[i] < 1 or config[j] < 1:
+                continue
+            nxt = list(config)
+            nxt[i] -= 1
+            nxt[j] -= 1
+            nxt[a] += 1
+            nxt[b] += 1
+            out.append(tuple(nxt))
+        return out
+
+    def balanced(config: tuple[int, ...]) -> bool:
+        sizes = [0] * k
+        for s, c in enumerate(config):
+            sizes[group_of[s]] += c
+        return max(sizes) - min(sizes) <= 1
+
+    def breaks_groups(config: tuple[int, ...]) -> bool:
+        for (i, j), (a, b) in rules.items():
+            if i == j:
+                if config[i] < 2:
+                    continue
+            elif config[i] < 1 or config[j] < 1:
+                continue
+            if group_of[i] != group_of[a] or group_of[j] != group_of[b]:
+                return True
+        return False
+
+    # Forward exploration.
+    init = tuple(n if s == initial_state else 0 for s in range(num_states))
+    succ_of: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+    stack = [init]
+    succ_of[init] = successors(init)
+    while stack:
+        cur = stack.pop()
+        for nxt in succ_of[cur]:
+            if nxt not in succ_of:
+                if len(succ_of) >= max_configs:
+                    raise MemoryError("candidate search exceeded max_configs")
+                succ_of[nxt] = successors(nxt)
+                stack.append(nxt)
+
+    # Backward closure of group-breaking configurations ("tainted").
+    preds: dict[tuple[int, ...], list[tuple[int, ...]]] = {c: [] for c in succ_of}
+    for c, succs in succ_of.items():
+        for s in succs:
+            preds[s].append(c)
+    tainted = {c for c in succ_of if breaks_groups(c)}
+    stack = list(tainted)
+    while stack:
+        cur = stack.pop()
+        for p in preds[cur]:
+            if p not in tainted:
+                tainted.add(p)
+                stack.append(p)
+
+    good_stable = {c for c in succ_of if c not in tainted and balanced(c)}
+    if not good_stable:
+        return False
+
+    # Every reachable configuration must be able to reach good_stable.
+    recoverable = set(good_stable)
+    stack = list(good_stable)
+    while stack:
+        cur = stack.pop()
+        for p in preds[cur]:
+            if p not in recoverable:
+                recoverable.add(p)
+                stack.append(p)
+    return len(recoverable) == len(succ_of)
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Outcome of an exhaustive lower-bound search."""
+
+    num_states: int
+    k: int
+    ns: tuple[int, ...]
+    #: Number of (rule table, group map) candidates examined.
+    candidates: int
+    #: Candidates pruned before model checking (dead initial state).
+    pruned: int
+    #: Surviving candidates: (rules, group map) that solved every n.
+    survivors: list[tuple[RuleTable, tuple[int, ...]]] = field(default_factory=list)
+    #: Whether the search was restricted to symmetric protocols.
+    symmetric: bool = True
+
+    @property
+    def lower_bound_holds(self) -> bool:
+        """True when no candidate protocol survives every tested n."""
+        return not self.survivors
+
+
+def search_lower_bound(
+    num_states: int = 3,
+    k: int = 2,
+    ns: Sequence[int] = (3, 4, 5, 6),
+    *,
+    symmetric: bool = True,
+    progress: Callable[[str], None] | None = None,
+    progress_every: int = 5000,
+) -> SearchResult:
+    """Exhaustively search for a ``num_states``-state protocol.
+
+    Returns the survivors (empty == the lower bound holds for this
+    state count).  The search is exact over the full candidate space:
+    every deterministic rule table (symmetric by default; pass
+    ``symmetric=False`` to also allow symmetry-breaking same-state
+    rules) times every surjective group map, model-checked on every
+    ``n`` in ``ns`` (ascending, with early rejection).
+    """
+    ns = tuple(sorted(ns))
+    if min(ns) < 3:
+        raise ValueError("the paper's model assumes n >= 3")
+    group_maps = list(enumerate_group_maps(num_states, k))
+    result = SearchResult(
+        num_states=num_states, k=k, ns=ns, candidates=0, pruned=0,
+        symmetric=symmetric,
+    )
+    examined = 0
+    for rules in enumerate_rule_tables(num_states, symmetric=symmetric):
+        # Prune: with designated initial state 0 and n >= 2 agents, the
+        # only transition available initially is (0, 0); without it the
+        # population is frozen in one group forever.
+        dead_start = (0, 0) not in rules
+        for group_of in group_maps:
+            result.candidates += 1
+            examined += 1
+            if progress is not None and examined % progress_every == 0:
+                progress(
+                    f"search S={num_states}: {examined} candidates, "
+                    f"{len(result.survivors)} survivors"
+                )
+            if dead_start:
+                result.pruned += 1
+                continue
+            ok = True
+            for n in ns:
+                if not solves_uniform_partition(
+                    rules, group_of, n, num_states
+                ):
+                    ok = False
+                    break
+            if ok:
+                result.survivors.append((dict(rules), group_of))
+    return result
+
+
+def rule_table_to_protocol(
+    rules: RuleTable,
+    group_of: Sequence[int],
+    *,
+    name: str = "searched-protocol",
+    initial_state: int = 0,
+):
+    """Lift a search-encoding candidate into a full :class:`Protocol`.
+
+    Discovered protocols become first-class citizens: they can be
+    simulated by every engine, described, serialized, and re-verified
+    by the heavyweight model checker.  States are named ``q0, q1, ...``;
+    groups are renumbered 1-based to match the library convention.
+    """
+    from ..core.protocol import Protocol
+    from ..core.state import StateSpace
+    from ..core.transitions import TransitionTable
+
+    num_states = len(group_of)
+    names = [f"q{i}" for i in range(num_states)]
+    space = StateSpace(
+        names,
+        groups={names[i]: group_of[i] + 1 for i in range(num_states)},
+        num_groups=max(group_of) + 1,
+    )
+    table = TransitionTable(space)
+    for (i, j), (a, b) in rules.items():
+        table.add(names[i], names[j], names[a], names[b])
+    return Protocol(
+        name,
+        space,
+        table,
+        names[initial_state],
+        metadata={"origin": "analysis.search", "rules": len(rules)},
+    )

@@ -1,0 +1,103 @@
+"""Stability analysis (Lemmas 4-6 of the paper, made executable).
+
+Section 2.2 defines a configuration ``C`` as *stable* when there is a
+partition ``{G_1..G_k}`` with ``||G_i| - |G_j|| <= 1`` such that in
+every configuration reachable from ``C`` each agent of ``G_i`` still
+belongs to group ``i``.  Lemmas 4-6 pin down the unique stable count
+signature the protocol reaches; this module exposes both views:
+
+* :func:`kpartition_stable_signature` — the closed-form signature.
+* :func:`is_group_stable` — the semantic definition, decided by
+  exploring the reachable set (exact, for small populations; used by
+  the model checker to validate the closed form).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..protocols.kpartition import UniformKPartitionProtocol
+
+__all__ = [
+    "kpartition_stable_signature",
+    "is_uniform_partition",
+    "is_group_stable",
+    "groups_frozen_under_transitions",
+]
+
+
+def kpartition_stable_signature(protocol: UniformKPartitionProtocol, n: int) -> dict[str, int]:
+    """The unique stable count signature (Lemma 6) as a name->count map."""
+    return protocol.expected_stable_counts(n)
+
+
+def is_uniform_partition(sizes: Sequence[int] | np.ndarray) -> bool:
+    """The uniformity condition: all group sizes within 1 of each other."""
+    sizes = np.asarray(sizes)
+    if sizes.size == 0:
+        return False
+    return int(sizes.max() - sizes.min()) <= 1
+
+
+def groups_frozen_under_transitions(config: Configuration) -> bool:
+    """True when every enabled transition preserves both agents' groups.
+
+    This is the *one-step* group-stability condition: if it holds in
+    ``C`` and in every configuration reachable from ``C``, then ``C``
+    is stable in the paper's sense.  For the k-partition protocol's
+    final signature the only enabled transitions are the
+    ``initial <-> initial'`` flips of rule 4, which keep ``f = 1``.
+    """
+    protocol = config.protocol
+    space = protocol.space
+    for _, cls in config.enabled_classes():
+        if space.group_of(cls.in1) != space.group_of(cls.out1):
+            return False
+        if space.group_of(cls.in2) != space.group_of(cls.out2):
+            return False
+    return True
+
+
+def is_group_stable(config: Configuration, *, max_configs: int = 200_000) -> bool:
+    """Exact semantic stability check by reachable-set exploration.
+
+    A configuration is group-stable when every transition enabled in
+    any reachable configuration preserves the groups of both agents
+    involved.  (This is the count-quotient formulation of Section 2.2's
+    per-agent condition: agents only change state by participating in a
+    transition, so if all enabled transitions everywhere downstream are
+    group-preserving, no agent's group can ever change.)
+
+    Exponential in the worst case — intended for small populations and
+    the validation of closed-form signatures.
+    """
+    seen: set[tuple[int, ...]] = set()
+    stack = [config]
+    seen.add(config.key)
+    while stack:
+        current = stack.pop()
+        if not groups_frozen_under_transitions(current):
+            return False
+        for succ in current.successors():
+            if succ.key not in seen:
+                if len(seen) >= max_configs:
+                    raise MemoryError(
+                        f"reachable set exceeded {max_configs} configurations"
+                    )
+                seen.add(succ.key)
+                stack.append(succ)
+    return True
+
+
+def final_sizes_match_theory(
+    protocol: UniformKPartitionProtocol, counts: Sequence[int] | np.ndarray
+) -> bool:
+    """Compare simulated final group sizes to the Lemma-6 prediction."""
+    counts = np.asarray(counts, dtype=np.int64)
+    n = int(counts.sum())
+    return bool(
+        (protocol.group_sizes(counts) == protocol.expected_group_sizes(n)).all()
+    )

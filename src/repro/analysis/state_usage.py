@@ -1,0 +1,84 @@
+"""Reachable-state analysis: which states a protocol actually uses.
+
+The paper's 3k - 2 bound counts the states an agent *may* need; for a
+given population size some states can be provably unreachable.  Two
+interesting instances:
+
+* ``d_{k-2}`` requires an ``m_{k-1}`` agent to collide with another
+  chain, which needs at least two concurrent chains — impossible when
+  ``n`` is small;
+* deep D-states in general appear only once ``n`` is large enough to
+  host two long chains simultaneously.
+
+:func:`reachable_states` derives the exact reachable state set from
+the model checker's configuration graph, and
+:func:`state_usage_table` summarizes usage per population size — a
+small original analysis that sharpens the space-complexity story
+(the 3k - 2 states are all *eventually* needed: for every state there
+is an n that reaches it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.configuration import Configuration
+from ..core.protocol import Protocol
+from .reachability import explore
+
+__all__ = ["StateUsage", "reachable_states", "state_usage_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class StateUsage:
+    """Reachable-state summary for one (protocol, n) instance."""
+
+    protocol: str
+    n: int
+    #: States occupied in at least one reachable configuration.
+    used: frozenset[str]
+    #: States never occupied from the designated initial configuration.
+    unused: frozenset[str]
+
+    @property
+    def usage_fraction(self) -> float:
+        total = len(self.used) + len(self.unused)
+        return len(self.used) / total if total else 0.0
+
+
+def reachable_states(
+    protocol: Protocol,
+    n: int,
+    *,
+    max_configs: int = 500_000,
+) -> StateUsage:
+    """Exact reachable state set from the designated initial configuration."""
+    initial = Configuration.initial(protocol, n)
+    graph = explore(initial, max_configs=max_configs)
+    used: set[str] = set()
+    names = protocol.space.names
+    for _, data in graph.nodes(data=True):
+        counts = data["config"].counts
+        for i, c in enumerate(counts):
+            if c:
+                used.add(names[i])
+        if len(used) == len(names):
+            break
+    return StateUsage(
+        protocol=protocol.name,
+        n=n,
+        used=frozenset(used),
+        unused=frozenset(set(names) - used),
+    )
+
+
+def state_usage_table(
+    protocol: Protocol,
+    n_values,
+    *,
+    max_configs: int = 500_000,
+) -> list[StateUsage]:
+    """Reachable-state summaries across population sizes."""
+    return [
+        reachable_states(protocol, n, max_configs=max_configs) for n in n_values
+    ]

@@ -1,0 +1,91 @@
+"""Closed-form facts from the paper, centralized and test-checked.
+
+The paper's space-complexity claims are stated in prose; this module
+materializes them as functions so the state-complexity table
+(experiment ``state_table``) can cross-check each formula against the
+number of states the *actual implementation* constructs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "proposed_state_count",
+    "approx_state_count",
+    "lower_bound_state_count",
+    "repeated_bipartition_state_count",
+    "StateComplexityRow",
+    "state_complexity_row",
+]
+
+
+def proposed_state_count(k: int) -> int:
+    """States used by Algorithm 1: ``3k - 2`` (Theorem 1)."""
+    _require_k(k)
+    return 3 * k - 2
+
+
+def approx_state_count(k: int) -> int:
+    """States of the approximate baseline [14]: ``k(k+3)/2``."""
+    _require_k(k)
+    return k * (k + 3) // 2
+
+
+def lower_bound_state_count(k: int) -> int:
+    """Trivial lower bound: ``k`` states are needed to name k groups.
+
+    The paper phrases it as Omega(k): any protocol must map states onto
+    k distinct group values, so ``|Q| >= k``.  This makes 3k - 2
+    asymptotically optimal.
+    """
+    _require_k(k)
+    return k
+
+
+def repeated_bipartition_state_count(k: int) -> int:
+    """Reachable states of h-fold repeated bipartition, ``k = 2^h``.
+
+    Each undecided agent is a decided binary prefix plus one of two
+    free flavours; decided agents are leaves:
+    ``sum_{j<h} 2^j * 2 + 2^h = 3 * 2^h - 2 = 3k - 2``.
+    Defined only for powers of two.
+    """
+    _require_k(k)
+    h = k.bit_length() - 1
+    if 2**h != k:
+        raise ValueError(f"repeated bipartition needs k to be a power of two, got {k}")
+    return 3 * k - 2
+
+
+@dataclass(frozen=True, slots=True)
+class StateComplexityRow:
+    """One row of the state-complexity comparison table."""
+
+    k: int
+    lower_bound: int
+    proposed: int
+    approx_baseline: int
+    repeated_bipartition: int | None
+
+    @property
+    def proposed_over_lower(self) -> float:
+        """Ratio showing the constant of asymptotic optimality (-> 3)."""
+        return self.proposed / self.lower_bound
+
+
+def state_complexity_row(k: int) -> StateComplexityRow:
+    """Build one comparison-table row for a given k."""
+    is_pow2 = k >= 2 and (k & (k - 1)) == 0
+    return StateComplexityRow(
+        k=k,
+        lower_bound=lower_bound_state_count(k),
+        proposed=proposed_state_count(k),
+        approx_baseline=approx_state_count(k),
+        repeated_bipartition=repeated_bipartition_state_count(k) if is_pow2 else None,
+    )
+
+
+def _require_k(k: int) -> None:
+    if not isinstance(k, int) or k < 2:
+        raise ValueError(f"k must be an integer >= 2, got {k!r}")

@@ -1,0 +1,52 @@
+"""Core population-protocol model: states, transitions, protocols,
+configurations, populations, executions, and the protocol compiler."""
+
+from .compiler import CompiledProtocol, InteractionClass, compile_protocol
+from .configuration import Configuration
+from .errors import (
+    AsymmetricTransitionError,
+    ConfigurationError,
+    ConvergenceError,
+    ExperimentError,
+    NonDeterministicProtocolError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    UnknownStateError,
+)
+from .execution import ExecutionTrace, Step, record_script
+from .population import Population
+from .protocol import Protocol
+from .rng import SeedLike, ensure_generator, spawn_generators, spawn_seed_sequences
+from .state import StateSpace
+from .transitions import Transition, TransitionTable
+
+__all__ = [
+    "CompiledProtocol",
+    "InteractionClass",
+    "compile_protocol",
+    "Configuration",
+    "Population",
+    "Protocol",
+    "StateSpace",
+    "Transition",
+    "TransitionTable",
+    "ExecutionTrace",
+    "Step",
+    "record_script",
+    "SeedLike",
+    "ensure_generator",
+    "spawn_generators",
+    "spawn_seed_sequences",
+    "ReproError",
+    "ProtocolError",
+    "NonDeterministicProtocolError",
+    "AsymmetricTransitionError",
+    "UnknownStateError",
+    "ConfigurationError",
+    "SimulationError",
+    "ConvergenceError",
+    "SchedulerError",
+    "ExperimentError",
+]

@@ -1,0 +1,179 @@
+"""Configurations — global states of a population.
+
+Agents in the population-protocol model are anonymous and the schedulers
+studied here are exchangeable, so a global state is fully described by
+*how many* agents occupy each local state.  :class:`Configuration` wraps
+that count vector, keeps it consistent (non-negative, fixed total ``n``)
+and provides the successor computation used by the explicit-state model
+checker in :mod:`repro.analysis.reachability`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .compiler import InteractionClass
+from .errors import ConfigurationError
+from .protocol import Protocol
+
+__all__ = ["Configuration"]
+
+
+class Configuration:
+    """An immutable count-vector view of a global population state.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol whose state space indexes the counts.
+    counts:
+        Per-state agent counts, length ``protocol.num_states``.
+
+    Notes
+    -----
+    Configurations are hashable and usable as dict keys (the model
+    checker relies on this).  The count quotient loses agent identity,
+    which is exactly the right granularity: the paper's definitions of
+    reachability and global fairness are invariant under permuting
+    agents with equal states.
+    """
+
+    __slots__ = ("_protocol", "_counts", "_key")
+
+    def __init__(self, protocol: Protocol, counts: Sequence[int] | np.ndarray) -> None:
+        arr = np.asarray(counts, dtype=np.int64)
+        if arr.shape != (protocol.num_states,):
+            raise ConfigurationError(
+                f"counts vector has shape {arr.shape}, expected ({protocol.num_states},)"
+            )
+        if (arr < 0).any():
+            raise ConfigurationError("counts must be non-negative")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._protocol = protocol
+        self._counts = arr
+        self._key = tuple(int(x) for x in arr)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, protocol: Protocol, n: int) -> "Configuration":
+        """The designated initial configuration ``C0`` with ``n`` agents."""
+        return cls(protocol, protocol.initial_counts(n))
+
+    @classmethod
+    def from_states(cls, protocol: Protocol, states: Sequence[str]) -> "Configuration":
+        """Build a configuration from an explicit list of agent states."""
+        counts = np.zeros(protocol.num_states, dtype=np.int64)
+        for s in states:
+            counts[protocol.space.index(s)] += 1
+        return cls(protocol, counts)
+
+    @classmethod
+    def from_mapping(cls, protocol: Protocol, mapping: Mapping[str, int]) -> "Configuration":
+        """Build a configuration from a ``{state_name: count}`` mapping."""
+        counts = np.zeros(protocol.num_states, dtype=np.int64)
+        for name, c in mapping.items():
+            if c < 0:
+                raise ConfigurationError(f"negative count for state {name!r}")
+            counts[protocol.space.index(name)] = c
+        return cls(protocol, counts)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def protocol(self) -> Protocol:
+        return self._protocol
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only per-state counts."""
+        return self._counts
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return int(self._counts.sum())
+
+    @property
+    def key(self) -> tuple[int, ...]:
+        """Hashable canonical form of the counts."""
+        return self._key
+
+    def count_of(self, state: str) -> int:
+        """Number of agents in ``state``."""
+        return int(self._counts[self._protocol.space.index(state)])
+
+    def as_dict(self, *, skip_zero: bool = True) -> dict[str, int]:
+        """Counts as ``{state_name: count}`` (zero entries omitted)."""
+        names = self._protocol.space.names
+        return {
+            name: int(c)
+            for name, c in zip(names, self._counts)
+            if c or not skip_zero
+        }
+
+    def group_sizes(self) -> np.ndarray:
+        """Per-group agent totals under the protocol's group map."""
+        return self._protocol.group_sizes(self._counts)
+
+    # ------------------------------------------------------------------
+    # Transition semantics
+    # ------------------------------------------------------------------
+    def enabled_classes(self) -> list[tuple[int, InteractionClass]]:
+        """Active interaction classes with non-zero weight here."""
+        compiled = self._protocol.compiled
+        out = []
+        for idx, cls in enumerate(compiled.classes):
+            if cls.weight(self._counts) > 0:
+                out.append((idx, cls))
+        return out
+
+    def apply_class(self, cls: InteractionClass) -> "Configuration":
+        """The configuration after one interaction of class ``cls``."""
+        if cls.weight(self._counts) <= 0:
+            raise ConfigurationError(f"interaction class {cls} is not enabled")
+        counts = self._counts.copy()
+        counts[cls.in1] -= 1
+        counts[cls.in2] -= 1
+        counts[cls.out1] += 1
+        counts[cls.out2] += 1
+        return Configuration(self._protocol, counts)
+
+    def successors(self) -> Iterator["Configuration"]:
+        """Distinct configurations ``C'`` with ``C -> C'`` via a state change.
+
+        Null interactions (which keep the configuration identical) are
+        not yielded; they are irrelevant to reachability and stability.
+        Different interaction classes producing the same successor (e.g.
+        rule-4 flips against different g-states) are deduplicated.
+        """
+        seen: set[tuple[int, ...]] = set()
+        for _, cls in self.enabled_classes():
+            succ = self.apply_class(cls)
+            if succ.key not in seen:
+                seen.add(succ.key)
+                yield succ
+
+    def is_silent(self) -> bool:
+        """True when no possible interaction changes any state."""
+        return self._protocol.compiled.is_silent(self._counts)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._protocol is other._protocol and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}: {c}" for name, c in self.as_dict().items())
+        return f"Configuration({{{parts}}})"

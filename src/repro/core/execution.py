@@ -1,0 +1,88 @@
+"""Executions — recorded interaction sequences.
+
+An execution in the paper is an infinite configuration sequence
+``C0, C1, ...`` with ``Ci -> Ci+1``.  For analysis we record *finite
+prefixes* as a sequence of :class:`Step` events: which agents met, what
+rule (if any) fired, and optional configuration snapshots.
+
+This module is deliberately simple; fast simulation does not use it.
+It exists for the scripted paper walk-throughs (Figures 1 and 2), for
+fairness diagnostics, and for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator, Sequence
+
+from .configuration import Configuration
+from .population import Population
+
+__all__ = ["Step", "ExecutionTrace", "record_script"]
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One interaction in a recorded execution."""
+
+    index: int
+    initiator: int
+    responder: int
+    before: tuple[str, str]
+    after: tuple[str, str]
+
+    @property
+    def effective(self) -> bool:
+        """True when the interaction changed at least one state."""
+        return self.before != self.after
+
+
+@dataclass(slots=True)
+class ExecutionTrace:
+    """A finite execution prefix with optional configuration snapshots."""
+
+    steps: list[Step] = field(default_factory=list)
+    configurations: list[Configuration] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    @property
+    def num_effective(self) -> int:
+        return sum(1 for s in self.steps if s.effective)
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """The interaction pairs in order (initiator, responder)."""
+        return [(s.initiator, s.responder) for s in self.steps]
+
+    def final_configuration(self) -> Configuration | None:
+        return self.configurations[-1] if self.configurations else None
+
+
+def record_script(
+    population: Population,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    snapshots: bool = True,
+) -> ExecutionTrace:
+    """Run a scripted interaction sequence, recording every step.
+
+    Mutates ``population`` in place and returns the trace.  With
+    ``snapshots=True`` the configuration after every step is stored
+    (plus the starting configuration at index 0), which is what the
+    Figure 1/2 reproduction tests assert against.
+    """
+    trace = ExecutionTrace()
+    if snapshots:
+        trace.configurations.append(population.configuration())
+    for i, (a, b) in enumerate(pairs):
+        before = (population.state_of(a), population.state_of(b))
+        population.interact(a, b)
+        after = (population.state_of(a), population.state_of(b))
+        trace.steps.append(Step(i, a, b, before, after))
+        if snapshots:
+            trace.configurations.append(population.configuration())
+    return trace

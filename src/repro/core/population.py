@@ -1,0 +1,175 @@
+"""Populations — explicit per-agent state vectors.
+
+Most of the library works on count vectors (see
+:mod:`repro.core.configuration`), but agent identity matters for three
+things: scripted executions that replay the paper's Figure 1/2 examples,
+interaction-graph-restricted schedulers, and tests that track individual
+group membership.  :class:`Population` is the mutable agent-level view.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .configuration import Configuration
+from .errors import ConfigurationError
+from .protocol import Protocol
+
+__all__ = ["Population"]
+
+
+class Population:
+    """A mutable array of agent states for a given protocol.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol the agents run.
+    states:
+        Initial agent states: either a sequence of state names, a
+        sequence of state indices, or None to place all agents in the
+        protocol's designated initial state (requires ``n``).
+    n:
+        Population size when ``states`` is None.
+    """
+
+    __slots__ = ("_protocol", "_states", "_counts")
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        states: Sequence[str] | Sequence[int] | np.ndarray | None = None,
+        *,
+        n: int | None = None,
+    ) -> None:
+        self._protocol = protocol
+        if states is None:
+            if n is None:
+                raise ConfigurationError("supply either explicit states or a population size n")
+            if protocol.initial_state is None:
+                raise ConfigurationError(
+                    "protocol has no designated initial state; supply explicit states"
+                )
+            s0 = protocol.space.index(protocol.initial_state)
+            self._states = np.full(n, s0, dtype=np.int32)
+        else:
+            if n is not None and n != len(states):
+                raise ConfigurationError(f"n={n} does not match len(states)={len(states)}")
+            if len(states) == 0:
+                raise ConfigurationError("a population must contain at least one agent")
+            first = states[0]
+            if isinstance(first, str):
+                idx = [protocol.space.index(s) for s in states]  # type: ignore[arg-type]
+                self._states = np.asarray(idx, dtype=np.int32)
+            else:
+                arr = np.asarray(states, dtype=np.int32)
+                if arr.ndim != 1:
+                    raise ConfigurationError("states must be a flat sequence")
+                if (arr < 0).any() or (arr >= protocol.num_states).any():
+                    raise ConfigurationError("state index out of range")
+                self._states = arr.copy()
+        self._counts = np.bincount(self._states, minlength=protocol.num_states).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def protocol(self) -> Protocol:
+        return self._protocol
+
+    @property
+    def n(self) -> int:
+        return int(self._states.size)
+
+    @property
+    def state_indices(self) -> np.ndarray:
+        """Read-only view of per-agent state indices."""
+        v = self._states.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only per-state counts (kept in sync with the agents)."""
+        v = self._counts.view()
+        v.setflags(write=False)
+        return v
+
+    def state_of(self, agent: int) -> str:
+        """State name of agent ``agent`` (0-based)."""
+        return self._protocol.space.name(int(self._states[agent]))
+
+    def group_of(self, agent: int) -> int:
+        """Current group ``f(s(agent))`` of an agent."""
+        return self._protocol.space.group_of(int(self._states[agent]))
+
+    def state_names(self) -> list[str]:
+        """All agent states as names, in agent order."""
+        names = self._protocol.space.names
+        return [names[i] for i in self._states]
+
+    def configuration(self) -> Configuration:
+        """Snapshot the current counts as an immutable configuration."""
+        return Configuration(self._protocol, self._counts)
+
+    def group_sizes(self) -> np.ndarray:
+        """Per-group totals of the current assignment."""
+        return self._protocol.group_sizes(self._counts)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def interact(self, a: int, b: int) -> bool:
+        """Perform one interaction between agents ``a`` and ``b``.
+
+        Agent ``a`` is the initiator (relevant only for asymmetric
+        protocols).  Returns True when either agent changed state.
+        """
+        if a == b:
+            raise ConfigurationError("an agent cannot interact with itself")
+        S = self._protocol.num_states
+        compiled = self._protocol.compiled
+        p = int(self._states[a])
+        q = int(self._states[b])
+        packed = int(compiled.delta_flat[p * S + q])
+        p2, q2 = divmod(packed, S)
+        if p2 == p and q2 == q:
+            return False
+        self._states[a] = p2
+        self._states[b] = q2
+        self._counts[p] -= 1
+        self._counts[q] -= 1
+        self._counts[p2] += 1
+        self._counts[q2] += 1
+        return True
+
+    def run_script(self, pairs: Sequence[tuple[int, int]]) -> int:
+        """Replay a scripted sequence of interactions.
+
+        Returns the number of interactions that changed some state.
+        Used by the tests that reproduce the paper's Figure 1 and 2
+        walk-throughs step by step.
+        """
+        effective = 0
+        for a, b in pairs:
+            if self.interact(a, b):
+                effective += 1
+        return effective
+
+    def set_state(self, agent: int, state: str | int) -> None:
+        """Forcibly set one agent's state (test/scenario setup helper)."""
+        if isinstance(state, str):
+            state = self._protocol.space.index(state)
+        old = int(self._states[agent])
+        self._states[agent] = state
+        self._counts[old] -= 1
+        self._counts[state] += 1
+
+    def copy(self) -> "Population":
+        """An independent copy of this population."""
+        return Population(self._protocol, self._states)
+
+    def __repr__(self) -> str:
+        return f"Population(n={self.n}, protocol={self._protocol.name!r})"

@@ -1,0 +1,227 @@
+"""The :class:`Protocol` object — a population protocol ``P = (Q, delta)``.
+
+A protocol bundles a :class:`~repro.core.state.StateSpace`, a
+:class:`~repro.core.transitions.TransitionTable`, a designated initial
+state (the paper assumes designated initial states throughout), and the
+group map ``f`` used to read off the output partition.
+
+Protocols are *behaviour descriptions*; they hold no mutable simulation
+state.  Engines consume a protocol through its compiled form (see
+:mod:`repro.core.compiler`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from functools import cached_property
+
+import numpy as np
+
+from .compiler import CompiledProtocol, compile_protocol
+from .errors import AsymmetricTransitionError, ProtocolError
+from .state import StateSpace
+from .transitions import Transition, TransitionTable
+
+__all__ = ["Protocol"]
+
+# A stability predicate receives the vector of per-state agent counts and
+# decides whether the configuration is stable in the sense of Section 2.2
+# (the group of every agent can never change again).
+StabilityPredicate = Callable[[np.ndarray], bool]
+
+
+class Protocol:
+    """A deterministic population protocol with designated initial states.
+
+    Parameters
+    ----------
+    name:
+        Human-readable protocol name (used in reports and registries).
+    space:
+        The state space ``Q`` including its group map ``f``.
+    transitions:
+        The transition table ``delta``.
+    initial_state:
+        The designated initial state ``s0``; every agent starts here
+        unless an explicit initial configuration is supplied to an engine.
+    stability_predicate_factory:
+        Optional factory ``n -> predicate(counts) -> bool`` producing an
+        exact stability test for populations of size ``n``.  Protocols
+        whose stable configurations are *silent* can omit it — engines
+        fall back to silence detection (no applicable non-null pair).
+        The k-partition protocol needs an explicit predicate because its
+        stable configuration for ``n mod k == 1`` still admits
+        group-preserving ``initial <-> initial'`` flips (rule 4) and is
+        therefore stable but not silent.
+    metadata:
+        Free-form information (e.g. ``{"k": 5, "paper": "..."}``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        space: StateSpace,
+        transitions: TransitionTable,
+        initial_state: str | None,
+        *,
+        stability_predicate_factory: Callable[[int], StabilityPredicate] | None = None,
+        metadata: Mapping[str, object] | None = None,
+        require_symmetric: bool = False,
+    ) -> None:
+        """See class docstring; additionally ``require_symmetric=True``
+        makes construction fail with
+        :class:`~repro.core.errors.AsymmetricTransitionError` if any rule
+        breaks symmetry — protocols that *claim* symmetry (like the
+        paper's Algorithm 1) assert it at build time this way."""
+        if transitions.space is not space:
+            raise ProtocolError("transition table is defined over a different state space")
+        if initial_state is not None and initial_state not in space:
+            raise ProtocolError(f"initial state {initial_state!r} is not in the state space")
+        transitions.validate()
+        if require_symmetric:
+            offenders = transitions.asymmetric_rules()
+            if offenders:
+                listing = "; ".join(str(t) for t in offenders[:5])
+                raise AsymmetricTransitionError(
+                    f"protocol {name!r} declared symmetric but has "
+                    f"{len(offenders)} asymmetric rule(s): {listing}"
+                )
+        self._name = name
+        self._space = space
+        self._transitions = transitions
+        self._initial_state = initial_state
+        self._stability_factory = stability_predicate_factory
+        self._metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def space(self) -> StateSpace:
+        return self._space
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        """State names — ``Q`` in the paper's notation."""
+        return self._space.names
+
+    @property
+    def num_states(self) -> int:
+        """``|Q|`` — the space complexity the paper optimizes (3k-2)."""
+        return len(self._space)
+
+    @property
+    def num_groups(self) -> int:
+        """``k`` — the number of output groups."""
+        return self._space.num_groups
+
+    @property
+    def transitions(self) -> TransitionTable:
+        return self._transitions
+
+    @property
+    def initial_state(self) -> str | None:
+        return self._initial_state
+
+    @property
+    def metadata(self) -> dict[str, object]:
+        return dict(self._metadata)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Whether the protocol is symmetric (paper Sec. 2.1)."""
+        return self._transitions.is_symmetric
+
+    def rules(self) -> list[Transition]:
+        """All registered (ordered) rules."""
+        return list(self._transitions)
+
+    # ------------------------------------------------------------------
+    # Compiled form
+    # ------------------------------------------------------------------
+    @cached_property
+    def compiled(self) -> CompiledProtocol:
+        """Packed NumPy tables for the fast engines (cached)."""
+        return compile_protocol(self)
+
+    # ------------------------------------------------------------------
+    # Semantics helpers
+    # ------------------------------------------------------------------
+    def initial_counts(self, n: int) -> np.ndarray:
+        """Count vector of the designated initial configuration ``C0``."""
+        if self._initial_state is None:
+            raise ProtocolError(
+                f"protocol {self._name!r} has no designated initial state; "
+                "supply an explicit initial configuration"
+            )
+        if n < 1:
+            raise ProtocolError(f"population size must be positive, got {n}")
+        counts = np.zeros(self.num_states, dtype=np.int64)
+        counts[self._space.index(self._initial_state)] = n
+        return counts
+
+    def stability_predicate(self, n: int) -> StabilityPredicate | None:
+        """Exact stability test for population size ``n`` (or None)."""
+        if self._stability_factory is None:
+            return None
+        return self._stability_factory(n)
+
+    def group_sizes(self, counts: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Per-group agent totals under the group map ``f``.
+
+        Returns a vector ``sizes`` of length ``k`` with
+        ``sizes[i-1] = |{agents a : f(s(a)) = i}|``.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.num_states,):
+            raise ProtocolError(
+                f"counts vector has shape {counts.shape}, expected ({self.num_states},)"
+            )
+        k = self.num_groups
+        if k == 0:
+            raise ProtocolError(f"protocol {self._name!r} has no group map")
+        sizes = np.zeros(k, dtype=np.int64)
+        np.add.at(sizes, self._space.group_array - 1, counts)
+        return sizes
+
+    def describe(self) -> str:
+        """Human-readable protocol summary: states, groups, and rules.
+
+        Rules are listed once per unordered pair (mirrors folded), in
+        the paper's notation ``(p, q) -> (p', q')``.
+        """
+        lines = [
+            f"protocol {self._name}",
+            f"  states ({self.num_states}): {', '.join(self.states)}",
+        ]
+        if self._initial_state is not None:
+            lines.append(f"  designated initial state: {self._initial_state}")
+        if self.num_groups:
+            by_group: dict[int, list[str]] = {}
+            for name in self.states:
+                by_group.setdefault(self._space.group_of(name), []).append(name)
+            lines.append(f"  groups ({self.num_groups}):")
+            for g in sorted(by_group):
+                lines.append(f"    f = {g}: {', '.join(by_group[g])}")
+        lines.append(
+            f"  transitions ({'symmetric' if self.is_symmetric else 'asymmetric'}):"
+        )
+        seen: set[frozenset[str]] = set()
+        for t in self._transitions:
+            key = frozenset((t.p, t.q)) if t.p != t.q else frozenset((t.p,))
+            if key in seen:
+                continue
+            seen.add(key)
+            lines.append(f"    {t}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        sym = "symmetric" if self.is_symmetric else "asymmetric"
+        return (
+            f"Protocol({self._name!r}, {self.num_states} states, "
+            f"{self.num_groups} groups, {sym})"
+        )

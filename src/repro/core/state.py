@@ -1,0 +1,190 @@
+"""State spaces for population protocols.
+
+A population protocol is a pair ``(Q, delta)`` where ``Q`` is a finite set
+of agent states.  This module provides :class:`StateSpace`, an immutable,
+ordered view of ``Q`` that maps human-readable state *names* to dense
+integer *indices*.  All fast simulation paths operate on indices; names
+appear only at API boundaries (construction, reporting, debugging).
+
+The uniform k-partition problem additionally needs a *group map*
+``f : Q -> {1, ..., k}`` assigning every state to one of ``k`` output
+groups (Section 2.2 of the paper).  The group map is stored alongside the
+state list because it is a property of the problem encoding, not of the
+dynamics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .errors import ProtocolError, UnknownStateError
+
+__all__ = ["StateSpace"]
+
+
+class StateSpace:
+    """An immutable ordered set of state names with an optional group map.
+
+    Parameters
+    ----------
+    names:
+        State names, in index order.  Names must be unique, non-empty
+        strings.
+    groups:
+        Optional mapping from state name to group index (1-based, matching
+        the paper's convention ``f : Q -> {1, ..., k}``).  If given, every
+        state must be assigned a group.
+    num_groups:
+        Number of groups ``k``.  If omitted it defaults to the largest
+        group index present in ``groups`` (or ``0`` when no group map is
+        supplied).
+
+    Examples
+    --------
+    >>> space = StateSpace(["a", "b"], groups={"a": 1, "b": 2})
+    >>> space.index("b")
+    1
+    >>> space.group_of("b")
+    2
+    """
+
+    __slots__ = ("_names", "_index", "_groups", "_num_groups", "_group_array")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        groups: Mapping[str, int] | None = None,
+        num_groups: int | None = None,
+    ) -> None:
+        names = tuple(names)
+        if not names:
+            raise ProtocolError("a state space must contain at least one state")
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise ProtocolError(f"state names must be non-empty strings, got {name!r}")
+        index = {name: i for i, name in enumerate(names)}
+        if len(index) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ProtocolError(f"duplicate state names: {dupes}")
+        self._names = names
+        self._index = index
+
+        if groups is None:
+            self._groups: dict[str, int] = {}
+            self._num_groups = int(num_groups or 0)
+            self._group_array = np.zeros(len(names), dtype=np.int64)
+        else:
+            missing = [n for n in names if n not in groups]
+            if missing:
+                raise ProtocolError(f"group map missing states: {missing}")
+            extra = [n for n in groups if n not in index]
+            if extra:
+                raise ProtocolError(f"group map references unknown states: {sorted(extra)}")
+            for name, g in groups.items():
+                if not isinstance(g, int) or g < 1:
+                    raise ProtocolError(
+                        f"group indices must be positive integers, got f({name!r}) = {g!r}"
+                    )
+            inferred = max(groups.values())
+            k = int(num_groups) if num_groups is not None else inferred
+            if k < inferred:
+                raise ProtocolError(
+                    f"num_groups = {k} is smaller than the largest assigned group {inferred}"
+                )
+            self._groups = dict(groups)
+            self._num_groups = k
+            self._group_array = np.asarray([groups[n] for n in names], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateSpace):
+            return NotImplemented
+        return (
+            self._names == other._names
+            and self._groups == other._groups
+            and self._num_groups == other._num_groups
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._names, tuple(sorted(self._groups.items())), self._num_groups))
+
+    def __repr__(self) -> str:
+        return f"StateSpace({len(self)} states, {self._num_groups} groups)"
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """State names in index order."""
+        return self._names
+
+    @property
+    def num_groups(self) -> int:
+        """Number of output groups ``k`` (0 when no group map is attached)."""
+        return self._num_groups
+
+    def index(self, name: str) -> int:
+        """Return the dense index of state ``name``.
+
+        Raises
+        ------
+        UnknownStateError
+            If ``name`` is not part of this state space.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownStateError(f"unknown state {name!r}") from None
+
+    def indices(self, names: Iterable[str]) -> list[int]:
+        """Return indices for several state names at once."""
+        return [self.index(n) for n in names]
+
+    def name(self, idx: int) -> str:
+        """Return the name of the state with index ``idx``."""
+        try:
+            return self._names[idx]
+        except IndexError:
+            raise UnknownStateError(
+                f"state index {idx} out of range for {len(self)} states"
+            ) from None
+
+    def group_of(self, state: str | int) -> int:
+        """Return ``f(state)``, the group that ``state`` maps to.
+
+        ``state`` may be a name or an index.  Raises
+        :class:`~repro.core.errors.ProtocolError` when no group map is
+        attached.
+        """
+        if not self._groups:
+            raise ProtocolError("this state space has no group map")
+        if isinstance(state, str):
+            state = self.index(state)
+        return int(self._group_array[state])
+
+    @property
+    def group_array(self) -> np.ndarray:
+        """Vector ``g`` with ``g[i] = f(state_i)`` (0 where unmapped).
+
+        The returned array is a copy; mutating it does not affect the
+        state space.
+        """
+        return self._group_array.copy()
+
+    def with_groups(self, groups: Mapping[str, int], num_groups: int | None = None) -> "StateSpace":
+        """Return a copy of this state space with a (new) group map."""
+        return StateSpace(self._names, groups=groups, num_groups=num_groups)

@@ -1,0 +1,194 @@
+"""Transition tables for population protocols.
+
+A transition ``(p, q) -> (p', q')`` describes what happens when an agent
+in state ``p`` (the *initiator*) interacts with an agent in state ``q``
+(the *responder*): they move to ``p'`` and ``q'`` respectively.
+
+The paper considers *deterministic* protocols (at most one transition per
+ordered pair) and, for its main result, *symmetric* protocols: a
+transition is symmetric unless ``p == q`` and ``p' != q'`` (Section 2.1).
+The scheduler in the paper picks an unordered agent pair; for symmetric
+rule sets the orientation is irrelevant, while for asymmetric baselines
+(e.g. the approximate-partition protocol of Delporte-Gallet et al.) the
+engines assign the initiator role uniformly at random.
+
+:class:`TransitionTable` stores rules on *ordered* pairs.  The convenience
+constructor :meth:`TransitionTable.add` registers a rule together with its
+mirror ``(q, p) -> (q', p')`` so that protocol authors can write rules the
+way papers print them — once per unordered pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from .errors import (
+    AsymmetricTransitionError,
+    NonDeterministicProtocolError,
+    ProtocolError,
+)
+from .state import StateSpace
+
+__all__ = ["Transition", "TransitionTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """A single transition ``(p, q) -> (p2, q2)`` on state names."""
+
+    p: str
+    q: str
+    p2: str
+    q2: str
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the transition changes neither participant."""
+        return self.p == self.p2 and self.q == self.q2
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True unless ``p == q`` and the outputs differ (paper Sec. 2.1)."""
+        return not (self.p == self.q and self.p2 != self.q2)
+
+    @property
+    def mirror(self) -> "Transition":
+        """The same rule seen from the responder's side."""
+        return Transition(self.q, self.p, self.q2, self.p2)
+
+    def __str__(self) -> str:
+        return f"({self.p}, {self.q}) -> ({self.p2}, {self.q2})"
+
+
+class TransitionTable:
+    """A deterministic set of transitions over a :class:`StateSpace`.
+
+    Rules are stored per ordered input pair.  Pairs with no registered
+    rule are *null*: an interaction between such states leaves both agents
+    unchanged (the standard population-protocol convention).
+
+    Parameters
+    ----------
+    space:
+        The state space the transitions are defined over.
+    """
+
+    __slots__ = ("_space", "_rules")
+
+    def __init__(self, space: StateSpace) -> None:
+        self._space = space
+        self._rules: dict[tuple[str, str], Transition] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, p: str, q: str, p2: str, q2: str, *, mirror: bool = True) -> None:
+        """Register the rule ``(p, q) -> (p2, q2)``.
+
+        With ``mirror=True`` (the default) the mirrored rule
+        ``(q, p) -> (q2, p2)`` is registered as well, so a rule written
+        once covers both orientations of the interaction, exactly as the
+        paper's rule listings are meant to be read.
+
+        Raises
+        ------
+        NonDeterministicProtocolError
+            If a *different* rule is already registered for the same
+            ordered pair.  Re-adding an identical rule is a no-op.
+        """
+        for t in self._expand(Transition(p, q, p2, q2), mirror):
+            existing = self._rules.get((t.p, t.q))
+            if existing is not None and existing != t:
+                raise NonDeterministicProtocolError(
+                    f"conflicting rules for ({t.p}, {t.q}): "
+                    f"existing {existing}, new {t}"
+                )
+            self._rules[(t.p, t.q)] = t
+
+    def add_many(self, rules: Iterable[tuple[str, str, str, str]], *, mirror: bool = True) -> None:
+        """Register several rules given as ``(p, q, p2, q2)`` tuples."""
+        for p, q, p2, q2 in rules:
+            self.add(p, q, p2, q2, mirror=mirror)
+
+    def _expand(self, t: Transition, mirror: bool) -> Iterator[Transition]:
+        for name in (t.p, t.q, t.p2, t.q2):
+            if name not in self._space:
+                raise ProtocolError(f"rule {t} references unknown state {name!r}")
+        yield t
+        if mirror and t.p != t.q:
+            yield t.mirror
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> StateSpace:
+        return self._space
+
+    def lookup(self, p: str, q: str) -> Transition | None:
+        """Return the rule for ordered pair ``(p, q)`` or None if null."""
+        return self._rules.get((p, q))
+
+    def apply(self, p: str, q: str) -> tuple[str, str]:
+        """Return the post-states of an interaction ``(p, q)``.
+
+        Null pairs return the inputs unchanged.
+        """
+        t = self._rules.get((p, q))
+        if t is None:
+            return p, q
+        return t.p2, t.q2
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self._rules.values())
+
+    def non_null_rules(self) -> list[Transition]:
+        """All registered rules that actually change some state."""
+        return [t for t in self._rules.values() if not t.is_identity]
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every registered rule is symmetric (paper Sec. 2.1)."""
+        return all(t.is_symmetric for t in self._rules.values())
+
+    def asymmetric_rules(self) -> list[Transition]:
+        """The rules that break symmetry (empty for symmetric protocols)."""
+        return [t for t in self._rules.values() if not t.is_symmetric]
+
+    @property
+    def is_oriented(self) -> bool:
+        """True when some pair's two orientations are not mirrors.
+
+        Oriented tables describe initiator/responder-sensitive protocols
+        (e.g. initiator-wins majority, or products of asymmetric with
+        symmetric protocols).  They are fully supported: agent engines
+        read the ordered pair as sampled, and the compiler gives each
+        orientation its own interaction class.
+        """
+        for (p, q), t in self._rules.items():
+            if p == q:
+                continue
+            other = self._rules.get((q, p))
+            if other is not None and other != t.mirror:
+                return True
+        return False
+
+    def validate(self) -> None:
+        """Check structural sanity.
+
+        Determinism is enforced at :meth:`add` time and state existence
+        at rule registration, so this is currently a cheap re-assertion
+        retained for API stability (subclasses may extend it).
+        """
+        for (p, q), t in self._rules.items():
+            if (t.p, t.q) != (p, q):
+                raise NonDeterministicProtocolError(
+                    f"rule stored under wrong key: ({p}, {q}) holds {t}"
+                )
+
+    def __repr__(self) -> str:
+        return f"TransitionTable({len(self._rules)} ordered rules over {len(self._space)} states)"

@@ -1,0 +1,25 @@
+"""Simulation engines: reference agent-based, batched uniform, and the
+count-based jump-chain engine with null-interaction skipping."""
+
+from .agent_based import AgentBasedEngine
+from .base import Engine, SimulationResult, StepCallback
+from .batch import BatchEngine
+from .count_based import CountBasedEngine
+from .hybrid import HybridEngine
+from .metrics import GroupSizeRecorder, TimeSeriesRecorder, aggregate_milestones
+from .runner import TrialSet, run_trials
+
+__all__ = [
+    "Engine",
+    "SimulationResult",
+    "StepCallback",
+    "AgentBasedEngine",
+    "BatchEngine",
+    "CountBasedEngine",
+    "HybridEngine",
+    "TimeSeriesRecorder",
+    "GroupSizeRecorder",
+    "aggregate_milestones",
+    "TrialSet",
+    "run_trials",
+]

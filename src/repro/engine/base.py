@@ -1,0 +1,199 @@
+"""Engine interface and result types.
+
+An engine runs one execution of a protocol until the configuration is
+stable (or an interaction budget is exhausted) and reports the metric
+the paper studies: the **total number of interactions** until
+stabilization (Section 5), including null interactions — the paper's
+executions pick two agents uniformly at random whether or not their
+meeting changes anything.
+
+Three engines implement the same semantics at different speed/
+generality trade-offs:
+
+================  =========================  =================================
+engine            scheduler support          cost model
+================  =========================  =================================
+agent-based       any :class:`Scheduler`     O(1) per interaction (reference)
+batch             uniform only               O(1) per interaction, tightest loop
+count-based       uniform only               O(#rules) per *effective*
+                                             interaction; null interactions
+                                             are skipped in closed form
+================  =========================  =================================
+
+The count-based engine makes the paper's exponential-in-k experiments
+(Figure 6) tractable: near stabilization almost every interaction is a
+no-op between already-grouped agents, and the engine samples the length
+of those no-op runs from a geometric law instead of executing them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.protocol import Protocol
+from ..core.rng import SeedLike
+
+__all__ = ["Engine", "SimulationResult", "StepCallback"]
+
+#: Called after every effective interaction with (interactions, counts).
+#: ``counts`` is the live per-state count sequence — treat as read-only.
+StepCallback = Callable[[int, Sequence[int]], None]
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Outcome of one simulated execution."""
+
+    #: Name of the protocol that was run.
+    protocol: str
+    #: Population size.
+    n: int
+    #: Engine identifier ("agent", "batch", or "count").
+    engine: str
+    #: Total interactions performed (the paper's time-complexity metric).
+    interactions: int
+    #: Interactions that changed at least one agent state.
+    effective_interactions: int
+    #: True when a stable configuration was reached.
+    converged: bool
+    #: True when the final configuration is silent (no active pair).
+    silent: bool
+    #: Final per-state counts.
+    final_counts: np.ndarray
+    #: Final per-group sizes (empty when the protocol has no group map).
+    group_sizes: np.ndarray
+    #: Interaction counts at which the tracked state's count reached
+    #: 1, 2, ... (``NI_i`` in the paper's Figure 4 when tracking g_k).
+    tracked_milestones: list[int] = field(default_factory=list)
+    #: Wall-clock seconds spent in the engine loop.
+    elapsed: float = 0.0
+
+    @property
+    def null_interactions(self) -> int:
+        """Interactions that changed nothing."""
+        return self.interactions - self.effective_interactions
+
+    def grouping_breakdown(self) -> list[int]:
+        """Per-milestone interaction increments ``NI'_i = NI_i - NI_{i-1}``.
+
+        With ``g_k`` tracked this is exactly the paper's Figure 4
+        quantity: the cost of the i-th complete grouping.
+        """
+        out = []
+        prev = 0
+        for ni in self.tracked_milestones:
+            out.append(ni - prev)
+            prev = ni
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        state = "stable" if self.converged else "NOT CONVERGED"
+        return (
+            f"{self.protocol} n={self.n} [{self.engine}]: "
+            f"{self.interactions} interactions "
+            f"({self.effective_interactions} effective), {state}, "
+            f"groups={self.group_sizes.tolist()}"
+        )
+
+
+class Engine(ABC):
+    """Common surface of the three simulation engines."""
+
+    #: Short identifier used in results and registries.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seed: SeedLike = None,
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+    ) -> SimulationResult:
+        """Simulate one execution until stability.
+
+        Parameters
+        ----------
+        protocol:
+            The protocol to run.
+        n:
+            Population size.  Required unless ``initial_counts`` is
+            given; all agents start in the designated initial state.
+        seed:
+            RNG seed or generator.
+        initial_counts:
+            Explicit starting configuration (overrides ``n``).
+        max_interactions:
+            Interaction budget.  ``None`` means unbounded — safe for
+            protocols proved to stabilize under the uniform scheduler,
+            which is globally fair with probability 1.
+        track_state:
+            A state name or index whose count increments should be
+            timestamped (pass ``g_k`` to collect the paper's NI_i).
+        on_effective:
+            Callback invoked after every effective interaction; used by
+            invariant monitors and time-series recorders.  Slows the
+            loop, so ``None`` disables it entirely.
+
+        Returns
+        -------
+        SimulationResult
+            With ``converged=False`` when the budget ran out first.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_initial(
+        protocol: Protocol,
+        n: int | None,
+        initial_counts: Sequence[int] | np.ndarray | None,
+    ) -> np.ndarray:
+        if initial_counts is not None:
+            counts = np.asarray(initial_counts, dtype=np.int64).copy()
+            if counts.shape != (protocol.num_states,):
+                raise SimulationError(
+                    f"initial_counts has shape {counts.shape}, "
+                    f"expected ({protocol.num_states},)"
+                )
+            if (counts < 0).any():
+                raise SimulationError("initial_counts must be non-negative")
+            if n is not None and int(counts.sum()) != n:
+                raise SimulationError(
+                    f"initial_counts sums to {int(counts.sum())} but n = {n}"
+                )
+            if int(counts.sum()) < 2:
+                raise SimulationError("need at least two agents to interact")
+            return counts
+        if n is None:
+            raise SimulationError("supply either n or initial_counts")
+        if n < 2:
+            raise SimulationError(f"need at least two agents to interact, got n = {n}")
+        return protocol.initial_counts(n)
+
+    @staticmethod
+    def _resolve_track_state(protocol: Protocol, track_state: str | int | None) -> int | None:
+        if track_state is None:
+            return None
+        if isinstance(track_state, str):
+            return protocol.space.index(track_state)
+        if not 0 <= int(track_state) < protocol.num_states:
+            raise SimulationError(f"track_state index {track_state} out of range")
+        return int(track_state)
+
+    @staticmethod
+    def _group_sizes_or_empty(protocol: Protocol, counts: np.ndarray) -> np.ndarray:
+        if protocol.num_groups == 0:
+            return np.zeros(0, dtype=np.int64)
+        return protocol.group_sizes(counts)

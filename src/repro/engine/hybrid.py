@@ -1,0 +1,214 @@
+"""Adaptive hybrid engine: agent-level early, jump-chain late.
+
+The engine ablation shows a crossover: the batch engine's ~O(1) per
+interaction wins while most interactions are effective (early in a
+run, and for small n), while the count engine's O(#rules) per
+*effective* interaction wins once null interactions dominate (late in
+a run, large n, large k — the paper's Figure 5/6 regime).
+
+The hybrid engine gets both ends: it starts with the batch loop and
+monitors the exact active-weight fraction ``W/T`` (computable from the
+counts in O(#rules)); when the fraction stays below a threshold it
+drops the agent array and continues on the count-based jump chain.
+Agents are exchangeable under the uniform scheduler, so the count
+vector is a sufficient statistic and the switch is distributionally
+seamless — the trajectory after the switch has exactly the law of
+continuing agent-level simulation.
+
+The two phases consume the RNG differently, so a hybrid run is not
+bit-identical to either pure engine; it is equivalent in law (checked
+by KS tests in the suite).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.protocol import Protocol
+from ..core.rng import SeedLike, ensure_generator
+from .base import Engine, SimulationResult, StepCallback
+from .count_based import CountBasedEngine
+
+__all__ = ["HybridEngine"]
+
+
+class HybridEngine(Engine):
+    """Batch loop that hands off to the count engine when nulls dominate.
+
+    Parameters
+    ----------
+    switch_threshold:
+        Hand off once ``W/T`` (the probability that a uniformly random
+        interaction changes something) drops below this value.  The
+        default 0.2 hands off when >= 80% of interactions are null —
+        roughly where the count engine's per-event cost amortizes.
+    check_every:
+        Evaluate the fraction every this-many *effective* interactions
+        (the fraction only changes on effective steps).
+    block_size:
+        Batch-phase pair block size.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        switch_threshold: float = 0.2,
+        check_every: int = 64,
+        block_size: int = 4096,
+    ) -> None:
+        if not 0.0 <= switch_threshold <= 1.0:
+            raise ValueError(f"switch_threshold must be in [0, 1], got {switch_threshold}")
+        if check_every < 1:
+            raise ValueError(f"check_every must be positive, got {check_every}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self._threshold = float(switch_threshold)
+        self._check_every = check_every
+        self._block_size = block_size
+
+    def run(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seed: SeedLike = None,
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+    ) -> SimulationResult:
+        counts0 = self._resolve_initial(protocol, n, initial_counts)
+        n_total = int(counts0.sum())
+        track = self._resolve_track_state(protocol, track_state)
+        rng = ensure_generator(seed)
+
+        compiled = protocol.compiled
+        S = compiled.num_states
+        dflat = compiled.delta_list
+        classes = compiled.classes
+        counts: list[int] = counts0.tolist()
+        states: list[int] = []
+        for idx, c in enumerate(counts):
+            states.extend([idx] * c)
+
+        pred = protocol.stability_predicate(n_total)
+
+        def active_weight() -> int:
+            return sum(cls.weight(counts) for cls in classes)
+
+        def is_stable() -> bool:
+            if pred is not None:
+                return pred(counts)
+            return active_weight() == 0
+
+        T_ordered = n_total * (n_total - 1)
+        budget = max_interactions if max_interactions is not None else 2**62
+        interactions = 0
+        effective = 0
+        milestones: list[int] = []
+        high_water = counts[track] if track is not None else 0
+        threshold_weight = self._threshold * T_ordered
+        check_every = self._check_every
+
+        t0 = time.perf_counter()
+        converged = is_stable()
+        switch = not converged and active_weight() < threshold_weight
+        block = self._block_size
+        # ------------------------------------------------------- phase 1
+        while not (converged or switch) and interactions < budget:
+            take = min(block, budget - interactions)
+            a_arr = rng.integers(0, n_total, size=take)
+            b_arr = rng.integers(0, n_total - 1, size=take)
+            b_arr += b_arr >= a_arr
+            for a, b in zip(a_arr.tolist(), b_arr.tolist()):
+                interactions += 1
+                p = states[a]
+                q = states[b]
+                pq = p * S + q
+                out = dflat[pq]
+                if out == pq:
+                    continue
+                p2, q2 = divmod(out, S)
+                states[a] = p2
+                states[b] = q2
+                counts[p] -= 1
+                counts[q] -= 1
+                counts[p2] += 1
+                counts[q2] += 1
+                effective += 1
+                if track is not None:
+                    cur = counts[track]
+                    while high_water < cur:
+                        high_water += 1
+                        milestones.append(interactions)
+                if on_effective is not None:
+                    on_effective(interactions, counts)
+                if is_stable():
+                    converged = True
+                    break
+                if effective % check_every == 0 and active_weight() < threshold_weight:
+                    switch = True
+                    break
+
+        phase1_interactions = interactions
+        phase1_effective = effective
+        elapsed1 = time.perf_counter() - t0
+
+        if converged or interactions >= budget:
+            final = np.asarray(counts, dtype=np.int64)
+            return SimulationResult(
+                protocol=protocol.name,
+                n=n_total,
+                engine=self.name,
+                interactions=interactions,
+                effective_interactions=effective,
+                converged=converged,
+                silent=compiled.is_silent(final),
+                final_counts=final,
+                group_sizes=self._group_sizes_or_empty(protocol, final),
+                tracked_milestones=milestones,
+                elapsed=elapsed1,
+            )
+
+        # ------------------------------------------------------- phase 2
+        # Exchangeability: the count vector fully determines the law of
+        # the remainder, so continue on the jump chain.
+        remaining_budget = (
+            None if max_interactions is None else budget - interactions
+        )
+        if on_effective is None:
+            tail_callback = None
+        else:
+            offset = phase1_interactions
+
+            def tail_callback(i: int, c: Sequence[int]) -> None:
+                on_effective(offset + i, c)
+
+        tail = CountBasedEngine().run(
+            protocol,
+            initial_counts=np.asarray(counts, dtype=np.int64),
+            seed=rng,
+            max_interactions=remaining_budget,
+            track_state=track,
+            on_effective=tail_callback,
+        )
+        # Merge phase-2 milestones (offsets are phase-relative).
+        for ni in tail.tracked_milestones:
+            milestones.append(phase1_interactions + ni)
+        return SimulationResult(
+            protocol=protocol.name,
+            n=n_total,
+            engine=self.name,
+            interactions=phase1_interactions + tail.interactions,
+            effective_interactions=phase1_effective + tail.effective_interactions,
+            converged=tail.converged,
+            silent=tail.silent,
+            final_counts=tail.final_counts,
+            group_sizes=tail.group_sizes,
+            tracked_milestones=milestones,
+            elapsed=elapsed1 + tail.elapsed,
+        )

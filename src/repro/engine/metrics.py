@@ -1,0 +1,102 @@
+"""Measurement helpers layered on the engines' callback hooks.
+
+The engines expose two lightweight instrumentation channels:
+
+* ``track_state`` — timestamps every unit increase of one state's
+  count.  Tracking ``g_k`` yields the paper's ``NI_i`` milestones
+  (interactions until the i-th complete grouping, Figure 4).
+* ``on_effective`` — a callback after every effective interaction;
+  the recorders here use it to sample trajectories.
+
+Recorders cost Python-call overhead per effective interaction, so they
+are opt-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.protocol import Protocol
+
+__all__ = [
+    "TimeSeriesRecorder",
+    "GroupSizeRecorder",
+    "aggregate_milestones",
+]
+
+
+@dataclass(slots=True)
+class TimeSeriesRecorder:
+    """Samples the full count vector every ``stride`` effective steps.
+
+    Use as ``engine.run(..., on_effective=rec)``; the recorder is
+    callable with the engine's ``(interactions, counts)`` signature.
+    """
+
+    stride: int = 1
+    times: list[int] = field(default_factory=list)
+    snapshots: list[list[int]] = field(default_factory=list)
+    _calls: int = 0
+
+    def __call__(self, interactions: int, counts: Sequence[int]) -> None:
+        self._calls += 1
+        if self._calls % self.stride == 0:
+            self.times.append(interactions)
+            self.snapshots.append(list(counts))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, snapshots)`` as arrays (snapshots: steps x states)."""
+        return (
+            np.asarray(self.times, dtype=np.int64),
+            np.asarray(self.snapshots, dtype=np.int64),
+        )
+
+
+@dataclass(slots=True)
+class GroupSizeRecorder:
+    """Samples per-group sizes every ``stride`` effective steps."""
+
+    protocol: Protocol
+    stride: int = 1
+    times: list[int] = field(default_factory=list)
+    sizes: list[np.ndarray] = field(default_factory=list)
+    _calls: int = 0
+
+    def __call__(self, interactions: int, counts: Sequence[int]) -> None:
+        self._calls += 1
+        if self._calls % self.stride == 0:
+            self.times.append(interactions)
+            self.sizes.append(self.protocol.group_sizes(np.asarray(counts, dtype=np.int64)))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, sizes)`` as arrays (sizes: steps x groups)."""
+        return (
+            np.asarray(self.times, dtype=np.int64),
+            np.asarray(self.sizes, dtype=np.int64),
+        )
+
+
+def aggregate_milestones(
+    milestone_lists: Sequence[Sequence[int]],
+    *,
+    num_milestones: int | None = None,
+) -> np.ndarray:
+    """Mean interaction count per milestone index across trials.
+
+    ``milestone_lists[t][i]`` is the interaction count at which trial
+    ``t`` hit milestone ``i`` (``NI_{i+1}`` when tracking ``g_k``).
+    Trials that missed a milestone are excluded from that milestone's
+    mean.  Returns a float vector of length ``num_milestones`` (default:
+    the longest list); positions no trial reached are NaN.
+    """
+    if num_milestones is None:
+        num_milestones = max((len(m) for m in milestone_lists), default=0)
+    out = np.full(num_milestones, np.nan)
+    for i in range(num_milestones):
+        vals = [m[i] for m in milestone_lists if len(m) > i]
+        if vals:
+            out[i] = float(np.mean(vals))
+    return out

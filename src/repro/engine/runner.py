@@ -1,0 +1,178 @@
+"""Multi-trial experiment runner.
+
+The paper reports averages over 100 independent executions per
+parameter point.  :func:`run_trials` reproduces that methodology with
+a strict seeding discipline: per-trial generators are spawned from one
+master ``SeedSequence``, so results are reproducible trial-by-trial
+and independent of execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.protocol import Protocol
+from ..core.rng import SeedLike, spawn_seed_sequences
+from .base import Engine, SimulationResult
+from .count_based import CountBasedEngine
+
+__all__ = ["TrialSet", "run_trials"]
+
+
+@dataclass(slots=True)
+class TrialSet:
+    """Results of repeated independent executions at one parameter point."""
+
+    protocol: str
+    n: int
+    engine: str
+    results: list[SimulationResult]
+
+    @property
+    def trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def interactions(self) -> np.ndarray:
+        """Per-trial total interaction counts."""
+        return np.asarray([r.interactions for r in self.results], dtype=np.int64)
+
+    @property
+    def effective_interactions(self) -> np.ndarray:
+        return np.asarray(
+            [r.effective_interactions for r in self.results], dtype=np.int64
+        )
+
+    @property
+    def all_converged(self) -> bool:
+        return all(r.converged for r in self.results)
+
+    @property
+    def mean_interactions(self) -> float:
+        """The paper's reported statistic: average interactions to stability."""
+        return float(self.interactions.mean())
+
+    @property
+    def std_interactions(self) -> float:
+        return float(self.interactions.std(ddof=1)) if self.trials > 1 else 0.0
+
+    @property
+    def sem_interactions(self) -> float:
+        """Standard error of the mean."""
+        return self.std_interactions / np.sqrt(self.trials) if self.trials > 1 else 0.0
+
+    def milestone_lists(self) -> list[list[int]]:
+        """Tracked-state milestones of every trial (for Figure 4)."""
+        return [r.tracked_milestones for r in self.results]
+
+    def summary(self) -> str:
+        return (
+            f"{self.protocol} n={self.n} [{self.engine} x{self.trials}]: "
+            f"mean={self.mean_interactions:.1f} "
+            f"std={self.std_interactions:.1f} "
+            f"range=[{int(self.interactions.min())}, {int(self.interactions.max())}]"
+        )
+
+
+def run_trials(
+    protocol: Protocol,
+    n: int | None = None,
+    *,
+    trials: int = 100,
+    engine: Engine | None = None,
+    seed: SeedLike = 0,
+    initial_counts: Sequence[int] | np.ndarray | None = None,
+    max_interactions: int | None = None,
+    track_state: str | int | None = None,
+    require_convergence: bool = True,
+    progress: Callable[[int, SimulationResult], None] | None = None,
+    workers: int = 1,
+) -> TrialSet:
+    """Run ``trials`` independent executions and collect the results.
+
+    Parameters mirror :meth:`Engine.run`; additionally:
+
+    trials:
+        Number of independent executions (the paper uses 100).
+    seed:
+        Master seed; per-trial streams are spawned from it.
+    require_convergence:
+        Raise :class:`SimulationError` if any trial failed to stabilize
+        within its budget (default True — averaging censored counts
+        silently would bias the reproduction).
+    progress:
+        Optional callback ``(trial_index, result)`` after each trial.
+    workers:
+        Number of worker processes.  ``1`` (default) runs serially in
+        this process; ``> 1`` fans trials out over a process pool.
+        Because per-trial seeds are spawned up front, the results are
+        bit-identical to the serial run regardless of worker count or
+        completion order.  Requires the engine and protocol to be
+        picklable (all engines and shipped protocols are; agent-based
+        engines with lambda scheduler factories are not).
+    """
+    if trials < 1:
+        raise SimulationError(f"trials must be positive, got {trials}")
+    if workers < 1:
+        raise SimulationError(f"workers must be positive, got {workers}")
+    if engine is None:
+        engine = CountBasedEngine()
+    seeds = spawn_seed_sequences(seed, trials)
+    init = None if initial_counts is None else np.asarray(initial_counts, dtype=np.int64)
+
+    if workers == 1:
+        results = [
+            _run_one(engine, protocol, n, seeds[t], init, max_interactions, track_state)
+            for t in range(trials)
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_one, engine, protocol, n, seeds[t], init,
+                    max_interactions, track_state,
+                )
+                for t in range(trials)
+            ]
+            results = [f.result() for f in futures]
+
+    for t, result in enumerate(results):
+        if require_convergence and not result.converged:
+            raise SimulationError(
+                f"trial {t} of {protocol.name} (n={result.n}) did not stabilize "
+                f"within {result.interactions} interactions"
+            )
+        if progress is not None:
+            progress(t, result)
+    return TrialSet(
+        protocol=protocol.name,
+        n=results[0].n,
+        engine=engine.name,
+        results=results,
+    )
+
+
+def _run_one(
+    engine: Engine,
+    protocol: Protocol,
+    n: int | None,
+    seed: np.random.SeedSequence,
+    initial_counts: np.ndarray | None,
+    max_interactions: int | None,
+    track_state: str | int | None,
+) -> SimulationResult:
+    """One trial — module-level so process pools can pickle it."""
+    return engine.run(
+        protocol,
+        n,
+        seed=seed,
+        initial_counts=initial_counts,
+        max_interactions=max_interactions,
+        track_state=track_state,
+    )

@@ -1,0 +1,36 @@
+"""Experiment harness: one module per paper figure/table plus ablations.
+
+See :mod:`repro.experiments.cli` for the command-line interface and
+DESIGN.md for the experiment index (figure -> module -> bench target).
+"""
+
+from .common import DEFAULT_SEED, point_seed
+from .fig3_vary_n import run_fig3
+from .fig4_grouping import run_fig4
+from .fig5_scaling_n import run_fig5
+from .fig6_scaling_k import run_fig6
+from .state_table import run_state_table
+from .uniformity_gap import run_uniformity_gap
+from .engine_ablation import run_engine_ablation
+from .distribution import run_distribution
+from .lowerbound import run_lowerbound
+from .report import run_report
+from .exact_validation import run_exact_validation
+from .trajectory import run_trajectory
+
+__all__ = [
+    "DEFAULT_SEED",
+    "point_seed",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_state_table",
+    "run_uniformity_gap",
+    "run_engine_ablation",
+    "run_exact_validation",
+    "run_distribution",
+    "run_report",
+    "run_lowerbound",
+    "run_trajectory",
+]

@@ -1,0 +1,134 @@
+"""Terminal plotting — the offline stand-in for the paper's figures.
+
+The execution environment has no plotting stack, so the harness renders
+each figure as characters: scatter/line charts for Figures 3, 5 and 6
+and horizontal stacked bars for Figure 4.  CSV output accompanies every
+figure for external re-plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["line_plot", "stacked_bars"]
+
+_MARKERS = "ox+*#@%&"
+_BLOCKS = "█▓▒░◆◇●○"
+
+
+def _axis_ticks(lo: float, hi: float, count: int) -> list[float]:
+    if hi <= lo:
+        return [lo] * count
+    return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def line_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+    width: int = 70,
+    height: int = 20,
+    logy: bool = False,
+) -> str:
+    """Render labelled (x, y) series as a character scatter plot.
+
+    Each series gets a distinct marker; overlapping points show the
+    marker of the last series drawn.  With ``logy`` the y axis is
+    log10-scaled (all y must be positive).
+    """
+    if not series:
+        return f"{title}\n(no data)"
+    xs_all = [float(x) for xs, _ in series.values() for x in xs]
+    ys_all = [float(y) for _, ys in series.values() for y in ys]
+    if not xs_all:
+        return f"{title}\n(no data)"
+    if logy and min(ys_all) <= 0:
+        raise ValueError("logy requires positive y values")
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(map(ty, ys_all)), max(map(ty, ys_all))
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (xs, ys)), marker in zip(series.items(), _MARKERS):
+        for x, y in zip(xs, ys):
+            col = round((float(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((ty(float(y)) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    def ylabel_of(row: int) -> str:
+        frac = (height - 1 - row) / (height - 1)
+        v = y_lo + frac * (y_hi - y_lo)
+        if logy:
+            v = 10**v
+        return f"{v:>10.3g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"{ylabel}  [{legend}]")
+    for row in range(height):
+        prefix = ylabel_of(row) if row % max(height // 5, 1) == 0 else " " * 10
+        lines.append(f"{prefix} |{''.join(grid[row])}")
+    lines.append(" " * 10 + "-" * (width + 2))
+    tick_vals = _axis_ticks(x_lo, x_hi, 5)
+    ticks = "".join(f"{v:<{(width // 4)}.4g}" for v in tick_vals[:-1]) + f"{tick_vals[-1]:.4g}"
+    lines.append(" " * 11 + ticks)
+    lines.append(" " * 11 + xlabel + ("   [log y]" if logy else ""))
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    rows: Sequence[tuple[str, Sequence[float]]],
+    layer_labels: Sequence[str],
+    *,
+    title: str = "",
+    width: int = 60,
+    value_label: str = "",
+) -> str:
+    """Render horizontal stacked bars (one per row).
+
+    ``rows`` pairs a row label with its layer values; all bars share a
+    common scale so relative totals are comparable — the layout used
+    for Figure 4's per-grouping decomposition (one bar per n, one layer
+    per grouping).
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    totals = [sum(values) for _, values in rows]
+    peak = max(totals) if totals else 1.0
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(label) for label, _ in rows)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_BLOCKS[i % len(_BLOCKS)]}={label}" for i, label in enumerate(layer_labels)
+    )
+    lines.append(f"[{legend}]")
+    for (label, values), total in zip(rows, totals):
+        bar = ""
+        consumed = 0
+        for i, v in enumerate(values):
+            # Cumulative rounding keeps the bar length proportional to
+            # the running total even when layers are tiny.
+            target = round(sum(values[: i + 1]) / peak * width)
+            seg = max(target - consumed, 0)
+            bar += _BLOCKS[i % len(_BLOCKS)] * seg
+            consumed += seg
+        lines.append(f"{label:>{label_w}} |{bar:<{width}}| {total:,.0f} {value_label}")
+    return "\n".join(lines)

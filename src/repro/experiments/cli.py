@@ -1,0 +1,256 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Regenerates every figure and table of the paper's evaluation::
+
+    repro-experiments fig3              # full-scale Figure 3 sweep
+    repro-experiments fig6 --quick      # smoke-scale Figure 6
+    repro-experiments all --quick --out results/
+
+Full-scale runs use the paper's parameters (100 trials, n up to 960,
+k up to 10) and take minutes; ``--quick`` runs the same code on
+reduced grids in seconds.  Outputs: a terminal rendering, plus
+``<name>.csv`` / ``<name>.json`` / ``<name>.txt`` when ``--out`` is
+given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from ..io.results import ResultTable
+from . import (
+    distribution,
+    lowerbound,
+    report,
+    engine_ablation,
+    exact_validation,
+    fig3_vary_n,
+    fig4_grouping,
+    fig5_scaling_n,
+    fig6_scaling_k,
+    state_table,
+    trajectory,
+    uniformity_gap,
+)
+from .common import DEFAULT_SEED, ProgressPrinter, write_outputs
+
+__all__ = ["main", "EXPERIMENTS", "describe_protocol"]
+
+#: name -> (run function, render function, quick params, description)
+EXPERIMENTS: dict[str, tuple[Callable[..., ResultTable], Callable, dict, str]] = {
+    "fig3": (
+        fig3_vary_n.run_fig3,
+        fig3_vary_n.render_fig3,
+        fig3_vary_n.QUICK_PARAMS,
+        "interactions vs n for k in {4,6,8} (sawtooth in n mod k)",
+    ),
+    "fig4": (
+        fig4_grouping.run_fig4,
+        fig4_grouping.render_fig4,
+        fig4_grouping.QUICK_PARAMS,
+        "per-grouping decomposition NI'_i (stacked)",
+    ),
+    "fig5": (
+        fig5_scaling_n.run_fig5,
+        fig5_scaling_n.render_fig5,
+        fig5_scaling_n.QUICK_PARAMS,
+        "interactions vs n = 120*n' for k in {3,4,5,6}",
+    ),
+    "fig6": (
+        fig6_scaling_k.run_fig6,
+        fig6_scaling_k.render_fig6,
+        fig6_scaling_k.QUICK_PARAMS,
+        "interactions vs k at n = 960 (log scale, exponential in k)",
+    ),
+    "state-table": (
+        state_table.run_state_table,
+        state_table.render_state_table,
+        state_table.QUICK_PARAMS,
+        "state-complexity comparison (3k-2 vs k(k+3)/2 vs lower bound)",
+    ),
+    "uniformity-gap": (
+        uniformity_gap.run_uniformity_gap,
+        uniformity_gap.render_uniformity_gap,
+        uniformity_gap.QUICK_PARAMS,
+        "partition quality: Algorithm 1 vs approximate baseline",
+    ),
+    "engine-ablation": (
+        engine_ablation.run_engine_ablation,
+        engine_ablation.render_engine_ablation,
+        engine_ablation.QUICK_PARAMS,
+        "agent vs batch vs count engine performance",
+    ),
+    "exact-validation": (
+        exact_validation.run_exact_validation,
+        exact_validation.render_exact_validation,
+        exact_validation.QUICK_PARAMS,
+        "closed-form expected interactions vs simulation (small n, k)",
+    ),
+    "trajectory": (
+        trajectory.run_trajectory,
+        trajectory.render_trajectory,
+        trajectory.QUICK_PARAMS,
+        "group-size trajectories along one execution (extension)",
+    ),
+    "distribution": (
+        distribution.run_distribution,
+        distribution.render_distribution,
+        distribution.QUICK_PARAMS,
+        "stabilization-time distribution: quantiles and tail (extension)",
+    ),
+    "report": (
+        report.run_report,
+        report.render_report,
+        report.QUICK_PARAMS,
+        "consolidated claim-by-claim reproduction verdicts",
+    ),
+    "lowerbound": (
+        lowerbound.run_lowerbound,
+        lowerbound.render_lowerbound,
+        lowerbound.QUICK_PARAMS,
+        "mechanized 4-state lower bound for symmetric bipartition (extension)",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'A Population Protocol for Uniform "
+            "k-Partition under Global Fairness' (Yasumi et al.)"
+        ),
+    )
+    choices = list(EXPERIMENTS) + ["all", "describe"]
+    parser.add_argument(
+        "experiment",
+        choices=choices,
+        help=(
+            "which figure/table to regenerate ('all' runs everything; "
+            "'describe' prints a protocol's states and rules)"
+        ),
+    )
+    parser.add_argument(
+        "--protocol",
+        default=None,
+        help="for 'describe': a protocol name from the registry",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "for 'describe': protocol parameter, e.g. --param k=4 or "
+            "--param ratio=1,2,3 (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced parameter grid (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the number of trials per sweep point",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"master seed (default {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for CSV/JSON/TXT outputs (default: print only)",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress progress lines on stderr",
+    )
+    return parser
+
+
+def run_experiment(
+    name: str,
+    *,
+    quick: bool = False,
+    trials: int | None = None,
+    seed: int = DEFAULT_SEED,
+    out: str | None = None,
+    progress_enabled: bool = True,
+) -> ResultTable:
+    """Run one experiment by name; returns (and optionally writes) the table."""
+    run, render, quick_params, _ = EXPERIMENTS[name]
+    params: dict = dict(quick_params) if quick else {}
+    if trials is not None and "trials" in _signature_params(run):
+        params["trials"] = trials
+    if "seed" in _signature_params(run):
+        params["seed"] = seed
+    progress = ProgressPrinter(enabled=progress_enabled)
+    if "progress" in _signature_params(run):
+        params["progress"] = progress
+    table = run(**params)
+    write_outputs(table, out, render=render)
+    return table
+
+
+def _signature_params(fn: Callable) -> set[str]:
+    import inspect
+
+    return set(inspect.signature(fn).parameters)
+
+
+def _parse_param(text: str) -> tuple[str, object]:
+    key, _, raw = text.partition("=")
+    if not key or not raw:
+        raise SystemExit(f"--param expects KEY=VALUE, got {text!r}")
+    if "," in raw:
+        return key, tuple(int(v) for v in raw.split(","))
+    try:
+        return key, int(raw)
+    except ValueError:
+        return key, raw
+
+
+def describe_protocol(name: str, params: list[str]) -> str:
+    """Render a registry protocol's structure (the 'describe' command)."""
+    from ..protocols.registry import build_protocol
+
+    kwargs = dict(_parse_param(p) for p in params)
+    return build_protocol(name, **kwargs).describe()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "describe":
+        if not args.protocol:
+            raise SystemExit("describe requires --protocol NAME")
+        print(describe_protocol(args.protocol, args.param))
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _, render, _, description = EXPERIMENTS[name]
+        print(f"== {name}: {description} ==")
+        table = run_experiment(
+            name,
+            quick=args.quick,
+            trials=args.trials,
+            seed=args.seed,
+            out=args.out,
+            progress_enabled=not args.no_progress,
+        )
+        print(render(table))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Shared plumbing for the experiment harness.
+
+Every experiment module follows the same conventions:
+
+* ``run_<name>(**params) -> ResultTable`` does the work with explicit
+  parameters defaulting to the paper's full-scale settings;
+* ``QUICK_PARAMS`` holds a reduced parameter set that exercises the
+  same code path in seconds (used by CI, the benchmarks and ``--quick``);
+* ``render_<name>(table) -> str`` produces the terminal figure.
+
+Seeds: every experiment derives per-point master seeds from a single
+experiment seed with :func:`point_seed`, hashing the parameter tuple,
+so adding or re-ordering sweep points never changes other points'
+results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Callable
+
+from ..io.results import ResultTable
+
+__all__ = ["point_seed", "ProgressPrinter", "write_outputs", "DEFAULT_SEED"]
+
+#: Master seed used by all experiments unless overridden (the paper's
+#: publication year + month, for flavour — any constant works).
+DEFAULT_SEED = 201801
+
+
+def point_seed(experiment_seed: int, *key: object) -> int:
+    """A stable per-point seed derived from the experiment seed and key.
+
+    Uses SHA-256 of the repr of the key tuple, so the mapping is
+    deterministic across processes and Python versions (unlike
+    ``hash()``, which is salted).
+    """
+    payload = repr((experiment_seed,) + key).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+@dataclass(slots=True)
+class ProgressPrinter:
+    """Lightweight progress reporting to stderr (quiet when disabled)."""
+
+    enabled: bool = True
+    _t0: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def __call__(self, message: str) -> None:
+        if self.enabled:
+            elapsed = time.perf_counter() - self._t0
+            print(f"[{elapsed:8.1f}s] {message}", file=sys.stderr, flush=True)
+
+
+def write_outputs(
+    table: ResultTable,
+    out_dir: str | Path | None,
+    *,
+    render: Callable[[ResultTable], str] | None = None,
+) -> None:
+    """Persist a result table (CSV + JSON) and its rendering.
+
+    Does nothing when ``out_dir`` is None (pure in-memory use).
+    """
+    if out_dir is None:
+        return
+    out = Path(out_dir)
+    table.write_csv(out / f"{table.name}.csv")
+    table.write_json(out / f"{table.name}.json")
+    if render is not None:
+        (out / f"{table.name}.txt").write_text(render(table) + "\n")

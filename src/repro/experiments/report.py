@@ -1,0 +1,209 @@
+"""Consolidated reproduction report: every paper claim, checked.
+
+``repro-experiments report`` runs a calibrated slice of each experiment
+and evaluates the paper's qualitative claims *programmatically*,
+emitting a verdict table — a self-checking, regenerable version of
+EXPERIMENTS.md's conclusions.  Thresholds and grids are fixed alongside
+the seeds so the verdicts are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..io.results import ResultTable
+from .common import DEFAULT_SEED
+from .exact_validation import run_exact_validation
+from .fig3_vary_n import run_fig3, sawtooth_drops
+from .fig4_grouping import last_grouping_shares, run_fig4
+from .fig5_scaling_n import run_fig5, scaling_fits
+from .fig6_scaling_k import exponential_fit, run_fig6
+from .state_table import run_state_table
+from .uniformity_gap import run_uniformity_gap
+
+__all__ = ["run_report", "render_report", "QUICK_PARAMS"]
+
+QUICK_PARAMS: dict = {"quick": True}
+
+
+def run_report(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    trials: int | None = None,
+    progress=None,
+) -> ResultTable:
+    """Run the claim checks; ``quick`` selects the reduced grids.
+
+    ``trials`` overrides the per-experiment trial counts (mostly for
+    testing the harness itself; the default grids are calibrated so the
+    verdicts are stable).
+    """
+    table = ResultTable(name="report", params={"quick": quick, "seed": seed})
+
+    def note(figure: str, claim: str, measured: str, ok: bool) -> None:
+        table.append(figure=figure, claim=claim, measured=measured, verdict=bool(ok))
+        if progress is not None:
+            progress(f"report {figure}: {'PASS' if ok else 'FAIL'} - {claim}")
+
+    # ----------------------------------------------------------- fig 3
+    f3 = run_fig3(
+        ks=(4,),
+        n_values=tuple(range(8, 25, 1)) if quick else tuple(range(6, 61)),
+        trials=trials or (60 if quick else 100),
+        seed=seed,
+    )
+    means = {int(r["n"]): float(r["mean_interactions"]) for r in f3.where(k=4).rows}
+    ns = sorted(means)
+    note(
+        "fig3",
+        "interactions grow with n overall",
+        f"mean({ns[-1]})={means[ns[-1]]:.0f} vs mean({ns[0]})={means[ns[0]]:.0f}",
+        means[ns[-1]] > 2 * means[ns[0]],
+    )
+    drops = sawtooth_drops(f3, 4)
+    note(
+        "fig3",
+        "the mean sometimes DROPS as n grows (mod-k sawtooth)",
+        f"{len(drops)} drops in {len(ns)} points",
+        len(drops) >= 1,
+    )
+
+    # ----------------------------------------------------------- fig 4
+    f4 = run_fig4(
+        ks=(4,),
+        n_values=(16, 20) if quick else (16, 20, 24, 28, 32),
+        trials=trials or (80 if quick else 100),
+        seed=seed,
+    )
+    shares = last_grouping_shares(f4, 4)
+    note(
+        "fig4",
+        "final grouping takes > 1/2 of interactions at n = c*k + k",
+        ", ".join(f"n={n}: {s:.2f}" for n, s in sorted(shares.items())),
+        all(s > 0.5 for s in shares.values()),
+    )
+    monotone_ok = True
+    for n in sorted({int(r["n"]) for r in f4.rows}):
+        incs = [
+            float(r["mean_increment"])
+            for r in sorted(
+                (r for r in f4.where(n=n).rows if int(r["grouping"]) > 0),
+                key=lambda r: int(r["grouping"]),
+            )
+        ]
+        if not all(a <= b for a, b in zip(incs[1:], incs[2:])):
+            monotone_ok = False
+    note(
+        "fig4",
+        "NI' increments increase from the 2nd grouping on",
+        "checked at every sweep point",
+        monotone_ok,
+    )
+
+    # ----------------------------------------------------------- fig 5
+    f5 = run_fig5(
+        ks=(3, 4),
+        n_units=(1, 2, 3, 4) if quick else (1, 2, 3, 4, 5, 6, 7, 8),
+        base_n=60 if quick else 120,
+        trials=trials or (30 if quick else 100),
+        seed=seed,
+    )
+    fits = scaling_fits(f5)
+    superlinear = all(p.exponent > 1.0 for p, _ in fits.values())
+    subexponential = all(p.r_squared >= e.r_squared for p, e in fits.values())
+    note(
+        "fig5",
+        "growth in n is superlinear",
+        ", ".join(f"k={k}: b={p.exponent:.2f}" for k, (p, _) in sorted(fits.items())),
+        superlinear,
+    )
+    note(
+        "fig5",
+        "growth in n is subexponential (power fit beats exponential fit)",
+        ", ".join(
+            f"k={k}: R2 {p.r_squared:.3f} vs {e.r_squared:.3f}"
+            for k, (p, e) in sorted(fits.items())
+        ),
+        subexponential,
+    )
+
+    # ----------------------------------------------------------- fig 6
+    f6 = run_fig6(
+        n=120 if quick else 960,
+        ks=(3, 4, 5, 6) if quick else (3, 4, 5, 6, 8, 10),
+        trials=trials or (30 if quick else 100),
+        seed=seed,
+    )
+    fit = exponential_fit(f6)
+    note(
+        "fig6",
+        "interactions grow exponentially with k",
+        f"semi-log fit base {fit.exponent:.2f}/unit k (R2={fit.r_squared:.3f})",
+        fit.exponent > 1.2,
+    )
+
+    # ------------------------------------------------------ state table
+    st = run_state_table(ks=tuple(range(2, 11)))
+    note(
+        "state-table",
+        "3k-2 / k(k+3)/2 formulas match the implementations",
+        f"verified for k = 2..10",
+        all(bool(r["formulas_verified"]) for r in st.rows),
+    )
+
+    # -------------------------------------------------- uniformity gap
+    gap = run_uniformity_gap(
+        k=4,
+        n_values=(48,) if quick else (64, 128, 256),
+        trials=trials or (10 if quick else 30),
+        seed=seed,
+    )
+    uni = gap.where(protocol="uniform-k-partition")
+    apx = gap.where(protocol="approx-k-partition")
+    note(
+        "uniformity-gap",
+        "Algorithm 1 always lands within spread 1",
+        f"max spread {max(int(r['max_spread']) for r in uni.rows)}",
+        all(int(r["max_spread"]) <= 1 for r in uni.rows),
+    )
+    note(
+        "uniformity-gap",
+        "approximate baseline meets its n/(2k) floor",
+        "checked per n",
+        all(int(r["worst_min_group"]) >= int(r["guarantee_floor"]) for r in apx.rows),
+    )
+
+    # ----------------------------------------------- exact validation
+    ev = run_exact_validation(
+        points=((2, 5), (3, 5)) if quick else ((2, 6), (3, 5), (3, 7), (4, 6)),
+        trials=trials or (600 if quick else 2000),
+        seed=seed,
+    )
+    worst = max(float(r["gap_in_sigmas"]) for r in ev.rows)
+    note(
+        "exact-validation",
+        "simulated means match closed-form expectations",
+        f"worst gap {worst:.2f} sigma",
+        worst < 5.0,
+    )
+
+    return table
+
+
+def render_report(table: ResultTable) -> str:
+    passed = sum(1 for r in table.rows if r["verdict"])
+    total = len(table.rows)
+    lines = [
+        "Reproduction report — paper claims checked programmatically",
+        f"({passed}/{total} claims pass; grids: "
+        f"{'quick' if table.params.get('quick') else 'full'})",
+        "",
+    ]
+    width = max(len(str(r["claim"])) for r in table.rows) if table.rows else 0
+    for r in table.rows:
+        mark = "PASS" if r["verdict"] else "FAIL"
+        lines.append(
+            f"[{mark}] {r['figure']:<14} {str(r['claim']):<{width}}  | {r['measured']}"
+        )
+    return "\n".join(lines)

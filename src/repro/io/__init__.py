@@ -1,0 +1,24 @@
+"""Result and trace persistence."""
+
+from .protocols import (
+    load_protocol,
+    protocol_from_dict,
+    protocol_to_dict,
+    save_protocol,
+)
+from .results import ResultTable, load_table
+from .traces import load_trace, replay, save_trace, trace_from_dict, trace_to_dict
+
+__all__ = [
+    "ResultTable",
+    "protocol_to_dict",
+    "protocol_from_dict",
+    "save_protocol",
+    "load_protocol",
+    "load_table",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "replay",
+]

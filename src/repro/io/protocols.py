@@ -1,0 +1,94 @@
+"""Protocol (de)serialization.
+
+Protocols are behaviour descriptions — a state list, a rule list, a
+group map, an initial state — so they round-trip naturally through
+JSON.  This lets users save custom protocols (e.g. ones discovered by
+the search module), ship them alongside experiment results, and reload
+them without code.
+
+The stability predicate is code, not data, and is *not* serialized;
+reloaded protocols fall back to silence detection unless the caller
+re-attaches a predicate factory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.errors import ProtocolError
+from ..core.protocol import Protocol
+from ..core.state import StateSpace
+from ..core.transitions import TransitionTable
+
+__all__ = ["protocol_to_dict", "protocol_from_dict", "save_protocol", "load_protocol"]
+
+_FORMAT = "repro-protocol-v1"
+
+
+def protocol_to_dict(protocol: Protocol) -> dict:
+    """Serialize a protocol's structure to plain data."""
+    space = protocol.space
+    groups = None
+    if protocol.num_groups:
+        groups = {name: space.group_of(name) for name in space.names}
+    return {
+        "format": _FORMAT,
+        "name": protocol.name,
+        "states": list(space.names),
+        "groups": groups,
+        "num_groups": protocol.num_groups or None,
+        "initial_state": protocol.initial_state,
+        "symmetric": protocol.is_symmetric,
+        "metadata": {
+            k: v
+            for k, v in protocol.metadata.items()
+            if isinstance(v, (str, int, float, bool, type(None)))
+        },
+        # Ordered rules, exactly as stored (mirrors included), so the
+        # reloaded table is rule-for-rule identical.
+        "rules": [
+            [t.p, t.q, t.p2, t.q2] for t in protocol.transitions
+        ],
+    }
+
+
+def protocol_from_dict(data: dict) -> Protocol:
+    """Rebuild a protocol serialized with :func:`protocol_to_dict`.
+
+    The reloaded protocol has no stability predicate (see module
+    docstring); engines will use silence detection.
+    """
+    if data.get("format") != _FORMAT:
+        raise ProtocolError(
+            f"unsupported protocol payload format: {data.get('format')!r}"
+        )
+    groups = data.get("groups")
+    space = StateSpace(
+        data["states"],
+        groups={k: int(v) for k, v in groups.items()} if groups else None,
+        num_groups=data.get("num_groups"),
+    )
+    table = TransitionTable(space)
+    for p, q, p2, q2 in data.get("rules", []):
+        table.add(p, q, p2, q2, mirror=False)
+    return Protocol(
+        data.get("name", "unnamed"),
+        space,
+        table,
+        data.get("initial_state"),
+        metadata=data.get("metadata") or {},
+    )
+
+
+def save_protocol(protocol: Protocol, path: str | Path) -> Path:
+    """Write a protocol as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(protocol_to_dict(protocol), indent=2) + "\n")
+    return path
+
+
+def load_protocol(path: str | Path) -> Protocol:
+    """Load a protocol saved with :func:`save_protocol`."""
+    return protocol_from_dict(json.loads(Path(path).read_text()))

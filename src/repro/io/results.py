@@ -1,0 +1,131 @@
+"""Typed result tables with CSV/JSON persistence.
+
+Every experiment produces an :class:`ResultTable`: a named list of
+records (plain dicts with scalar values) plus the parameters that
+generated them.  Tables serialize to CSV (for plotting elsewhere) and
+JSON (with the parameter manifest, for exact provenance).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Mapping
+
+__all__ = ["ResultTable", "load_table"]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_record(record: Mapping[str, object]) -> dict[str, object]:
+    clean: dict[str, object] = {}
+    for key, value in record.items():
+        if not isinstance(key, str):
+            raise TypeError(f"record keys must be strings, got {key!r}")
+        if not isinstance(value, _SCALARS):
+            raise TypeError(
+                f"record values must be scalars; {key!r} has {type(value).__name__}"
+            )
+        clean[key] = value
+    return clean
+
+
+@dataclass(slots=True)
+class ResultTable:
+    """An experiment's tabular output plus its provenance manifest."""
+
+    name: str
+    params: dict[str, object] = field(default_factory=dict)
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def append(self, **record: object) -> None:
+        """Add one record (keyword arguments become columns)."""
+        self.rows.append(_check_record(record))
+
+    def extend(self, records: Iterable[Mapping[str, object]]) -> None:
+        for record in records:
+            self.rows.append(_check_record(record))
+
+    @property
+    def columns(self) -> list[str]:
+        """Union of all record keys, in first-seen order."""
+        cols: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                cols.setdefault(key)
+        return list(cols)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column (missing entries become None)."""
+        return [row.get(name) for row in self.rows]
+
+    def where(self, **conditions: object) -> "ResultTable":
+        """Rows matching all equality conditions, as a new table."""
+        sub = ResultTable(name=self.name, params=dict(self.params))
+        sub.rows = [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in conditions.items())
+        ]
+        return sub
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def write_csv(self, path: str | Path) -> Path:
+        """Write the rows as CSV; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        cols = self.columns
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=cols)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+        return path
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write rows + parameter manifest as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"name": self.name, "params": self.params, "rows": self.rows}
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        return path
+
+    def render(self, *, max_rows: int | None = None, floatfmt: str = ".1f") -> str:
+        """Plain-text table rendering for terminal output."""
+        cols = self.columns
+        if not cols:
+            return f"[{self.name}: empty]"
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+
+        def fmt(v: object) -> str:
+            if isinstance(v, float):
+                return format(v, floatfmt)
+            return "" if v is None else str(v)
+
+        body = [[fmt(row.get(c)) for c in cols] for row in rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in body)) if body else len(c)
+            for i, c in enumerate(cols)
+        ]
+        header = "  ".join(c.rjust(w) for c, w in zip(cols, widths))
+        rule = "-" * len(header)
+        lines = [header, rule]
+        lines += ["  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in body]
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def load_table(path: str | Path) -> ResultTable:
+    """Load a table previously written with :meth:`ResultTable.write_json`."""
+    payload = json.loads(Path(path).read_text())
+    table = ResultTable(name=payload["name"], params=payload.get("params", {}))
+    table.extend(payload.get("rows", []))
+    return table

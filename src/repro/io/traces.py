@@ -1,0 +1,89 @@
+"""Execution-trace serialization.
+
+Traces recorded with :func:`repro.core.execution.record_script` (or
+assembled by tests) can be stored as JSON for inspection and replayed
+onto a fresh population — used by the Figure 1/2 walk-through fixtures
+and handy when debugging a scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.execution import ExecutionTrace, Step
+from ..core.population import Population
+from ..core.protocol import Protocol
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace", "replay"]
+
+
+def trace_to_dict(trace: ExecutionTrace) -> dict:
+    """Serialize a trace (steps + optional snapshots) to plain data."""
+    return {
+        "steps": [
+            {
+                "index": s.index,
+                "initiator": s.initiator,
+                "responder": s.responder,
+                "before": list(s.before),
+                "after": list(s.after),
+            }
+            for s in trace.steps
+        ],
+        "configurations": [c.as_dict(skip_zero=False) for c in trace.configurations],
+    }
+
+
+def trace_from_dict(data: dict, protocol: Protocol) -> ExecutionTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    from ..core.configuration import Configuration
+
+    trace = ExecutionTrace()
+    for s in data.get("steps", []):
+        trace.steps.append(
+            Step(
+                index=int(s["index"]),
+                initiator=int(s["initiator"]),
+                responder=int(s["responder"]),
+                before=tuple(s["before"]),
+                after=tuple(s["after"]),
+            )
+        )
+    for c in data.get("configurations", []):
+        trace.configurations.append(Configuration.from_mapping(protocol, c))
+    return trace
+
+
+def save_trace(trace: ExecutionTrace, path: str | Path) -> Path:
+    """Write a trace as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_to_dict(trace), indent=2) + "\n")
+    return path
+
+
+def load_trace(path: str | Path, protocol: Protocol) -> ExecutionTrace:
+    """Load a trace saved with :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()), protocol)
+
+
+def replay(trace: ExecutionTrace, population: Population) -> None:
+    """Re-apply a trace's interactions to a population in place.
+
+    Raises ``AssertionError`` when the observed pre/post states diverge
+    from the recorded ones — i.e. the trace was recorded against a
+    different protocol or starting configuration.
+    """
+    for step in trace.steps:
+        before = (population.state_of(step.initiator), population.state_of(step.responder))
+        assert before == step.before, (
+            f"replay diverged at step {step.index}: expected pre-states "
+            f"{step.before}, found {before}"
+        )
+        population.interact(step.initiator, step.responder)
+        after = (population.state_of(step.initiator), population.state_of(step.responder))
+        assert after == step.after, (
+            f"replay diverged at step {step.index}: expected post-states "
+            f"{step.after}, found {after}"
+        )

@@ -1,0 +1,43 @@
+"""Protocol implementations: the paper's uniform k-partition protocol,
+its baselines, the R-generalized extension, and classic building blocks."""
+
+from .approx_partition import ApproximatePartitionProtocol, approximate_k_partition
+from .bipartition import UniformBipartitionProtocol, uniform_bipartition
+from .composition import ParallelComposition, parallel_compose
+from .kpartition import (
+    INITIAL,
+    INITIAL_PRIME,
+    UniformKPartitionProtocol,
+    uniform_k_partition,
+)
+from .leader_election import FOLLOWER, LEADER, LeaderElectionProtocol, leader_election
+from .majority import ApproximateMajorityProtocol, approximate_majority
+from .registry import available_protocols, build_protocol, register_protocol
+from .repeated_bipartition import RepeatedBipartitionProtocol, repeated_bipartition
+from .rgeneralized import RGeneralizedPartitionProtocol, r_generalized_partition
+
+__all__ = [
+    "UniformKPartitionProtocol",
+    "uniform_k_partition",
+    "INITIAL",
+    "INITIAL_PRIME",
+    "UniformBipartitionProtocol",
+    "uniform_bipartition",
+    "ParallelComposition",
+    "parallel_compose",
+    "RepeatedBipartitionProtocol",
+    "repeated_bipartition",
+    "ApproximatePartitionProtocol",
+    "approximate_k_partition",
+    "RGeneralizedPartitionProtocol",
+    "r_generalized_partition",
+    "LeaderElectionProtocol",
+    "leader_election",
+    "LEADER",
+    "FOLLOWER",
+    "ApproximateMajorityProtocol",
+    "approximate_majority",
+    "available_protocols",
+    "build_protocol",
+    "register_protocol",
+]

@@ -1,0 +1,107 @@
+"""Three-state approximate majority — a classic building-block protocol.
+
+The paper's related-work section surveys majority protocols [1, 3, 6,
+16]; this module implements the three-state *polling* variant so the
+framework's support for protocols **without designated initial states**
+is exercised (the initial configuration is an arbitrary mix of the two
+colors).
+
+States ``x``, ``y`` (the two opinions) and ``b`` (blank / undecided)::
+
+    (x, y) -> (b, b)        conflicting opinions cancel
+    (x, b) -> (x, x)        an opinion recruits a blank
+    (y, b) -> (y, y)
+
+All three rules are symmetric in this variant (the cancellation
+produces equal outputs), so the protocol fits the paper's symmetric
+class.  Under the uniform scheduler the initial majority wins with high
+probability when the margin is large; with a zero margin the population
+can converge to all-blank.  Stable configurations are exactly the
+silent consensus configurations (all ``x``, all ``y``, or all ``b``),
+so engines use silence detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.errors import ConfigurationError
+from ..core.protocol import Protocol
+from ..core.state import StateSpace
+from ..core.transitions import TransitionTable
+
+__all__ = ["ApproximateMajorityProtocol", "approximate_majority"]
+
+
+class ApproximateMajorityProtocol(Protocol):
+    """The three-state approximate-majority protocol.
+
+    Two variants:
+
+    * ``variant="symmetric"`` (default) — the polling form used in the
+      module docstring: conflicting opinions cancel to blank,
+      ``(x, y) -> (b, b)``.  Fits the paper's symmetric protocol class.
+    * ``variant="initiator"`` — the classic Angluin-Aspnes-Eisenstat
+      form where the *initiator's* opinion wins a conflict:
+      ``(x, y) -> (x, b)`` and ``(y, x) -> (y, b)``.  This is an
+      *oriented* protocol (the two orientations of a meeting differ),
+      exercising the framework's ordered-pair support.
+    """
+
+    def __init__(self, variant: str = "symmetric") -> None:
+        if variant not in ("symmetric", "initiator"):
+            raise ConfigurationError(
+                f"variant must be 'symmetric' or 'initiator', got {variant!r}"
+            )
+        space = StateSpace(["x", "y", "b"], groups={"x": 1, "y": 2, "b": 3}, num_groups=3)
+        table = TransitionTable(space)
+        if variant == "symmetric":
+            table.add("x", "y", "b", "b")
+        else:
+            table.add("x", "y", "x", "b", mirror=False)
+            table.add("y", "x", "y", "b", mirror=False)
+        table.add("x", "b", "x", "x")
+        table.add("y", "b", "y", "y")
+        self._variant = variant
+        super().__init__(
+            name=f"approximate-majority-{variant}",
+            space=space,
+            transitions=table,
+            initial_state=None,  # initial opinions are an input
+            metadata={"states": 3, "variant": variant},
+        )
+
+    @property
+    def variant(self) -> str:
+        return self._variant
+
+    def opinion_configuration(self, num_x: int, num_y: int, num_blank: int = 0) -> Configuration:
+        """Build an initial configuration from opinion counts."""
+        if min(num_x, num_y, num_blank) < 0:
+            raise ConfigurationError("opinion counts must be non-negative")
+        if num_x + num_y + num_blank < 1:
+            raise ConfigurationError("population must be non-empty")
+        return Configuration.from_mapping(
+            self, {"x": num_x, "y": num_y, "b": num_blank}
+        )
+
+    def winner(self, counts) -> str | None:
+        """The consensus opinion of a silent configuration (or None)."""
+        counts = np.asarray(counts)
+        x = counts[self.space.index("x")]
+        y = counts[self.space.index("y")]
+        b = counts[self.space.index("b")]
+        n = x + y + b
+        if x == n:
+            return "x"
+        if y == n:
+            return "y"
+        if b == n:
+            return "b"
+        return None
+
+
+def approximate_majority(variant: str = "symmetric") -> ApproximateMajorityProtocol:
+    """Build the three-state approximate-majority protocol."""
+    return ApproximateMajorityProtocol(variant)

@@ -1,0 +1,68 @@
+"""A small name-based registry of the protocols in this library.
+
+The experiment CLI and examples build protocols from string names, so
+the registry keeps the mapping in one place::
+
+    >>> from repro.protocols.registry import build_protocol
+    >>> build_protocol("uniform-k-partition", k=4).num_states
+    10
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..core.errors import ProtocolError
+from ..core.protocol import Protocol
+from .approx_partition import approximate_k_partition
+from .bipartition import uniform_bipartition
+from .kpartition import uniform_k_partition
+from .leader_election import leader_election
+from .majority import approximate_majority
+from .repeated_bipartition import repeated_bipartition
+from .rgeneralized import r_generalized_partition
+
+__all__ = ["PROTOCOL_BUILDERS", "build_protocol", "available_protocols"]
+
+#: Maps protocol name to a builder callable.  Builders take the
+#: protocol-specific parameters as keyword arguments.
+PROTOCOL_BUILDERS: dict[str, Callable[..., Protocol]] = {
+    "uniform-k-partition": uniform_k_partition,
+    "uniform-bipartition": uniform_bipartition,
+    "repeated-bipartition": repeated_bipartition,
+    "approx-k-partition": approximate_k_partition,
+    "r-generalized-partition": r_generalized_partition,
+    "leader-election": leader_election,
+    "approximate-majority": approximate_majority,
+}
+
+
+def available_protocols() -> list[str]:
+    """Names accepted by :func:`build_protocol`, sorted."""
+    return sorted(PROTOCOL_BUILDERS)
+
+
+def build_protocol(name: str, /, **params: object) -> Protocol:
+    """Instantiate a protocol by registry name.
+
+    Parameters are forwarded to the protocol constructor, e.g.
+    ``build_protocol("uniform-k-partition", k=5)`` or
+    ``build_protocol("r-generalized-partition", ratio=(1, 2, 3))``.
+    """
+    try:
+        builder = PROTOCOL_BUILDERS[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        ) from None
+    try:
+        return builder(**params)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ProtocolError(f"bad parameters for protocol {name!r}: {exc}") from exc
+
+
+def register_protocol(name: str, builder: Callable[..., Protocol]) -> None:
+    """Add a protocol builder (for downstream extensions)."""
+    if name in PROTOCOL_BUILDERS:
+        raise ProtocolError(f"protocol name {name!r} is already registered")
+    PROTOCOL_BUILDERS[name] = builder

@@ -1,0 +1,206 @@
+"""Repeated bipartition: the prior-work construction for ``k = 2^h``.
+
+The paper's introduction observes that running the uniform bipartition
+protocol [25] ``h`` times yields a uniform k-partition protocol for
+``k = 2^h`` — and that this strategy does not extend to other ``k``.
+This module implements that hierarchical construction so the claim can
+be exercised and compared against Algorithm 1.
+
+Each agent carries a stack of bipartition sub-states, one per level.
+Commits (the symmetry-breaking ``(initial, initial') -> (g1, g2)``
+step) only happen between two free agents of the *same* node — agents
+whose decided paths agree; decided levels are final (bipartition ``g``
+states never change), so the composition is safe even though agents
+cannot detect when a level has stabilized.
+
+Flavour flips, by contrast, are deliberately *global*: a free agent's
+``initial <-> initial'`` toggle fires on contact with ANY agent that is
+not a free agent of the same node.  Restricting flips to the agent's
+own subtree — the obvious composition — is wrong: a node whose final
+share is exactly two agents would have no third party to desynchronize
+the pair, and two same-flavour agents flip in lockstep forever (the
+sub-population violates the bipartition protocol's own ``n >= 3``
+assumption; ``h = 2, n = 4`` would never stabilize).  Global flips are
+group-preserving, cost no extra states, and restore convergence for
+every ``n >= 3``.
+
+Reachable composite states: a decided prefix of length ``j - 1`` (a
+binary path) followed by ``initial``/``initial'``, or a fully decided
+path.  That is ``sum_j 2^(j-1) * 2 + 2^h = 3 * 2^h - 2`` states — equal
+to Algorithm 1's ``3k - 2``, which makes for a fair space comparison.
+
+Uniformity caveat (part of why the paper needed a new protocol): each
+level may strand one undecided leftover agent per subtree, so for
+general ``n`` the group sizes can spread by up to ``h`` (not 1).  When
+``2^h`` divides ``n`` the partition is exactly uniform.  The test suite
+checks both facts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.errors import ProtocolError
+from ..core.protocol import Protocol
+from ..core.state import StateSpace
+from ..core.transitions import TransitionTable
+from .kpartition import INITIAL, INITIAL_PRIME
+
+__all__ = ["RepeatedBipartitionProtocol", "repeated_bipartition"]
+
+_FLIP = {INITIAL: INITIAL_PRIME, INITIAL_PRIME: INITIAL}
+
+
+def _state_name(path: tuple[int, ...], flavour: str | None) -> str:
+    """Name a composite state: decided path bits + optional free flavour."""
+    prefix = "".join(str(b) for b in path)
+    if flavour is None:
+        return f"leaf:{prefix}"
+    return f"node:{prefix}:{flavour}"
+
+
+def _group_of_path(path: tuple[int, ...], h: int) -> int:
+    """Group index (1-based): path bits, undecided levels read as 0."""
+    g = 0
+    for b in path:
+        g = (g << 1) | (b - 1)
+    g <<= h - len(path)
+    return g + 1
+
+
+class RepeatedBipartitionProtocol(Protocol):
+    """Hierarchical h-fold bipartition for ``k = 2^h`` groups."""
+
+    def __init__(self, h: int) -> None:
+        if not isinstance(h, int) or h < 1:
+            raise ProtocolError(f"repeated bipartition requires integer h >= 1, got {h!r}")
+        self._h = h
+        k = 2**h
+
+        # Enumerate reachable composite states level by level.
+        names: list[str] = []
+        groups: dict[str, int] = {}
+        paths_by_len: list[list[tuple[int, ...]]] = [[()]]
+        for j in range(1, h + 1):
+            paths_by_len.append(
+                [p + (b,) for p in paths_by_len[j - 1] for b in (1, 2)]
+            )
+        for j in range(0, h):  # undecided at level j+1, decided prefix length j
+            for path in paths_by_len[j]:
+                for flavour in (INITIAL, INITIAL_PRIME):
+                    name = _state_name(path, flavour)
+                    names.append(name)
+                    groups[name] = _group_of_path(path, h)
+        for path in paths_by_len[h]:
+            name = _state_name(path, None)
+            names.append(name)
+            groups[name] = _group_of_path(path, h)
+
+        space = StateSpace(names, groups=groups, num_groups=k)
+        table = TransitionTable(space)
+
+        # Bipartition dynamics at the first undecided level of each node.
+        # Free-state bookkeeping for the flip rules below.
+        node_free: list[tuple[str, str]] = []  # (initial, initial') per node
+        for j in range(0, h):
+            for path in paths_by_len[j]:
+                ini = _state_name(path, INITIAL)
+                ini_p = _state_name(path, INITIAL_PRIME)
+                node_free.append((ini, ini_p))
+                child = [path + (1,), path + (2,)]
+                if j + 1 < h:
+                    committed = [_state_name(c, INITIAL) for c in child]
+                else:
+                    committed = [_state_name(c, None) for c in child]
+                table.add(ini, ini, ini_p, ini_p)
+                table.add(ini_p, ini_p, ini, ini)
+                table.add(ini, ini_p, committed[0], committed[1])
+
+        # Flip rules: a free agent's flavour toggles on contact with ANY
+        # agent that is not a free agent of the same node (those pairs
+        # are the bipartition rules above).  Restricting flips to the
+        # agent's own subtree — the obvious composition — is WRONG: a
+        # node whose final share is exactly two agents would have no
+        # third party to desynchronize the pair, and two same-flavour
+        # agents flip in lockstep forever (the sub-population violates
+        # the bipartition protocol's own n >= 3 assumption).  Letting
+        # any outside agent flip is group-preserving and safe, and
+        # restores convergence for every n >= 3.
+        flip = {}
+        for ini, ini_p in node_free:
+            flip[ini] = ini_p
+            flip[ini_p] = ini
+        free_node_of = {}
+        for idx, (ini, ini_p) in enumerate(node_free):
+            free_node_of[ini] = idx
+            free_node_of[ini_p] = idx
+        for a_i, a in enumerate(names):
+            for b in names[a_i:]:
+                a_free = a in free_node_of
+                b_free = b in free_node_of
+                if a_free and b_free:
+                    if free_node_of[a] == free_node_of[b]:
+                        continue  # same node (incl. a == b): rules above
+                    table.add(a, b, flip[a], flip[b])
+                elif a_free and not b_free:
+                    table.add(b, a, b, flip[a])
+                elif b_free and not a_free:
+                    table.add(a, b, a, flip[b])
+
+        super().__init__(
+            name=f"repeated-bipartition-h{h}",
+            space=space,
+            transitions=table,
+            initial_state=_state_name((), INITIAL),
+            stability_predicate_factory=self._make_stability_predicate,
+            metadata={"h": h, "k": k, "states": 3 * k - 2},
+            require_symmetric=True,
+        )
+
+        # Node -> (initial index, initial' index), for the stability test.
+        self._node_free_indices: list[tuple[int, int]] = []
+        for j in range(0, h):
+            for path in paths_by_len[j]:
+                self._node_free_indices.append(
+                    (
+                        space.index(_state_name(path, INITIAL)),
+                        space.index(_state_name(path, INITIAL_PRIME)),
+                    )
+                )
+
+    @property
+    def h(self) -> int:
+        """Number of bipartition levels."""
+        return self._h
+
+    @property
+    def k(self) -> int:
+        """Number of groups, ``2^h``."""
+        return 2**self._h
+
+    def _make_stability_predicate(self, n: int):
+        node_free = self._node_free_indices
+
+        def stable(counts: Sequence[int]) -> bool:
+            # Stable iff every node retains at most one undecided agent:
+            # commits need two free agents at the same node, and free
+            # agents only arrive via a parent commit, so <=1 everywhere
+            # means group membership is frozen (flips preserve groups).
+            for i0, i1 in node_free:
+                if counts[i0] + counts[i1] > 1:
+                    return False
+            return True
+
+        return stable
+
+    def group_size_spread(self, counts: Sequence[int] | np.ndarray) -> int:
+        """Max minus min group size — 0 or 1 means uniform."""
+        sizes = self.group_sizes(np.asarray(counts, dtype=np.int64))
+        return int(sizes.max() - sizes.min())
+
+
+def repeated_bipartition(h: int) -> RepeatedBipartitionProtocol:
+    """Build the h-level repeated bipartition protocol (``k = 2^h``)."""
+    return RepeatedBipartitionProtocol(h)

@@ -1,0 +1,21 @@
+"""Interaction schedulers: the paper's uniform random scheduler plus
+graph-restricted, biased, and diagnostic variants."""
+
+from .adversarial import RoundRobinScheduler, StickyScheduler, WeightedScheduler
+from .base import PairBlock, Scheduler
+from .fairness import PairCoverage, chi_square_uniformity, measure_pair_coverage
+from .graph import GraphScheduler
+from .uniform import UniformScheduler
+
+__all__ = [
+    "Scheduler",
+    "PairBlock",
+    "UniformScheduler",
+    "GraphScheduler",
+    "WeightedScheduler",
+    "StickyScheduler",
+    "RoundRobinScheduler",
+    "PairCoverage",
+    "measure_pair_coverage",
+    "chi_square_uniformity",
+]

@@ -1,0 +1,107 @@
+"""Fairness diagnostics on finite execution prefixes.
+
+Global fairness is a property of infinite executions, so it cannot be
+*verified* on a finite trace; it can, however, be *falsified in spirit*
+or characterized empirically.  These helpers quantify how evenly a
+scheduler exercises the pair space — useful when comparing the uniform
+scheduler against the biased ones and when sanity-checking a custom
+scheduler before trusting simulation results obtained with it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+import numpy as np
+
+from .base import Scheduler
+
+__all__ = ["PairCoverage", "measure_pair_coverage", "chi_square_uniformity"]
+
+
+@dataclass(frozen=True, slots=True)
+class PairCoverage:
+    """Summary of how a finite schedule covered the unordered pairs."""
+
+    n: int
+    samples: int
+    #: Number of distinct unordered pairs observed.
+    distinct_pairs: int
+    #: Total number of unordered pairs, n(n-1)/2.
+    total_pairs: int
+    #: Smallest and largest per-pair observation counts.
+    min_count: int
+    max_count: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of unordered pairs seen at least once."""
+        return self.distinct_pairs / self.total_pairs
+
+    @property
+    def imbalance(self) -> float:
+        """``max_count / mean_count`` — 1.0 is perfectly even."""
+        mean = self.samples / self.total_pairs
+        return self.max_count / mean if mean > 0 else float("inf")
+
+
+def measure_pair_coverage(
+    scheduler: Scheduler,
+    samples: int,
+    *,
+    block: int = 4096,
+) -> PairCoverage:
+    """Drive ``scheduler`` for ``samples`` steps and summarize coverage."""
+    counter: Counter[tuple[int, int]] = Counter()
+    remaining = samples
+    while remaining > 0:
+        take = min(block, remaining)
+        a, b = scheduler.next_block(take)
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        counter.update(zip(lo.tolist(), hi.tolist()))
+        remaining -= take
+    n = scheduler.n
+    total = n * (n - 1) // 2
+    counts = list(counter.values())
+    return PairCoverage(
+        n=n,
+        samples=samples,
+        distinct_pairs=len(counter),
+        total_pairs=total,
+        min_count=min(counts) if len(counter) == total else 0,
+        max_count=max(counts) if counts else 0,
+    )
+
+
+def chi_square_uniformity(
+    scheduler: Scheduler,
+    samples: int,
+) -> float:
+    """P-value of a chi-square test that pairs are uniform.
+
+    A uniform scheduler should produce large p-values; a heavily biased
+    one drives the p-value to ~0.  Requires ``samples`` to be large
+    relative to the number of pairs (aim for >= 10 per pair).
+    """
+    from scipy import stats
+
+    counter: Counter[tuple[int, int]] = Counter()
+    a, b = scheduler.next_block(samples)
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    counter.update(zip(lo.tolist(), hi.tolist()))
+    n = scheduler.n
+    total = n * (n - 1) // 2
+    observed = np.zeros(total, dtype=np.float64)
+    idx = 0
+    index_of = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            index_of[(i, j)] = idx
+            idx += 1
+    for pair, c in counter.items():
+        observed[index_of[pair]] = c
+    expected = np.full(total, samples / total)
+    stat = float(((observed - expected) ** 2 / expected).sum())
+    return float(stats.chi2.sf(stat, df=total - 1))

@@ -1,0 +1,93 @@
+"""Interaction-graph-restricted scheduling.
+
+The population protocol model is usually stated over a complete
+interaction graph (any two agents may meet); restricted communication
+graphs are a standard variation [4].  :class:`GraphScheduler` picks a
+uniformly random *edge* of an arbitrary undirected graph each step,
+with a random orientation.
+
+On the complete graph this coincides with the uniform scheduler.  On a
+connected non-complete graph the random-edge schedule is still globally
+fair with probability 1 *for the reachable pairs*, but the paper's
+protocol is only specified for the complete graph — the experiment
+``examples/sensor_duty_cycling.py`` and the graph-scheduler tests use
+this class to probe robustness (the protocol still stabilizes on dense
+connected graphs, while sparse graphs slow it down).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import SchedulerError
+from ..core.rng import SeedLike
+from .base import PairBlock, Scheduler
+
+__all__ = ["GraphScheduler"]
+
+
+class GraphScheduler(Scheduler):
+    """Uniform random edges of an undirected interaction graph.
+
+    Parameters
+    ----------
+    graph:
+        An undirected networkx graph whose nodes are the integers
+        ``0 .. n-1``.  Must have at least one edge and no self-loops.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, graph: nx.Graph, seed: SeedLike = None) -> None:
+        n = graph.number_of_nodes()
+        nodes = set(graph.nodes)
+        if nodes != set(range(n)):
+            raise SchedulerError("graph nodes must be exactly the integers 0..n-1")
+        if graph.number_of_edges() == 0:
+            raise SchedulerError("interaction graph has no edges")
+        if any(u == v for u, v in graph.edges):
+            raise SchedulerError("interaction graph must not contain self-loops")
+        super().__init__(n, seed)
+        self._graph = graph
+        self._edges = np.asarray(list(graph.edges), dtype=np.int64)
+
+    @classmethod
+    def complete(cls, n: int, seed: SeedLike = None) -> "GraphScheduler":
+        """Scheduler over the complete graph K_n (equals uniform)."""
+        return cls(nx.complete_graph(n), seed)
+
+    @classmethod
+    def cycle(cls, n: int, seed: SeedLike = None) -> "GraphScheduler":
+        """Scheduler over the n-cycle — a sparse worst-ish case."""
+        return cls(nx.cycle_graph(n), seed)
+
+    @classmethod
+    def random_regular(cls, degree: int, n: int, seed: SeedLike = None) -> "GraphScheduler":
+        """Scheduler over a random d-regular interaction graph."""
+        graph = nx.random_regular_graph(degree, n, seed=0)
+        return cls(graph, seed)
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def is_connected(self) -> bool:
+        return nx.is_connected(self._graph)
+
+    def next_block(self, size: int, states: np.ndarray | None = None) -> PairBlock:
+        idx = self._rng.integers(0, len(self._edges), size=size)
+        pairs = self._edges[idx]
+        a = pairs[:, 0].copy()
+        b = pairs[:, 1].copy()
+        # Random orientation so asymmetric rules see both roles.
+        swap = self._rng.random(size) < 0.5
+        a[swap], b[swap] = b[swap], a[swap].copy()
+        return a, b
+
+    @property
+    def is_uniform(self) -> bool:
+        # Uniform over all pairs only when the graph is complete.
+        n = self._n
+        return len(self._edges) == n * (n - 1) // 2

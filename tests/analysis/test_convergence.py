@@ -1,0 +1,100 @@
+"""Tests for convergence statistics and scaling fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    confidence_interval,
+    fit_exponential,
+    fit_power_law,
+    growth_classification,
+)
+
+
+class TestPowerLaw:
+    def test_exact_power_law_recovered(self):
+        x = np.array([10, 20, 40, 80, 160])
+        y = 3.0 * x**1.7
+        fit = fit_power_law(x, y)
+        assert fit.model == "power"
+        assert fit.exponent == pytest.approx(1.7, abs=1e-9)
+        assert fit.amplitude == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 8, 32])
+        assert fit.predict(8) == pytest.approx(128, rel=1e-6)
+
+    def test_noise_tolerated(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(10, 100, 20)
+        y = 5 * x**1.3 * np.exp(rng.normal(0, 0.05, 20))
+        fit = fit_power_law(x, y)
+        assert 1.2 < fit.exponent < 1.4
+        assert fit.r_squared > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [-1, 2])
+
+
+class TestExponential:
+    def test_exact_exponential_recovered(self):
+        x = np.array([3, 4, 5, 6, 8])
+        y = 7.0 * 2.5**x
+        fit = fit_exponential(x, y)
+        assert fit.model == "exponential"
+        assert fit.exponent == pytest.approx(2.5, rel=1e-9)
+        assert fit.amplitude == pytest.approx(7.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_exponential([0, 1, 2], [1, 2, 4])
+        assert fit.predict(5) == pytest.approx(32, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1], [1])
+        with pytest.raises(ValueError):
+            fit_exponential([1, 2], [0, 1])
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(100, 10, 400)
+        lo, hi = confidence_interval(samples)
+        assert lo < samples.mean() < hi
+        assert lo < 100 < hi  # with overwhelming probability at n=400
+
+    def test_wider_at_higher_confidence(self):
+        samples = np.random.default_rng(2).normal(0, 1, 50)
+        lo95, hi95 = confidence_interval(samples, 0.95)
+        lo99, hi99 = confidence_interval(samples, 0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+    def test_degenerate_sizes(self):
+        lo, hi = confidence_interval([5.0])
+        assert lo == hi == 5.0
+        lo, hi = confidence_interval([])
+        assert np.isnan(lo) and np.isnan(hi)
+
+
+class TestGrowthClassification:
+    def test_power_data_classified_power(self):
+        x = np.array([120, 240, 480, 960])
+        y = 2.0 * x**1.4
+        assert growth_classification(x, y).startswith("power")
+
+    def test_exponential_data_classified_exponential(self):
+        x = np.array([3, 4, 5, 6, 8, 10])
+        y = 100.0 * 2.2**x
+        assert growth_classification(x, y).startswith("exponential")

@@ -1,0 +1,138 @@
+"""Tests for the exact expected-interaction computation.
+
+The crown-jewel validation: the closed-form first-step-analysis values
+must match the simulation engines' trial means within statistical
+error, tying the three engines and the Markov-chain semantics together
+quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import expected_interactions_exact
+from repro.core import Configuration, SimulationError
+from repro.engine import BatchEngine, CountBasedEngine, run_trials
+from repro.protocols import (
+    leader_election,
+    uniform_bipartition,
+    uniform_k_partition,
+)
+
+
+class TestExactValues:
+    def test_n3_k3_by_hand(self):
+        """n = 3, k = 3: the expectation is hand-computable.
+
+        From C0 = {initial x3}: W = 3 (any pair flips), T = 3, so one
+        interaction moves to {initial, initial', initial'} (E1) or, by
+        symmetry of rule 1/2, configurations alternate until rule 5.
+        The solved value must match the simulator and be exactly 6.
+        """
+        p = uniform_k_partition(3)
+        ex = expected_interactions_exact(p, 3)
+        assert ex.from_initial == pytest.approx(6.0, abs=1e-9)
+
+    def test_leader_election_n2(self):
+        # Two leaders: every interaction is (L, L) -> done in 1.
+        ex = expected_interactions_exact(leader_election(), 2)
+        assert ex.from_initial == pytest.approx(1.0)
+
+    def test_leader_election_n3(self):
+        # n = 3: first interaction elects (all pairs are L-L).  Then
+        # one more L-L meeting is needed... no: after one interaction
+        # exactly one pair of leaders remains out of 3 pairs -> mean
+        # 1 + 3 = 4 interactions.
+        ex = expected_interactions_exact(leader_election(), 3)
+        assert ex.from_initial == pytest.approx(4.0)
+
+    def test_stable_configuration_has_zero_expectation(self):
+        p = uniform_k_partition(3)
+        ex = expected_interactions_exact(p, 6)
+        stable = Configuration.from_states(p, ["g1", "g2", "g3"] * 2)
+        assert ex.expectation_of(stable) == pytest.approx(0.0)
+
+    def test_unreachable_configuration_rejected(self):
+        p = uniform_k_partition(3)
+        ex = expected_interactions_exact(p, 6)
+        # A Lemma-1-violating configuration is unreachable.
+        foreign = Configuration.from_states(
+            p, ["g1", "g1", "g1", "initial", "initial", "initial"]
+        )
+        with pytest.raises(SimulationError, match="not reachable"):
+            ex.expectation_of(foreign)
+
+    def test_expectations_positive_and_monotone_in_n(self):
+        p = uniform_k_partition(3)
+        values = [expected_interactions_exact(p, n).from_initial for n in (3, 6, 9)]
+        assert all(v > 0 for v in values)
+        assert values[0] < values[1] < values[2]
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("k,n", [(3, 5), (3, 6), (2, 6), (4, 5)])
+    def test_count_engine_mean_matches_exact(self, k, n):
+        p = uniform_k_partition(k)
+        ex = expected_interactions_exact(p, n)
+        ts = run_trials(p, n, trials=3000, seed=1, engine=CountBasedEngine())
+        # 5 SEM tolerance: deterministic seeds, no flakes.
+        assert abs(ts.mean_interactions - ex.from_initial) < 5 * ts.sem_interactions
+
+    def test_batch_engine_mean_matches_exact(self):
+        p = uniform_k_partition(3)
+        ex = expected_interactions_exact(p, 5)
+        ts = run_trials(p, 5, trials=3000, seed=2, engine=BatchEngine())
+        assert abs(ts.mean_interactions - ex.from_initial) < 5 * ts.sem_interactions
+
+    def test_bipartition_mean_matches_exact(self):
+        p = uniform_bipartition()
+        ex = expected_interactions_exact(p, 6)
+        ts = run_trials(p, 6, trials=3000, seed=3)
+        assert abs(ts.mean_interactions - ex.from_initial) < 5 * ts.sem_interactions
+
+
+class TestStructure:
+    def test_reachable_count_reported(self):
+        p = uniform_k_partition(3)
+        ex = expected_interactions_exact(p, 6)
+        assert ex.reachable == len(ex.per_configuration)
+        assert ex.reachable > 10
+
+    def test_exploration_cap(self):
+        p = uniform_k_partition(3)
+        with pytest.raises(MemoryError):
+            expected_interactions_exact(p, 20, max_configs=10)
+
+
+class TestExactVariance:
+    def test_deterministic_case_has_zero_variance(self):
+        # n = 2 leader election: exactly one interaction, always.
+        ex = expected_interactions_exact(leader_election(), 2, with_variance=True)
+        assert ex.variance_from_initial == pytest.approx(0.0, abs=1e-9)
+        assert ex.std_from_initial == pytest.approx(0.0, abs=1e-9)
+
+    def test_variance_none_unless_requested(self):
+        ex = expected_interactions_exact(leader_election(), 3)
+        assert ex.variance_from_initial is None
+        assert ex.std_from_initial is None
+
+    def test_leader_election_n3_variance_by_hand(self):
+        # T = G1 + G2 with G1 ~ Geom(1) = 1 (all 3 ordered... all pairs
+        # are L-L) and G2 ~ Geom(1/3) (one live pair of three).
+        # Var = Var(G2) = (1 - 1/3) / (1/3)^2 = 6.
+        ex = expected_interactions_exact(leader_election(), 3, with_variance=True)
+        assert ex.from_initial == pytest.approx(4.0)
+        assert ex.variance_from_initial == pytest.approx(6.0)
+
+    def test_matches_simulated_std(self):
+        p = uniform_k_partition(3)
+        ex = expected_interactions_exact(p, 6, with_variance=True)
+        ts = run_trials(p, 6, trials=4000, seed=3)
+        # std of the std estimator ~ std / sqrt(2 trials): ~2% here.
+        assert ts.std_interactions == pytest.approx(ex.std_from_initial, rel=0.1)
+
+    def test_variance_positive_for_stochastic_instances(self):
+        p = uniform_k_partition(3)
+        ex = expected_interactions_exact(p, 5, with_variance=True)
+        assert ex.variance_from_initial > 0

@@ -1,0 +1,87 @@
+"""Tests for the Figure 4 grouping decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import decompose_groupings
+from repro.engine import run_trials
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def trialset():
+    p = uniform_k_partition(3)
+    return run_trials(p, 12, trials=20, seed=0, track_state="g3")
+
+
+class TestDecompose:
+    def test_shapes(self, trialset):
+        d = decompose_groupings(trialset, 3)
+        assert d.n == 12
+        assert d.k == 3
+        assert d.trials == 20
+        assert d.num_groupings == 4  # floor(12/3)
+        assert d.mean_increments.shape == (4,)
+
+    def test_increments_sum_to_total(self, trialset):
+        d = decompose_groupings(trialset, 3)
+        assert d.mean_increments.sum() + d.mean_tail == pytest.approx(d.mean_total)
+
+    def test_tail_zero_when_k_divides_n(self, trialset):
+        # n mod k == 0: stability coincides with the last grouping.
+        d = decompose_groupings(trialset, 3)
+        assert d.mean_tail == pytest.approx(0.0)
+
+    def test_tail_positive_when_remainder(self):
+        p = uniform_k_partition(3)
+        ts = run_trials(p, 14, trials=20, seed=1, track_state="g3")
+        d = decompose_groupings(ts, 3)
+        assert d.mean_tail > 0
+
+    def test_increasing_increments_paper_claim(self):
+        """NI'_2 < NI'_3 < ... (averaged over enough trials).
+
+        NI'_1 additionally contains the symmetry-breaking warm-up, so
+        the monotonicity claim is checked from the second grouping on
+        (see GroupingDecomposition.increments_are_increasing).
+        """
+        p = uniform_k_partition(4)
+        ts = run_trials(p, 24, trials=60, seed=2, track_state="g4")
+        d = decompose_groupings(ts, 4)
+        assert d.increments_are_increasing
+        # The later groupings dwarf the early ones by a wide margin.
+        assert d.mean_increments[-1] > 3 * d.mean_increments[1]
+
+    def test_last_share(self, trialset):
+        d = decompose_groupings(trialset, 3)
+        assert 0 < d.last_grouping_share <= 1
+
+    def test_requires_tracked_trials(self):
+        p = uniform_k_partition(3)
+        ts = run_trials(p, 12, trials=3, seed=3)  # no track_state
+        with pytest.raises(ValueError, match="track_state"):
+            decompose_groupings(ts, 3)
+
+    def test_stacked_rows_labels(self, trialset):
+        d = decompose_groupings(trialset, 3)
+        rows = d.stacked_rows()
+        assert rows[0][0] == "1st-grouping"
+        assert rows[1][0] == "2nd-grouping"
+        assert rows[2][0] == "3rd-grouping"
+        assert rows[3][0] == "4th-grouping"
+
+    def test_stacked_rows_include_remainder(self):
+        p = uniform_k_partition(3)
+        ts = run_trials(p, 14, trials=10, seed=4, track_state="g3")
+        d = decompose_groupings(ts, 3)
+        assert d.stacked_rows()[-1][0] == "remainder"
+
+    def test_n_below_k(self):
+        # floor(n/k) = 0 groupings: everything is tail.
+        p = uniform_k_partition(6)
+        ts = run_trials(p, 4, trials=5, seed=5, track_state="g6")
+        d = decompose_groupings(ts, 6)
+        assert d.num_groupings == 0
+        assert d.mean_tail == pytest.approx(d.mean_total)

@@ -1,0 +1,84 @@
+"""Tests for the Lemma-1 invariant monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import InvariantMonitor, InvariantViolation, lemma1_holds_along
+from repro.engine import AgentBasedEngine, CountBasedEngine
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(4)
+
+
+class TestMonitor:
+    def test_lemma1_holds_through_full_execution(self, proto):
+        """Dynamic verification of Lemma 1 (the paper proves it by
+        induction; we check it on every effective step of real runs)."""
+        monitor = InvariantMonitor.lemma1(proto)
+        r = AgentBasedEngine().run(proto, 20, seed=0, on_effective=monitor)
+        assert r.converged
+        assert monitor.checks_performed == r.effective_interactions
+
+    def test_lemma1_holds_on_count_engine_too(self, proto):
+        monitor = InvariantMonitor.lemma1(proto)
+        r = CountBasedEngine().run(proto, 20, seed=1, on_effective=monitor)
+        assert r.converged
+        assert monitor.checks_performed > 0
+
+    def test_violation_raises(self):
+        monitor = InvariantMonitor(lambda counts: False, "always-false")
+        with pytest.raises(InvariantViolation, match="always-false"):
+            monitor(17, [1, 2, 3])
+
+    def test_violation_carries_context(self):
+        monitor = InvariantMonitor(lambda counts: False, "ctx")
+        try:
+            monitor(42, [5])
+        except InvariantViolation as exc:
+            assert exc.interactions == 42
+            assert exc.counts == [5]
+        else:
+            pytest.fail("expected InvariantViolation")
+
+    def test_every_parameter(self):
+        calls = []
+        monitor = InvariantMonitor(
+            lambda counts: (calls.append(1) or True), "sampled", every=3
+        )
+        for i in range(9):
+            monitor(i, [0])
+        assert monitor.checks_performed == 3
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            InvariantMonitor(lambda c: True, every=0)
+
+    def test_monitor_detects_seeded_corruption(self, proto):
+        """A deliberately corrupted execution must be flagged."""
+        monitor = InvariantMonitor.lemma1(proto)
+        # Configuration with a gratuitous g1: violates Lemma 1.
+        bad = [0] * proto.num_states
+        bad[proto.space.index("g1")] = 2
+        bad[proto.space.index("initial")] = 3
+        with pytest.raises(InvariantViolation):
+            monitor(1, bad)
+
+
+class TestHoldsAlong:
+    def test_on_recorded_trace(self, proto):
+        from repro.core import Population, record_script
+
+        pop = Population(proto, n=6)
+        trace = record_script(pop, [(0, 1), (2, 3), (0, 2), (0, 1)])
+        configs = [c.counts for c in trace.configurations]
+        assert lemma1_holds_along(proto, configs)
+
+    def test_detects_bad_sequence(self, proto):
+        bad = np.zeros(proto.num_states, dtype=np.int64)
+        bad[proto.space.index("g2")] = 1
+        assert not lemma1_holds_along(proto, [proto.initial_counts(4), bad])

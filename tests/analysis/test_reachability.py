@@ -1,0 +1,163 @@
+"""Model-checking tests: machine-checked Theorem 1 on small instances.
+
+These are the strongest correctness tests in the suite: they verify,
+by exhaustive exploration of the reachable configuration graph, that
+from *every* reachable configuration the stable uniform partition
+remains reachable (so global fairness forces stabilization), and that
+the stable set is closed with frozen groups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import explore, verify_kpartition, verify_stabilization
+from repro.core import Configuration, SimulationError
+from repro.protocols import leader_election, uniform_bipartition, uniform_k_partition
+
+
+class TestVerifyKPartition:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8, 9, 10])
+    def test_theorem1_k3(self, n):
+        report = verify_kpartition(uniform_k_partition(3), n)
+        assert report.correct, report
+        assert report.always_recoverable
+        assert report.stable_set_valid
+        assert report.counterexamples == []
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_theorem1_k4(self, n):
+        report = verify_kpartition(uniform_k_partition(4), n)
+        assert report.correct, report
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_theorem1_k5(self, n):
+        report = verify_kpartition(uniform_k_partition(5), n)
+        assert report.correct, report
+
+    @pytest.mark.parametrize("n", [3, 4, 6, 8, 9])
+    def test_theorem1_k2(self, n):
+        report = verify_kpartition(uniform_k_partition(2), n)
+        assert report.correct, report
+
+    def test_unique_stable_configuration_when_r_not_1(self):
+        # Lemma 6's signature is a single count vector for r != 1.
+        report = verify_kpartition(uniform_k_partition(3), 6)
+        assert report.stable == 1
+
+    def test_two_stable_configurations_when_r_is_1(self):
+        # r = 1: the leftover agent may be initial or initial'.
+        report = verify_kpartition(uniform_k_partition(3), 7)
+        assert report.stable == 2
+
+    def test_n_below_3_rejected(self):
+        with pytest.raises(SimulationError, match="n >= 3"):
+            verify_kpartition(uniform_k_partition(3), 2)
+
+    def test_exploration_cap(self):
+        with pytest.raises(MemoryError):
+            verify_kpartition(uniform_k_partition(3), 30, max_configs=100)
+
+
+class TestExplore:
+    def test_graph_counts(self):
+        p = uniform_k_partition(3)
+        graph = explore(Configuration.initial(p, 3))
+        # n = 3, k = 3 reachable set: hand-countable and small.
+        assert graph.number_of_nodes() >= 4
+        keys = set(graph.nodes)
+        stable = Configuration.from_states(p, ["g1", "g2", "g3"])
+        assert stable.key in keys
+
+    def test_all_nodes_reachable_satisfy_lemma1(self):
+        """Lemma 1 verified on the ENTIRE reachable set, not just
+        sampled executions."""
+        p = uniform_k_partition(4)
+        graph = explore(Configuration.initial(p, 7))
+        for _, data in graph.nodes(data=True):
+            assert p.satisfies_lemma1(data["config"].counts)
+
+    def test_population_preserved_on_all_nodes(self):
+        p = uniform_k_partition(3)
+        graph = explore(Configuration.initial(p, 6))
+        assert all(data["config"].n == 6 for _, data in graph.nodes(data=True))
+
+
+class TestVerifyStabilization:
+    def test_leader_election_verified(self):
+        p = leader_election()
+        pred = p.stability_predicate(5)
+        report = verify_stabilization(
+            Configuration.initial(p, 5),
+            is_stable=lambda c: pred(c.counts),
+            output_ok=lambda c: c.count_of("L") == 1,
+        )
+        assert report.correct
+
+    def test_bipartition_verified(self):
+        p = uniform_bipartition()
+        for n in (3, 4, 7, 8):
+            pred = p.stability_predicate(n)
+            report = verify_stabilization(
+                Configuration.initial(p, n),
+                is_stable=lambda c, pred=pred: pred(c.counts),
+                output_ok=lambda c: bool(
+                    abs(int(c.group_sizes()[0]) - int(c.group_sizes()[1])) <= 1
+                ),
+            )
+            assert report.correct, (n, report)
+
+    def test_wrong_output_condition_fails_validly(self):
+        # Declare "stable" too early: the stable set is not closed.
+        p = uniform_k_partition(3)
+        report = verify_stabilization(
+            Configuration.initial(p, 6),
+            is_stable=lambda c: c.count_of("g1") >= 1,  # not actually stable
+            output_ok=lambda c: True,
+        )
+        assert not report.stable_set_valid
+
+    def test_unreachable_stable_set_detected(self):
+        p = uniform_k_partition(3)
+        report = verify_stabilization(
+            Configuration.initial(p, 6),
+            is_stable=lambda c: False,  # nothing is stable
+            output_ok=lambda c: True,
+        )
+        assert report.stable == 0
+        assert not report.correct
+        assert not report.always_recoverable
+        assert len(report.counterexamples) > 0
+
+
+class TestNotSelfStabilizing:
+    """Designated initial states matter: Algorithm 1 is NOT
+    self-stabilizing (the paper never claims it is; this documents why
+    the assumption is load-bearing)."""
+
+    def test_corrupted_initial_configuration_deadlocks(self):
+        p = uniform_k_partition(3)
+        # Adversarial start: everyone already (wrongly) in group 1.
+        bad = Configuration.from_states(p, ["g1"] * 6)
+        # Silent: no rule involves two g1 agents.
+        assert bad.is_silent()
+        # And the partition is maximally non-uniform: not a valid
+        # stable outcome, yet unrecoverable.
+        sizes = bad.group_sizes()
+        assert sizes.tolist() == [6, 0, 0]
+        pred = p.stability_predicate(6)
+        assert not pred(bad.counts)
+
+    def test_model_checker_rejects_arbitrary_initialization(self):
+        p = uniform_k_partition(3)
+        bad = Configuration.from_states(p, ["g1"] * 4 + ["initial"] * 2)
+        pred = p.stability_predicate(6)
+        report = verify_stabilization(
+            bad,
+            is_stable=lambda c: pred(c.counts),
+            output_ok=lambda c: True,
+        )
+        # From this corrupted configuration the Lemma-6 signature is
+        # unreachable (Lemma 1 is violated and no rule can repair it).
+        assert not report.correct
+        assert report.stable == 0

@@ -1,0 +1,89 @@
+"""Tests for stability analysis (Lemmas 4-6 made executable)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    final_sizes_match_theory,
+    groups_frozen_under_transitions,
+    is_group_stable,
+    is_uniform_partition,
+    kpartition_stable_signature,
+)
+from repro.core import Configuration
+from repro.engine import CountBasedEngine
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+class TestUniformPartition:
+    def test_accepts_within_one(self):
+        assert is_uniform_partition([3, 3, 4])
+        assert is_uniform_partition([2, 2, 2])
+
+    def test_rejects_spread_two(self):
+        assert not is_uniform_partition([2, 3, 4])
+
+    def test_empty_rejected(self):
+        assert not is_uniform_partition([])
+
+
+class TestSignature:
+    def test_signature_matches_protocol_method(self, proto):
+        assert kpartition_stable_signature(proto, 10) == proto.expected_stable_counts(10)
+
+
+class TestGroupsFrozen:
+    def test_silent_configuration_frozen(self, proto):
+        c = Configuration.from_states(proto, ["g1", "g2", "g3"])
+        assert groups_frozen_under_transitions(c)
+
+    def test_flip_only_configuration_frozen(self, proto):
+        # r = 1 stable signature: the flip preserves f = 1.
+        c = Configuration.from_states(proto, ["g1", "g2", "g3", "initial"])
+        assert groups_frozen_under_transitions(c)
+
+    def test_progressing_configuration_not_frozen(self, proto):
+        # (initial, m2) -> (g2, g3) changes the m2 agent's group (2->3)
+        # and the free agent's group (1->2).
+        c = Configuration.from_states(proto, ["initial", "m2", "g1"])
+        assert not groups_frozen_under_transitions(c)
+
+
+class TestIsGroupStable:
+    def test_stable_signature_is_group_stable(self, proto):
+        c = Configuration.from_states(proto, ["g1", "g2", "g3", "initial"])
+        assert is_group_stable(c)
+
+    def test_initial_configuration_not_group_stable(self, proto):
+        c = Configuration.initial(proto, 4)
+        assert not is_group_stable(c)
+
+    def test_mid_execution_not_group_stable(self, proto):
+        c = Configuration.from_states(proto, ["g1", "m2", "initial", "initial"])
+        assert not is_group_stable(c)
+
+    def test_exploration_cap(self, proto):
+        # Use a config whose reachable set consists of frozen flip
+        # states, so exploration keeps going until the cap trips.
+        c = Configuration.from_states(proto, ["g1", "g2", "g3", "initial"])
+        with pytest.raises(MemoryError):
+            is_group_stable(c, max_configs=1)
+
+
+class TestFinalSizes:
+    @pytest.mark.parametrize("n", [9, 10, 11, 4])
+    def test_simulated_finals_match_lemma6(self, proto, n):
+        r = CountBasedEngine().run(proto, n, seed=n)
+        assert final_sizes_match_theory(proto, r.final_counts)
+
+    def test_rejects_wrong_sizes(self, proto):
+        counts = np.zeros(proto.num_states, dtype=np.int64)
+        counts[proto.space.index("g1")] = 6  # everything in one group
+        assert not final_sizes_match_theory(proto, counts)

@@ -1,0 +1,46 @@
+"""Tests for reachable-state analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import reachable_states, state_usage_table
+from repro.protocols import leader_election, uniform_k_partition
+
+
+class TestReachableStates:
+    def test_small_population_cannot_complete_a_chain(self):
+        # k = 4, n = 3: a full grouping needs 4 agents, so g3/g4 are
+        # unreachable; D-states need two concurrent chains (>= 5 agents).
+        usage = reachable_states(uniform_k_partition(4), 3)
+        assert usage.unused == {"d1", "d2", "g3", "g4"}
+
+    def test_deep_d_state_needs_two_long_chains(self):
+        # k = 4, n = 4: d1 is reachable via (m2, m2) but d2 needs an m3
+        # colliding, i.e. 3 + 2 agents.
+        usage = reachable_states(uniform_k_partition(4), 4)
+        assert usage.unused == {"d2"}
+
+    @pytest.mark.parametrize("n", [5, 6, 8])
+    def test_all_states_used_once_n_is_large_enough(self, n):
+        """All 3k - 2 states are eventually needed — the space bound is
+        not padded."""
+        usage = reachable_states(uniform_k_partition(4), n)
+        assert usage.unused == frozenset()
+        assert usage.usage_fraction == 1.0
+
+    def test_leader_election_uses_both_states(self):
+        usage = reachable_states(leader_election(), 3)
+        assert usage.used == {"L", "F"}
+
+    def test_table_across_sizes(self):
+        rows = state_usage_table(uniform_k_partition(3), [3, 4, 5])
+        assert [u.n for u in rows] == [3, 4, 5]
+        # k = 3, n = 3: one chain completes exactly; m2 used, d1 not
+        # (two chains need 4 agents).
+        assert "d1" in rows[0].unused
+        assert rows[2].unused == frozenset()
+
+    def test_usage_fraction(self):
+        usage = reachable_states(uniform_k_partition(4), 3)
+        assert usage.usage_fraction == pytest.approx(6 / 10)

@@ -1,0 +1,74 @@
+"""Tests for the closed-form state-complexity facts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    approx_state_count,
+    lower_bound_state_count,
+    proposed_state_count,
+    repeated_bipartition_state_count,
+    state_complexity_row,
+)
+from repro.protocols import (
+    approximate_k_partition,
+    repeated_bipartition,
+    uniform_k_partition,
+)
+
+
+class TestFormulas:
+    @pytest.mark.parametrize("k", range(2, 13))
+    def test_proposed_formula_matches_implementation(self, k):
+        assert proposed_state_count(k) == uniform_k_partition(k).num_states
+
+    @pytest.mark.parametrize("k", range(2, 10))
+    def test_approx_formula_matches_implementation(self, k):
+        assert approx_state_count(k) == approximate_k_partition(k).num_states
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_repeated_bipartition_formula_matches(self, h):
+        k = 2**h
+        assert repeated_bipartition_state_count(k) == repeated_bipartition(h).num_states
+
+    def test_repeated_bipartition_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            repeated_bipartition_state_count(6)
+
+    @pytest.mark.parametrize("k", [2, 3, 8, 100])
+    def test_lower_bound(self, k):
+        assert lower_bound_state_count(k) == k
+
+    @pytest.mark.parametrize("k", [2, 4, 10])
+    def test_proposed_beats_approx_for_k_above_3(self, k):
+        # 3k - 2 < k(k+3)/2 for k >= 4; equality pattern near small k.
+        if k >= 4:
+            assert proposed_state_count(k) < approx_state_count(k)
+
+    def test_asymptotic_optimality_ratio(self):
+        # 3k-2 / k -> 3: the protocol is within a constant of optimal.
+        row = state_complexity_row(1000)
+        assert 2.9 < row.proposed_over_lower < 3.0
+
+    def test_invalid_k_rejected(self):
+        for fn in (proposed_state_count, approx_state_count, lower_bound_state_count):
+            with pytest.raises(ValueError):
+                fn(1)
+
+
+class TestRow:
+    def test_power_of_two_row_has_repeated(self):
+        row = state_complexity_row(8)
+        assert row.repeated_bipartition == 22
+
+    def test_non_power_row_has_none(self):
+        row = state_complexity_row(6)
+        assert row.repeated_bipartition is None
+
+    def test_row_fields_consistent(self):
+        row = state_complexity_row(5)
+        assert row.k == 5
+        assert row.proposed == 13
+        assert row.approx_baseline == 20
+        assert row.lower_bound == 5

@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.compiler (ordered-pair class semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InteractionClass,
+    Protocol,
+    StateSpace,
+    TransitionTable,
+    compile_protocol,
+)
+
+
+def build(rules, names=("a", "b", "c"), mirror=True):
+    space = StateSpace(list(names))
+    table = TransitionTable(space)
+    for rule in rules:
+        table.add(*rule, mirror=mirror)
+    return Protocol("t", space, table, names[0])
+
+
+class TestInteractionClass:
+    def test_weight_distinct_states_mirrored(self):
+        # Multiplier 2: both orientations of the unordered pair.
+        cls = InteractionClass(0, 1, 2, 2, same=False, multiplier=2)
+        assert cls.weight(np.array([3, 4, 0])) == 24
+        assert cls.weight(np.array([0, 4, 0])) == 0
+
+    def test_weight_distinct_states_oriented(self):
+        cls = InteractionClass(0, 1, 2, 2, same=False, multiplier=1)
+        assert cls.weight(np.array([3, 4, 0])) == 12
+
+    def test_weight_same_state_is_ordered_pairs(self):
+        cls = InteractionClass(0, 0, 1, 1, same=True, multiplier=1)
+        assert cls.weight(np.array([5, 0])) == 20  # 5 * 4
+        assert cls.weight(np.array([1, 0])) == 0
+        assert cls.weight(np.array([0, 0])) == 0
+
+
+class TestCompile:
+    def test_identity_for_null_pairs(self):
+        p = build([("a", "a", "b", "b")])
+        compiled = p.compiled
+        S = 3
+        # (b, c) has no rule: maps to itself.
+        assert compiled.delta_flat[1 * S + 2] == 1 * S + 2
+        assert not compiled.active_flat[1 * S + 2]
+
+    def test_rule_encoding(self):
+        p = build([("a", "b", "c", "a")])
+        S = 3
+        compiled = p.compiled
+        assert compiled.delta_flat[0 * S + 1] == 2 * S + 0
+        assert compiled.delta_flat[1 * S + 0] == 0 * S + 2  # mirror
+        assert compiled.active_flat[0 * S + 1]
+
+    def test_explicit_identity_rule_not_active(self):
+        p = build([("a", "b", "a", "b")])
+        compiled = p.compiled
+        assert not compiled.active_flat.any()
+        assert compiled.classes == []
+
+    def test_mirror_consistent_pair_folds_into_one_class(self):
+        p = build([("a", "b", "c", "c")])
+        compiled = p.compiled
+        assert len(compiled.classes) == 1
+        cls = compiled.classes[0]
+        assert {cls.in1, cls.in2} == {0, 1}
+        assert not cls.same
+        assert cls.multiplier == 2
+
+    def test_oriented_rules_get_one_class_each(self):
+        # Both orientations defined with DIFFERENT outcomes: two
+        # classes, multiplier 1 each (initiator-wins semantics).
+        space = StateSpace(["a", "b", "c"])
+        table = TransitionTable(space)
+        table.add("a", "b", "a", "a", mirror=False)  # initiator a wins
+        table.add("b", "a", "b", "b", mirror=False)  # initiator b wins
+        p = Protocol("oriented", space, table, "a")
+        assert p.transitions.is_oriented
+        classes = p.compiled.classes
+        assert len(classes) == 2
+        assert all(c.multiplier == 1 for c in classes)
+        # Equal weights: orientation is a fair coin per meeting.
+        counts = np.array([3, 4, 0])
+        assert classes[0].weight(counts) == classes[1].weight(counts) == 12
+
+    def test_one_sided_rule_is_single_oriented_class(self):
+        # Only (a, b) defined: the (b, a) orientation is null.
+        p = build([("a", "b", "c", "c")], mirror=False)
+        classes = p.compiled.classes
+        assert len(classes) == 1
+        assert classes[0].multiplier == 1
+
+    def test_same_state_class(self):
+        p = build([("a", "a", "b", "c")])
+        cls = p.compiled.classes[0]
+        assert cls.same
+        assert cls.multiplier == 1
+        assert (cls.out1, cls.out2) == (1, 2)
+
+    def test_state_classes_index(self):
+        p = build([("a", "a", "b", "b"), ("a", "b", "c", "c")])
+        compiled = p.compiled
+        # state a participates in both classes, b in one, c in none.
+        assert len(compiled.state_classes[0]) == 2
+        assert len(compiled.state_classes[1]) == 1
+        assert compiled.state_classes[2] == []
+
+    def test_total_active_weight_and_silence(self):
+        p = build([("a", "a", "b", "b"), ("a", "b", "c", "c")])
+        compiled = p.compiled
+        counts = np.array([3, 2, 0])
+        # Ordered pairs: 3*2 = 6 of (a,a) + 2 * 3*2 = 12 of {a,b}.
+        assert compiled.total_active_weight(counts) == 18
+        assert not compiled.is_silent(counts)
+        assert compiled.is_silent(np.array([0, 5, 5]))
+        assert compiled.is_silent(np.array([1, 0, 0]))
+
+    def test_delta_list_matches_array(self):
+        p = build([("a", "b", "c", "c")])
+        compiled = p.compiled
+        assert compiled.delta_list == compiled.delta_flat.tolist()
+
+    def test_compile_protocol_function(self):
+        p = build([("a", "a", "b", "b")])
+        fresh = compile_protocol(p)
+        assert fresh.num_states == 3
+        assert np.array_equal(fresh.delta_flat, p.compiled.delta_flat)
+
+    def test_group_array_passthrough(self):
+        space = StateSpace(["a", "b"], groups={"a": 1, "b": 2})
+        table = TransitionTable(space)
+        p = Protocol("t", space, table, "a")
+        assert p.compiled.group_array.tolist() == [1, 2]

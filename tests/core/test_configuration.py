@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.configuration.Configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, ConfigurationError
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+class TestConstruction:
+    def test_initial(self, proto):
+        c = Configuration.initial(proto, 5)
+        assert c.n == 5
+        assert c.count_of("initial") == 5
+        assert c.count_of("g1") == 0
+
+    def test_from_states(self, proto):
+        c = Configuration.from_states(proto, ["g1", "g1", "m2"])
+        assert c.count_of("g1") == 2
+        assert c.count_of("m2") == 1
+        assert c.n == 3
+
+    def test_from_mapping(self, proto):
+        c = Configuration.from_mapping(proto, {"g1": 2, "initial": 1})
+        assert c.count_of("g1") == 2
+        assert c.n == 3
+
+    def test_from_mapping_negative_rejected(self, proto):
+        with pytest.raises(ConfigurationError, match="negative"):
+            Configuration.from_mapping(proto, {"g1": -1})
+
+    def test_wrong_shape_rejected(self, proto):
+        with pytest.raises(ConfigurationError, match="shape"):
+            Configuration(proto, [1, 2])
+
+    def test_negative_counts_rejected(self, proto):
+        counts = [0] * proto.num_states
+        counts[0] = -1
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            Configuration(proto, counts)
+
+    def test_counts_are_immutable(self, proto):
+        c = Configuration.initial(proto, 3)
+        with pytest.raises(ValueError):
+            c.counts[0] = 99
+
+    def test_counts_are_copied(self, proto):
+        source = np.zeros(proto.num_states, dtype=np.int64)
+        source[0] = 3
+        c = Configuration(proto, source)
+        source[0] = 7
+        assert c.count_of("initial") == 3
+
+
+class TestIntrospection:
+    def test_as_dict_skips_zeros(self, proto):
+        c = Configuration.from_mapping(proto, {"g1": 2, "initial": 1})
+        d = c.as_dict()
+        assert d == {"initial": 1, "g1": 2}
+        full = c.as_dict(skip_zero=False)
+        assert len(full) == proto.num_states
+
+    def test_group_sizes(self, proto):
+        c = Configuration.from_states(proto, ["g1", "g2", "g3", "initial"])
+        assert c.group_sizes().tolist() == [2, 1, 1]
+
+    def test_key_and_hash_equality(self, proto):
+        a = Configuration.from_states(proto, ["g1", "g2"])
+        b = Configuration.from_states(proto, ["g2", "g1"])
+        assert a == b  # count quotient: agent order is irrelevant
+        assert hash(a) == hash(b)
+        assert a.key == b.key
+
+    def test_inequality_different_counts(self, proto):
+        a = Configuration.from_states(proto, ["g1", "g1"])
+        b = Configuration.from_states(proto, ["g1", "g2"])
+        assert a != b
+
+    def test_repr_shows_nonzero(self, proto):
+        c = Configuration.from_mapping(proto, {"g1": 2})
+        assert "g1: 2" in repr(c)
+
+
+class TestTransitions:
+    def test_initial_enabled_classes(self, proto):
+        c = Configuration.initial(proto, 4)
+        enabled = c.enabled_classes()
+        # Only rule 1 (initial, initial) is enabled from C0.
+        assert len(enabled) == 1
+        _, cls = enabled[0]
+        assert cls.same
+        assert cls.in1 == proto.space.index("initial")
+
+    def test_apply_class(self, proto):
+        c = Configuration.initial(proto, 4)
+        _, cls = c.enabled_classes()[0]
+        succ = c.apply_class(cls)
+        assert succ.count_of("initial") == 2
+        assert succ.count_of("initial'") == 2
+        # The original configuration is untouched.
+        assert c.count_of("initial") == 4
+
+    def test_apply_disabled_class_rejected(self, proto):
+        c = Configuration.initial(proto, 4)
+        stable = Configuration.from_states(proto, ["g1", "g2", "g3"])
+        _, cls = c.enabled_classes()[0]
+        with pytest.raises(ConfigurationError, match="not enabled"):
+            stable.apply_class(cls)
+
+    def test_successors_preserve_population(self, proto):
+        c = Configuration.initial(proto, 5)
+        for succ in c.successors():
+            assert succ.n == 5
+
+    def test_stable_config_has_no_successors_k3_n3(self, proto):
+        # n = 3, k = 3: the stable config {g1, g2, g3} is silent.
+        c = Configuration.from_states(proto, ["g1", "g2", "g3"])
+        assert list(c.successors()) == []
+        assert c.is_silent()
+
+    def test_nearly_stable_not_silent(self, proto):
+        # One leftover free agent keeps flipping (rule 4): not silent.
+        c = Configuration.from_states(proto, ["g1", "g2", "g3", "initial"])
+        assert not c.is_silent()
+        succs = list(c.successors())
+        # Only the flip is enabled; groups unchanged.
+        assert len(succs) == 1
+        assert succs[0].count_of("initial'") == 1

@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.execution (scripted traces)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Population, record_script
+from repro.core.execution import Step
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+class TestStep:
+    def test_effective_flag(self):
+        s = Step(0, 0, 1, ("a", "b"), ("a", "b"))
+        assert not s.effective
+        s2 = Step(0, 0, 1, ("a", "b"), ("c", "b"))
+        assert s2.effective
+
+
+class TestRecordScript:
+    def test_records_every_step(self, proto):
+        pop = Population(proto, n=3)
+        trace = record_script(pop, [(0, 1), (0, 2)])
+        assert len(trace) == 2
+        assert trace.steps[0].before == ("initial", "initial")
+        assert trace.steps[0].after == ("initial'", "initial'")
+
+    def test_snapshots_include_start(self, proto):
+        pop = Population(proto, n=3)
+        trace = record_script(pop, [(0, 1)])
+        assert len(trace.configurations) == 2
+        assert trace.configurations[0].count_of("initial") == 3
+        assert trace.configurations[1].count_of("initial'") == 2
+
+    def test_snapshots_disabled(self, proto):
+        pop = Population(proto, n=3)
+        trace = record_script(pop, [(0, 1)], snapshots=False)
+        assert trace.configurations == []
+        assert trace.final_configuration() is None
+
+    def test_num_effective(self, proto):
+        pop = Population(proto, ["g1", "g2", "initial"])
+        # (0,1) is null; (0,2) flips the free agent.
+        trace = record_script(pop, [(0, 1), (0, 2)])
+        assert trace.num_effective == 1
+
+    def test_pairs_roundtrip(self, proto):
+        pop = Population(proto, n=4)
+        pairs = [(0, 1), (2, 3), (1, 2)]
+        trace = record_script(pop, pairs)
+        assert trace.pairs() == pairs
+
+    def test_mutates_population(self, proto):
+        pop = Population(proto, n=2)
+        record_script(pop, [(0, 1)])
+        assert pop.state_names() == ["initial'", "initial'"]
+
+    def test_iteration(self, proto):
+        pop = Population(proto, n=2)
+        trace = record_script(pop, [(0, 1)])
+        assert [s.index for s in trace] == [0]

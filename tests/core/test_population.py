@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.population.Population."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError, Population
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+class TestConstruction:
+    def test_designated_initial(self, proto):
+        pop = Population(proto, n=4)
+        assert pop.n == 4
+        assert pop.state_names() == ["initial"] * 4
+        assert pop.counts[proto.space.index("initial")] == 4
+
+    def test_from_names(self, proto):
+        pop = Population(proto, ["g1", "g2", "initial"])
+        assert pop.state_of(0) == "g1"
+        assert pop.state_of(2) == "initial"
+
+    def test_from_indices(self, proto):
+        idx = proto.space.index("g2")
+        pop = Population(proto, [idx, idx])
+        assert pop.state_names() == ["g2", "g2"]
+
+    def test_requires_states_or_n(self, proto):
+        with pytest.raises(ConfigurationError, match="either"):
+            Population(proto)
+
+    def test_n_mismatch_rejected(self, proto):
+        with pytest.raises(ConfigurationError, match="does not match"):
+            Population(proto, ["g1"], n=2)
+
+    def test_empty_rejected(self, proto):
+        with pytest.raises(ConfigurationError, match="at least one agent"):
+            Population(proto, [])
+
+    def test_bad_index_rejected(self, proto):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            Population(proto, [999])
+
+    def test_counts_synced_at_build(self, proto):
+        pop = Population(proto, ["g1", "g1", "m2"])
+        assert pop.counts[proto.space.index("g1")] == 2
+        assert pop.counts[proto.space.index("m2")] == 1
+        assert int(pop.counts.sum()) == 3
+
+
+class TestInteract:
+    def test_effective_interaction(self, proto):
+        pop = Population(proto, ["initial", "initial"])
+        changed = pop.interact(0, 1)
+        assert changed
+        assert pop.state_names() == ["initial'", "initial'"]
+
+    def test_null_interaction(self, proto):
+        pop = Population(proto, ["g1", "g2"])
+        assert not pop.interact(0, 1)
+        assert pop.state_names() == ["g1", "g2"]
+
+    def test_rule5_outcome_decided_by_flavour_not_initiator(self, proto):
+        # (initial, initial') -> (g1, m2): the agent in 'initial'
+        # becomes g1 whichever agent initiates (the rule is registered
+        # with its mirror, as the paper's listing is meant to be read).
+        pop = Population(proto, ["initial", "initial'"])
+        pop.interact(0, 1)
+        assert pop.state_names() == ["g1", "m2"]
+        pop2 = Population(proto, ["initial", "initial'"])
+        pop2.interact(1, 0)
+        assert pop2.state_names() == ["g1", "m2"]
+
+    def test_self_interaction_rejected(self, proto):
+        pop = Population(proto, n=3)
+        with pytest.raises(ConfigurationError, match="itself"):
+            pop.interact(1, 1)
+
+    def test_counts_track_interactions(self, proto):
+        pop = Population(proto, ["initial", "initial'"])
+        pop.interact(0, 1)
+        counts = pop.counts
+        assert counts[proto.space.index("g1")] == 1
+        assert counts[proto.space.index("m2")] == 1
+        assert counts[proto.space.index("initial")] == 0
+        np.testing.assert_array_equal(
+            counts, np.bincount(pop.state_indices, minlength=proto.num_states)
+        )
+
+    def test_run_script_counts_effective(self, proto):
+        pop = Population(proto, ["initial", "initial", "g1"])
+        # (0,1) flips both; (0,2) flips agent 0 via rule 4; (1,2) flips 1.
+        effective = pop.run_script([(0, 1), (0, 2), (1, 2)])
+        assert effective == 3
+
+
+class TestAccessors:
+    def test_group_of(self, proto):
+        pop = Population(proto, ["g2", "initial"])
+        assert pop.group_of(0) == 2
+        assert pop.group_of(1) == 1
+
+    def test_group_sizes(self, proto):
+        pop = Population(proto, ["g1", "g2", "g2", "m2"])
+        assert pop.group_sizes().tolist() == [1, 3, 0]
+
+    def test_configuration_snapshot_is_frozen(self, proto):
+        pop = Population(proto, ["initial", "initial"])
+        config = pop.configuration()
+        pop.interact(0, 1)
+        assert config.count_of("initial") == 2  # snapshot unaffected
+
+    def test_set_state(self, proto):
+        pop = Population(proto, n=2)
+        pop.set_state(0, "g1")
+        assert pop.state_of(0) == "g1"
+        assert pop.counts[proto.space.index("g1")] == 1
+        pop.set_state(0, proto.space.index("g2"))
+        assert pop.state_of(0) == "g2"
+
+    def test_copy_is_independent(self, proto):
+        pop = Population(proto, n=3)
+        clone = pop.copy()
+        pop.set_state(0, "g1")
+        assert clone.state_of(0) == "initial"
+
+    def test_state_indices_read_only(self, proto):
+        pop = Population(proto, n=2)
+        with pytest.raises(ValueError):
+            pop.state_indices[0] = 1
+        with pytest.raises(ValueError):
+            pop.counts[0] = 1
+
+    def test_repr(self, proto):
+        assert "n=2" in repr(Population(proto, n=2))

@@ -1,0 +1,182 @@
+"""Unit tests for repro.core.protocol.Protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Protocol, ProtocolError, StateSpace, TransitionTable
+
+
+def make_toggle_protocol():
+    """A tiny 2-state toggle protocol used throughout these tests."""
+    space = StateSpace(["on", "off"], groups={"on": 1, "off": 2})
+    table = TransitionTable(space)
+    table.add("on", "on", "off", "off")
+    return Protocol("toggle", space, table, "on")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        p = make_toggle_protocol()
+        assert p.name == "toggle"
+        assert p.num_states == 2
+        assert p.num_groups == 2
+        assert p.states == ("on", "off")
+        assert p.initial_state == "on"
+        assert p.is_symmetric
+        assert len(p.rules()) == 1
+
+    def test_initial_state_must_exist(self):
+        space = StateSpace(["a"])
+        table = TransitionTable(space)
+        with pytest.raises(ProtocolError, match="not in the state space"):
+            Protocol("p", space, table, "zz")
+
+    def test_table_space_mismatch_rejected(self):
+        s1 = StateSpace(["a"])
+        s2 = StateSpace(["a"])
+        table = TransitionTable(s2)
+        with pytest.raises(ProtocolError, match="different state space"):
+            Protocol("p", s1, table, "a")
+
+    def test_metadata_is_copied(self):
+        space = StateSpace(["a"])
+        p = Protocol("p", space, TransitionTable(space), "a", metadata={"k": 3})
+        meta = p.metadata
+        meta["k"] = 99
+        assert p.metadata["k"] == 3
+
+    def test_repr_mentions_symmetry(self):
+        assert "symmetric" in repr(make_toggle_protocol())
+
+
+class TestInitialCounts:
+    def test_designated_initial(self):
+        p = make_toggle_protocol()
+        assert p.initial_counts(5).tolist() == [5, 0]
+
+    def test_no_initial_state_raises(self):
+        space = StateSpace(["a"])
+        p = Protocol("p", space, TransitionTable(space), None)
+        with pytest.raises(ProtocolError, match="no designated initial state"):
+            p.initial_counts(5)
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ProtocolError, match="positive"):
+            make_toggle_protocol().initial_counts(0)
+
+
+class TestGroupSizes:
+    def test_group_sizes(self):
+        p = make_toggle_protocol()
+        assert p.group_sizes([3, 4]).tolist() == [3, 4]
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ProtocolError, match="shape"):
+            make_toggle_protocol().group_sizes([1, 2, 3])
+
+    def test_no_group_map_raises(self):
+        space = StateSpace(["a"])
+        p = Protocol("p", space, TransitionTable(space), "a")
+        with pytest.raises(ProtocolError, match="no group map"):
+            p.group_sizes([1])
+
+    def test_multiple_states_per_group_sum(self):
+        space = StateSpace(["a", "b", "c"], groups={"a": 1, "b": 1, "c": 2})
+        p = Protocol("p", space, TransitionTable(space), "a")
+        assert p.group_sizes([2, 3, 4]).tolist() == [5, 4]
+
+
+class TestStabilityPredicate:
+    def test_default_is_none(self):
+        assert make_toggle_protocol().stability_predicate(4) is None
+
+    def test_factory_invoked_per_n(self):
+        space = StateSpace(["a"])
+        seen = []
+
+        def factory(n):
+            seen.append(n)
+            return lambda counts: counts[0] == n
+
+        p = Protocol("p", space, TransitionTable(space), "a",
+                     stability_predicate_factory=factory)
+        pred = p.stability_predicate(7)
+        assert seen == [7]
+        assert pred([7]) is True
+        assert pred([6]) is False
+
+
+class TestCompiledCaching:
+    def test_compiled_is_cached(self):
+        p = make_toggle_protocol()
+        assert p.compiled is p.compiled
+
+    def test_compiled_reflects_rules(self):
+        p = make_toggle_protocol()
+        compiled = p.compiled
+        assert compiled.num_states == 2
+        # (on, on) -> (off, off): index 0*2+0 -> 1*2+1.
+        assert compiled.delta_flat[0] == 3
+        assert compiled.active_flat[0]
+        assert not compiled.active_flat[3]
+
+    def test_silence(self):
+        p = make_toggle_protocol()
+        assert not p.compiled.is_silent(np.array([2, 0]))
+        assert p.compiled.is_silent(np.array([1, 1]))
+        assert p.compiled.is_silent(np.array([0, 2]))
+
+
+class TestDescribe:
+    def test_describe_lists_structure(self):
+        from repro.protocols import uniform_k_partition
+
+        out = uniform_k_partition(3).describe()
+        assert "protocol uniform-3-partition" in out
+        assert "states (7)" in out
+        assert "designated initial state: initial" in out
+        assert "f = 3: g3" in out
+        assert "(initial, initial') -> (g1, m2)" in out
+        assert "symmetric" in out
+
+    def test_describe_folds_mirrored_rules(self):
+        from repro.protocols import uniform_k_partition
+
+        out = uniform_k_partition(3).describe()
+        # The mirror of rule 5 must not appear as a second line.
+        assert out.count("(g1, m2)") + out.count("(m2, g1)") == 1
+
+    def test_describe_without_groups_or_initial(self):
+        space = StateSpace(["a", "b"])
+        table = TransitionTable(space)
+        table.add("a", "a", "b", "b")
+        out = Protocol("bare", space, table, None).describe()
+        assert "groups" not in out
+        assert "designated" not in out
+        assert "(a, a) -> (b, b)" in out
+
+
+class TestRequireSymmetric:
+    def test_symmetric_protocol_accepted(self):
+        space = StateSpace(["a", "b"])
+        table = TransitionTable(space)
+        table.add("a", "a", "b", "b")
+        Protocol("sym", space, table, "a", require_symmetric=True)
+
+    def test_asymmetric_protocol_rejected(self):
+        from repro.core import AsymmetricTransitionError
+
+        space = StateSpace(["a", "b"])
+        table = TransitionTable(space)
+        table.add("a", "a", "a", "b")  # asymmetric
+        with pytest.raises(AsymmetricTransitionError, match="asymmetric rule"):
+            Protocol("claims-sym", space, table, "a", require_symmetric=True)
+
+    def test_asymmetric_allowed_by_default(self):
+        space = StateSpace(["a", "b"])
+        table = TransitionTable(space)
+        table.add("a", "a", "a", "b")
+        p = Protocol("asym", space, table, "a")
+        assert not p.is_symmetric

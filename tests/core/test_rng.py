@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.rng (seeding discipline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ensure_generator, spawn_generators, spawn_seed_sequences
+
+
+class TestEnsureGenerator:
+    def test_from_int(self):
+        a = ensure_generator(42)
+        b = ensure_generator(42)
+        assert a.random() == b.random()
+
+    def test_from_none_is_nondeterministic_instance(self):
+        a = ensure_generator(None)
+        b = ensure_generator(None)
+        assert a is not b
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert ensure_generator(g) is g
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = ensure_generator(ss)
+        b = ensure_generator(np.random.SeedSequence(7))
+        assert a.random() == b.random()
+
+
+class TestSpawn:
+    def test_streams_are_reproducible(self):
+        g1 = spawn_generators(123, 3)
+        g2 = spawn_generators(123, 3)
+        for a, b in zip(g1, g2):
+            assert a.random() == b.random()
+
+    def test_streams_are_distinct(self):
+        gens = spawn_generators(123, 4)
+        draws = {g.random() for g in gens}
+        assert len(draws) == 4
+
+    def test_prefix_stability(self):
+        # Spawning more streams never changes the earlier ones.
+        short = spawn_generators(9, 2)
+        long = spawn_generators(9, 5)
+        for a, b in zip(short, long):
+            assert a.random() == b.random()
+
+    def test_generator_input_rejected(self):
+        with pytest.raises(TypeError, match="cannot spawn"):
+            spawn_seed_sequences(np.random.default_rng(0), 2)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_seed_sequences(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_seed_sequences(0, 0) == []
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(5)
+        seqs = spawn_seed_sequences(ss, 2)
+        assert len(seqs) == 2

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.state.StateSpace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProtocolError, StateSpace, UnknownStateError
+
+
+class TestConstruction:
+    def test_basic(self):
+        space = StateSpace(["a", "b", "c"])
+        assert len(space) == 3
+        assert list(space) == ["a", "b", "c"]
+        assert space.names == ("a", "b", "c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError, match="at least one state"):
+            StateSpace([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ProtocolError, match="duplicate"):
+            StateSpace(["a", "b", "a"])
+
+    def test_non_string_names_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty strings"):
+            StateSpace(["a", 3])  # type: ignore[list-item]
+
+    def test_empty_string_name_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty strings"):
+            StateSpace(["a", ""])
+
+    def test_group_map_must_cover_all_states(self):
+        with pytest.raises(ProtocolError, match="missing states"):
+            StateSpace(["a", "b"], groups={"a": 1})
+
+    def test_group_map_unknown_state_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown states"):
+            StateSpace(["a"], groups={"a": 1, "zz": 2})
+
+    def test_group_indices_must_be_positive(self):
+        with pytest.raises(ProtocolError, match="positive integers"):
+            StateSpace(["a"], groups={"a": 0})
+
+    def test_num_groups_inferred(self):
+        space = StateSpace(["a", "b"], groups={"a": 1, "b": 5})
+        assert space.num_groups == 5
+
+    def test_num_groups_explicit_can_exceed(self):
+        space = StateSpace(["a"], groups={"a": 1}, num_groups=4)
+        assert space.num_groups == 4
+
+    def test_num_groups_smaller_than_assigned_rejected(self):
+        with pytest.raises(ProtocolError, match="smaller than"):
+            StateSpace(["a"], groups={"a": 3}, num_groups=2)
+
+
+class TestLookups:
+    def test_index_and_name_roundtrip(self):
+        space = StateSpace(["x", "y", "z"])
+        for i, name in enumerate(["x", "y", "z"]):
+            assert space.index(name) == i
+            assert space.name(i) == name
+
+    def test_unknown_name_raises(self):
+        space = StateSpace(["x"])
+        with pytest.raises(UnknownStateError, match="nope"):
+            space.index("nope")
+
+    def test_out_of_range_index_raises(self):
+        space = StateSpace(["x"])
+        with pytest.raises(UnknownStateError, match="out of range"):
+            space.name(5)
+
+    def test_indices_batch(self):
+        space = StateSpace(["x", "y", "z"])
+        assert space.indices(["z", "x"]) == [2, 0]
+
+    def test_contains(self):
+        space = StateSpace(["x"])
+        assert "x" in space
+        assert "y" not in space
+
+    def test_group_of_by_name_and_index(self):
+        space = StateSpace(["a", "b"], groups={"a": 1, "b": 2})
+        assert space.group_of("b") == 2
+        assert space.group_of(0) == 1
+
+    def test_group_of_without_map_raises(self):
+        space = StateSpace(["a"])
+        with pytest.raises(ProtocolError, match="no group map"):
+            space.group_of("a")
+
+    def test_group_array_is_copy(self):
+        space = StateSpace(["a", "b"], groups={"a": 1, "b": 2})
+        arr = space.group_array
+        arr[0] = 99
+        assert space.group_of("a") == 1
+        assert np.array_equal(space.group_array, [1, 2])
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        a = StateSpace(["x", "y"], groups={"x": 1, "y": 2})
+        b = StateSpace(["x", "y"], groups={"x": 1, "y": 2})
+        c = StateSpace(["x", "y"], groups={"x": 1, "y": 1})
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_equality_other_type(self):
+        assert StateSpace(["x"]) != 42
+
+    def test_with_groups_creates_new_map(self):
+        base = StateSpace(["x", "y"])
+        mapped = base.with_groups({"x": 1, "y": 2})
+        assert mapped.num_groups == 2
+        with pytest.raises(ProtocolError):
+            base.group_of("x")
+
+    def test_repr(self):
+        assert "2 states" in repr(StateSpace(["x", "y"]))

@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    NonDeterministicProtocolError,
+    ProtocolError,
+    StateSpace,
+    Transition,
+    TransitionTable,
+)
+
+
+@pytest.fixture
+def space():
+    return StateSpace(["a", "b", "c"])
+
+
+class TestTransition:
+    def test_identity_detection(self):
+        assert Transition("a", "b", "a", "b").is_identity
+        assert not Transition("a", "b", "b", "a").is_identity
+
+    def test_symmetry_of_distinct_inputs(self):
+        # p != q is always symmetric regardless of outputs (paper Sec 2.1).
+        assert Transition("a", "b", "c", "a").is_symmetric
+
+    def test_symmetry_of_same_inputs(self):
+        assert Transition("a", "a", "b", "b").is_symmetric
+        assert not Transition("a", "a", "b", "c").is_symmetric
+
+    def test_mirror(self):
+        t = Transition("a", "b", "c", "a")
+        assert t.mirror == Transition("b", "a", "a", "c")
+        assert t.mirror.mirror == t
+
+    def test_str(self):
+        assert str(Transition("a", "b", "c", "a")) == "(a, b) -> (c, a)"
+
+
+class TestTransitionTable:
+    def test_add_registers_both_orientations(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "c", "c")
+        assert table.lookup("a", "b") == Transition("a", "b", "c", "c")
+        assert table.lookup("b", "a") == Transition("b", "a", "c", "c")
+        assert len(table) == 2
+
+    def test_add_without_mirror(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "c", "c", mirror=False)
+        assert table.lookup("b", "a") is None
+
+    def test_same_state_rule_registers_once(self, space):
+        table = TransitionTable(space)
+        table.add("a", "a", "b", "b")
+        assert len(table) == 1
+
+    def test_apply_null_pair_returns_inputs(self, space):
+        table = TransitionTable(space)
+        assert table.apply("a", "c") == ("a", "c")
+
+    def test_apply_registered_rule(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "b", "c")
+        assert table.apply("a", "b") == ("b", "c")
+        assert table.apply("b", "a") == ("c", "b")
+
+    def test_conflicting_rule_rejected(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "c", "c")
+        with pytest.raises(NonDeterministicProtocolError, match="conflicting"):
+            table.add("a", "b", "a", "a")
+
+    def test_readding_identical_rule_is_noop(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "c", "c")
+        table.add("a", "b", "c", "c")
+        assert len(table) == 2
+
+    def test_mirror_conflict_detected(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "c", "c")
+        # (b, a) is already taken by the mirror.
+        with pytest.raises(NonDeterministicProtocolError):
+            table.add("b", "a", "a", "a")
+
+    def test_unknown_state_rejected(self, space):
+        table = TransitionTable(space)
+        with pytest.raises(ProtocolError, match="unknown state"):
+            table.add("a", "zz", "a", "a")
+        with pytest.raises(ProtocolError, match="unknown state"):
+            table.add("a", "b", "zz", "a")
+
+    def test_add_many(self, space):
+        table = TransitionTable(space)
+        table.add_many([("a", "a", "b", "b"), ("b", "b", "a", "a")])
+        assert table.apply("a", "a") == ("b", "b")
+        assert table.apply("b", "b") == ("a", "a")
+
+    def test_non_null_rules_excludes_identities(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "a", "b")  # explicit identity
+        table.add("a", "a", "b", "b")
+        non_null = table.non_null_rules()
+        assert len(non_null) == 1
+        assert non_null[0].p == "a" and non_null[0].p2 == "b"
+
+    def test_symmetric_classification(self, space):
+        table = TransitionTable(space)
+        table.add("a", "a", "b", "b")
+        assert table.is_symmetric
+        table.add("b", "b", "a", "c")
+        assert not table.is_symmetric
+        assert len(table.asymmetric_rules()) == 1
+
+    def test_validate_accepts_asymmetric_same_state_rule(self, space):
+        # (p, p) -> (l, r) is its own orientation; validate must accept it.
+        table = TransitionTable(space)
+        table.add("a", "a", "b", "c")
+        table.validate()
+
+    def test_oriented_tables_are_legal_and_flagged(self, space):
+        # Two orientations with different outcomes describe an
+        # initiator-sensitive (oriented) protocol — legal, detectable.
+        table = TransitionTable(space)
+        table.add("a", "b", "c", "c", mirror=False)
+        table.add("b", "a", "b", "b", mirror=False)
+        table.validate()
+        assert table.is_oriented
+
+    def test_mirrored_tables_not_oriented(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "c", "c")
+        assert not table.is_oriented
+
+    def test_iteration_and_repr(self, space):
+        table = TransitionTable(space)
+        table.add("a", "b", "c", "c")
+        assert {t.p for t in table} == {"a", "b"}
+        assert "ordered rules" in repr(table)

@@ -1,0 +1,71 @@
+"""Tests for the shared engine result types and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import CountBasedEngine, SimulationResult
+from repro.protocols import uniform_k_partition
+
+
+def make_result(**overrides) -> SimulationResult:
+    defaults = dict(
+        protocol="p",
+        n=10,
+        engine="test",
+        interactions=100,
+        effective_interactions=40,
+        converged=True,
+        silent=False,
+        final_counts=np.array([5, 5]),
+        group_sizes=np.array([5, 5]),
+        tracked_milestones=[10, 30, 100],
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_null_interactions(self):
+        assert make_result().null_interactions == 60
+
+    def test_grouping_breakdown(self):
+        r = make_result(tracked_milestones=[10, 30, 100])
+        assert r.grouping_breakdown() == [10, 20, 70]
+
+    def test_grouping_breakdown_empty(self):
+        assert make_result(tracked_milestones=[]).grouping_breakdown() == []
+
+    def test_summary_converged(self):
+        s = make_result().summary()
+        assert "stable" in s
+        assert "100 interactions" in s
+
+    def test_summary_not_converged(self):
+        s = make_result(converged=False).summary()
+        assert "NOT CONVERGED" in s
+
+
+class TestEngineHelpers:
+    def test_group_sizes_empty_without_group_map(self):
+        from repro.protocols import leader_election
+
+        r = CountBasedEngine().run(leader_election(), 5, seed=0)
+        assert r.group_sizes.size == 0
+
+    def test_track_state_initial_high_water(self):
+        """Tracking a state that starts non-zero only records increases
+        beyond the starting count."""
+        p = uniform_k_partition(3)
+        counts = np.zeros(p.num_states, dtype=np.int64)
+        counts[p.space.index("g1")] = 1
+        counts[p.space.index("g2")] = 1
+        counts[p.space.index("g3")] = 1
+        counts[p.space.index("initial")] = 3
+        r = CountBasedEngine().run(
+            p, initial_counts=counts, seed=1, track_state="g3"
+        )
+        assert r.converged
+        # Only the second g3 (one new grouping) is a milestone.
+        assert len(r.tracked_milestones) == 1

@@ -1,0 +1,151 @@
+"""Tests for the count-based jump-chain engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.engine import CountBasedEngine
+from repro.protocols import leader_election, uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(4)
+
+
+class TestRun:
+    def test_converges_and_partitions(self, proto):
+        r = CountBasedEngine().run(proto, 20, seed=0)
+        assert r.converged
+        assert r.group_sizes.tolist() == [5, 5, 5, 5]
+        assert r.engine == "count"
+
+    def test_reproducible(self, proto):
+        a = CountBasedEngine().run(proto, 25, seed=1)
+        b = CountBasedEngine().run(proto, 25, seed=1)
+        assert a.interactions == b.interactions
+        assert np.array_equal(a.final_counts, b.final_counts)
+
+    def test_interactions_dominate_effective(self, proto):
+        r = CountBasedEngine().run(proto, 40, seed=2)
+        assert r.interactions >= r.effective_interactions
+        assert r.null_interactions == r.interactions - r.effective_interactions
+
+    def test_budget_respected(self, proto):
+        r = CountBasedEngine().run(proto, 60, seed=3, max_interactions=50)
+        assert not r.converged
+        assert r.interactions == 50
+
+    def test_track_state(self, proto):
+        r = CountBasedEngine().run(proto, 17, seed=4, track_state="g4")
+        assert len(r.tracked_milestones) == 4
+        assert r.tracked_milestones == sorted(r.tracked_milestones)
+        assert all(m >= 1 for m in r.tracked_milestones)
+
+    def test_on_effective_counts_match(self, proto):
+        totals = []
+
+        def watch(interactions, counts):
+            totals.append(sum(counts))
+
+        CountBasedEngine().run(proto, 12, seed=5, on_effective=watch)
+        assert set(totals) == {12}  # population conserved at every step
+
+    def test_already_stable(self, proto):
+        counts = np.zeros(proto.num_states, dtype=np.int64)
+        for g in ("g1", "g2", "g3", "g4"):
+            counts[proto.space.index(g)] = 1
+        r = CountBasedEngine().run(proto, initial_counts=counts, seed=6)
+        assert r.converged
+        assert r.interactions == 0
+
+    def test_stable_nonsilent_configuration(self, proto):
+        # n mod k == 1 leaves a flipping free agent.
+        r = CountBasedEngine().run(proto, 13, seed=7)
+        assert r.converged
+        assert not r.silent
+
+    def test_silence_fallback_for_protocols_without_predicate(self):
+        # Leader election HAS a predicate; strip it to exercise the
+        # silence path.
+        from repro.core import Protocol
+
+        le = leader_election()
+        bare = Protocol(
+            "le-bare", le.space, le.transitions, le.initial_state
+        )
+        r = CountBasedEngine().run(bare, 10, seed=8)
+        assert r.converged
+        assert r.silent
+        assert r.final_counts[le.space.index("L")] == 1
+
+    def test_small_population(self, proto):
+        # n = 4 with k = 4: one agent per group.
+        r = CountBasedEngine().run(proto, 4, seed=9)
+        assert r.converged
+        assert r.group_sizes.tolist() == [1, 1, 1, 1]
+
+    def test_n_smaller_than_k(self):
+        # n = 3 with k = 6: three groups of one, per Lemma 5's r = n case.
+        p = uniform_k_partition(6)
+        r = CountBasedEngine().run(p, 3, seed=10)
+        assert r.converged
+        assert sorted(r.group_sizes.tolist(), reverse=True) == [1, 1, 1, 0, 0, 0]
+
+    def test_interaction_count_plausible_magnitude(self, proto):
+        # The total must at least cover one pass of grouping work.
+        r = CountBasedEngine().run(proto, 40, seed=11)
+        assert r.interactions >= 40
+
+
+class TestNullSkipping:
+    def test_skips_are_massive_near_stability(self, proto):
+        """The engine's reason to exist: effective << total."""
+        r = CountBasedEngine().run(proto, 200, seed=12)
+        assert r.effective_interactions < r.interactions / 3
+
+    def test_matches_agent_engine_in_distribution(self):
+        """KS test vs the batch engine on a small instance."""
+        from scipy import stats
+
+        from repro.engine import BatchEngine
+
+        p = uniform_k_partition(3)
+        n, trials = 12, 150
+        count = np.array(
+            [CountBasedEngine().run(p, n, seed=1000 + i).interactions for i in range(trials)]
+        )
+        batch = np.array(
+            [BatchEngine().run(p, n, seed=9000 + i).interactions for i in range(trials)]
+        )
+        assert stats.ks_2samp(count, batch).pvalue > 0.005
+
+    def test_single_step_rule_frequencies_match_weights(self):
+        """From a fixed configuration, the first effective interaction
+        picks each enabled class proportionally to its pair weight."""
+        p = uniform_k_partition(3)
+        # Legal mid-execution configuration {g1, initial x2, m2} (n=4,
+        # satisfies Lemma 1).  Enabled classes and pair weights:
+        #   rule 1 (initial, initial) : C(2,2) = 1
+        #   rule 4 (g1, initial) flip : 1*2   = 2
+        #   rule 7 (initial, m2)      : 2*1   = 2     -> P(rule 7 first) = 2/5
+        # Rule 7 firing first completes the r=1 stable signature
+        # {g1, g2, g3, free} immediately, so it is identifiable as
+        # effective_interactions == 1.
+        counts = np.zeros(p.num_states, dtype=np.int64)
+        counts[p.space.index("g1")] = 1
+        counts[p.space.index("initial")] = 2
+        counts[p.space.index("m2")] = 1
+        trials = 1500
+        rule7_first = 0
+        for i in range(trials):
+            r = CountBasedEngine().run(p, initial_counts=counts, seed=i)
+            assert r.converged
+            if r.effective_interactions == 1:
+                rule7_first += 1
+        prob = 2 / 5
+        expected = trials * prob
+        sigma = (trials * prob * (1 - prob)) ** 0.5
+        assert abs(rule7_first - expected) < 5 * sigma

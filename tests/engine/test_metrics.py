@@ -1,0 +1,77 @@
+"""Tests for the metrics recorders and milestone aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AgentBasedEngine,
+    GroupSizeRecorder,
+    TimeSeriesRecorder,
+    aggregate_milestones,
+)
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+class TestTimeSeriesRecorder:
+    def test_records_every_effective_step(self, proto):
+        rec = TimeSeriesRecorder()
+        r = AgentBasedEngine().run(proto, 9, seed=0, on_effective=rec)
+        assert len(rec.times) == r.effective_interactions
+        times, snaps = rec.as_arrays()
+        assert times.shape[0] == snaps.shape[0]
+        assert snaps.shape[1] == proto.num_states
+        assert (snaps.sum(axis=1) == 9).all()
+
+    def test_stride(self, proto):
+        rec = TimeSeriesRecorder(stride=5)
+        r = AgentBasedEngine().run(proto, 9, seed=1, on_effective=rec)
+        assert len(rec.times) == r.effective_interactions // 5
+
+    def test_times_monotone(self, proto):
+        rec = TimeSeriesRecorder()
+        AgentBasedEngine().run(proto, 9, seed=2, on_effective=rec)
+        times, _ = rec.as_arrays()
+        assert (np.diff(times) > 0).all()
+
+
+class TestGroupSizeRecorder:
+    def test_records_group_sizes(self, proto):
+        rec = GroupSizeRecorder(proto)
+        AgentBasedEngine().run(proto, 9, seed=3, on_effective=rec)
+        times, sizes = rec.as_arrays()
+        assert sizes.shape[1] == 3
+        assert (sizes.sum(axis=1) == 9).all()
+        # The final sample is the uniform partition.
+        assert sizes[-1].tolist() == [3, 3, 3]
+
+    def test_stride(self, proto):
+        rec = GroupSizeRecorder(proto, stride=3)
+        r = AgentBasedEngine().run(proto, 9, seed=4, on_effective=rec)
+        assert len(rec.times) == r.effective_interactions // 3
+
+
+class TestAggregateMilestones:
+    def test_basic_mean(self):
+        out = aggregate_milestones([[10, 20], [30, 40]])
+        assert out.tolist() == [20.0, 30.0]
+
+    def test_ragged_lists(self):
+        out = aggregate_milestones([[10], [30, 50]])
+        assert out[0] == 20.0
+        assert out[1] == 50.0
+
+    def test_num_milestones_padding(self):
+        out = aggregate_milestones([[10]], num_milestones=3)
+        assert out[0] == 10.0
+        assert np.isnan(out[1]) and np.isnan(out[2])
+
+    def test_empty(self):
+        assert aggregate_milestones([]).size == 0
+        assert aggregate_milestones([[], []]).size == 0

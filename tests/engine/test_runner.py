@@ -1,0 +1,126 @@
+"""Tests for the multi-trial runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.engine import BatchEngine, CountBasedEngine, run_trials
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+class TestRunTrials:
+    def test_basic(self, proto):
+        ts = run_trials(proto, 12, trials=10, seed=0)
+        assert ts.trials == 10
+        assert ts.n == 12
+        assert ts.all_converged
+        assert ts.interactions.shape == (10,)
+        assert ts.mean_interactions > 0
+
+    def test_default_engine_is_count(self, proto):
+        ts = run_trials(proto, 9, trials=2, seed=1)
+        assert ts.engine == "count"
+
+    def test_reproducible(self, proto):
+        a = run_trials(proto, 12, trials=5, seed=2)
+        b = run_trials(proto, 12, trials=5, seed=2)
+        assert np.array_equal(a.interactions, b.interactions)
+
+    def test_trials_are_independent(self, proto):
+        ts = run_trials(proto, 20, trials=8, seed=3)
+        assert len(set(ts.interactions.tolist())) > 1
+
+    def test_prefix_stability_of_seeding(self, proto):
+        # Running more trials never changes the earlier ones.
+        short = run_trials(proto, 12, trials=3, seed=4)
+        long = run_trials(proto, 12, trials=6, seed=4)
+        assert np.array_equal(short.interactions, long.interactions[:3])
+
+    def test_statistics(self, proto):
+        ts = run_trials(proto, 12, trials=10, seed=5)
+        assert ts.std_interactions >= 0
+        assert ts.sem_interactions == pytest.approx(
+            ts.std_interactions / np.sqrt(10)
+        )
+
+    def test_single_trial_statistics(self, proto):
+        ts = run_trials(proto, 12, trials=1, seed=6)
+        assert ts.std_interactions == 0.0
+        assert ts.sem_interactions == 0.0
+
+    def test_track_state_forwarded(self, proto):
+        ts = run_trials(proto, 12, trials=3, seed=7, track_state="g3")
+        for m in ts.milestone_lists():
+            assert len(m) == 4
+
+    def test_engine_override(self, proto):
+        ts = run_trials(proto, 9, trials=2, engine=BatchEngine(), seed=8)
+        assert ts.engine == "batch"
+
+    def test_progress_callback(self, proto):
+        seen = []
+        run_trials(proto, 9, trials=4, seed=9, progress=lambda t, r: seen.append(t))
+        assert seen == [0, 1, 2, 3]
+
+    def test_require_convergence_raises(self, proto):
+        with pytest.raises(SimulationError, match="did not stabilize"):
+            run_trials(proto, 40, trials=2, seed=10, max_interactions=10)
+
+    def test_censored_trials_allowed_when_opted_in(self, proto):
+        ts = run_trials(
+            proto, 40, trials=2, seed=11, max_interactions=10,
+            require_convergence=False,
+        )
+        assert not ts.all_converged
+        assert (ts.interactions == 10).all()
+
+    def test_zero_trials_rejected(self, proto):
+        with pytest.raises(SimulationError, match="positive"):
+            run_trials(proto, 9, trials=0)
+
+    def test_generator_seed_rejected(self, proto):
+        # Generators cannot be split reproducibly.
+        with pytest.raises(TypeError, match="cannot spawn"):
+            run_trials(proto, 9, trials=2, seed=np.random.default_rng(0))
+
+    def test_summary_strings(self, proto):
+        ts = run_trials(proto, 9, trials=2, seed=12)
+        assert "mean=" in ts.summary()
+        assert "stable" in ts.results[0].summary()
+
+    def test_initial_counts_forwarded(self, proto):
+        counts = np.zeros(proto.num_states, dtype=np.int64)
+        counts[proto.space.index("initial")] = 6
+        ts = run_trials(
+            proto, initial_counts=counts, trials=3, seed=13,
+            engine=CountBasedEngine(),
+        )
+        assert ts.n == 6
+
+
+class TestParallelWorkers:
+    def test_parallel_bit_identical_to_serial(self, proto):
+        a = run_trials(proto, 12, trials=6, seed=20)
+        b = run_trials(proto, 12, trials=6, seed=20, workers=2)
+        assert np.array_equal(a.interactions, b.interactions)
+        assert a.engine == b.engine
+
+    def test_parallel_with_tracking(self, proto):
+        a = run_trials(proto, 12, trials=4, seed=21, track_state="g3")
+        b = run_trials(proto, 12, trials=4, seed=21, track_state="g3", workers=2)
+        assert a.milestone_lists() == b.milestone_lists()
+
+    def test_invalid_workers(self, proto):
+        with pytest.raises(SimulationError, match="workers"):
+            run_trials(proto, 9, trials=2, workers=0)
+
+    def test_parallel_convergence_enforcement(self, proto):
+        with pytest.raises(SimulationError, match="did not stabilize"):
+            run_trials(proto, 40, trials=2, seed=22, max_interactions=10, workers=2)

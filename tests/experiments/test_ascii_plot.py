@@ -1,0 +1,85 @@
+"""Tests for the terminal plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import line_plot, stacked_bars
+
+
+class TestLinePlot:
+    def test_renders_series_and_legend(self):
+        out = line_plot(
+            {"k=4": ([1, 2, 3], [10, 20, 30])},
+            title="T",
+            xlabel="n",
+            ylabel="y",
+        )
+        assert "T" in out
+        assert "o=k=4" in out
+        assert "n" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_plot(
+            {"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])},
+        )
+        assert "o=a" in out
+        assert "x=b" in out
+
+    def test_log_scale(self):
+        out = line_plot(
+            {"s": ([1, 2, 3], [10, 1000, 100000])},
+            logy=True,
+        )
+        assert "[log y]" in out
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            line_plot({"s": ([1, 2], [0, 5])}, logy=True)
+
+    def test_empty(self):
+        assert "no data" in line_plot({})
+        assert "no data" in line_plot({"s": ([], [])})
+
+    def test_degenerate_single_point(self):
+        out = line_plot({"s": ([5], [7])})
+        assert "o" in out
+
+    def test_width_height_respected(self):
+        out = line_plot({"s": ([1, 2], [1, 2])}, width=30, height=8)
+        body_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(body_lines) == 8
+
+
+class TestStackedBars:
+    def test_renders_rows_and_totals(self):
+        out = stacked_bars(
+            [("n=8", [5, 10]), ("n=12", [10, 30])],
+            ["first", "second"],
+            title="F4",
+        )
+        assert "F4" in out
+        assert "n=8" in out
+        assert "15" in out  # total of first row
+        assert "40" in out
+
+    def test_legend_layers(self):
+        out = stacked_bars([("r", [1, 2, 3])], ["a", "b", "c"])
+        assert "=a" in out and "=b" in out and "=c" in out
+
+    def test_bar_lengths_proportional(self):
+        out = stacked_bars(
+            [("small", [10]), ("big", [40])], ["x"], width=40
+        )
+        lines = [l for l in out.splitlines() if "|" in l]
+        small_len = lines[0].split("|")[1].rstrip().count("█")
+        big_len = lines[1].split("|")[1].rstrip().count("█")
+        assert big_len == 40
+        assert small_len == 10
+
+    def test_empty(self):
+        assert "no data" in stacked_bars([], ["x"])
+
+    def test_zero_totals_handled(self):
+        out = stacked_bars([("z", [0.0, 0.0])], ["a", "b"])
+        assert "z" in out

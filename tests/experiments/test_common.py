@@ -1,0 +1,61 @@
+"""Tests for the shared experiment plumbing."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ProgressPrinter, point_seed, write_outputs
+from repro.io import ResultTable
+
+
+class TestPointSeed:
+    def test_deterministic(self):
+        assert point_seed(1, "fig3", 4, 10) == point_seed(1, "fig3", 4, 10)
+
+    def test_distinct_per_point(self):
+        seeds = {
+            point_seed(1, "fig3", k, n)
+            for k in (3, 4, 5)
+            for n in range(10, 30)
+        }
+        assert len(seeds) == 60
+
+    def test_distinct_per_experiment_seed(self):
+        assert point_seed(1, "x") != point_seed(2, "x")
+
+    def test_fits_in_uint64(self):
+        assert 0 <= point_seed(0, "anything", 999) < 2**64
+
+
+class TestProgressPrinter:
+    def test_enabled_writes_stderr(self, capsys):
+        printer = ProgressPrinter(enabled=True)
+        printer("hello")
+        captured = capsys.readouterr()
+        assert "hello" in captured.err
+        assert captured.out == ""
+
+    def test_disabled_is_silent(self, capsys):
+        printer = ProgressPrinter(enabled=False)
+        printer("hello")
+        captured = capsys.readouterr()
+        assert captured.err == ""
+
+
+class TestWriteOutputs:
+    def test_none_out_dir_is_noop(self):
+        t = ResultTable("x")
+        t.append(a=1)
+        write_outputs(t, None)  # must not raise
+
+    def test_writes_all_artifacts(self, tmp_path):
+        t = ResultTable("x")
+        t.append(a=1)
+        write_outputs(t, tmp_path, render=lambda table: "RENDERED")
+        assert (tmp_path / "x.csv").exists()
+        assert (tmp_path / "x.json").exists()
+        assert (tmp_path / "x.txt").read_text() == "RENDERED\n"
+
+    def test_no_render_skips_txt(self, tmp_path):
+        t = ResultTable("y")
+        t.append(a=1)
+        write_outputs(t, tmp_path)
+        assert not (tmp_path / "y.txt").exists()

@@ -1,0 +1,43 @@
+"""Tests for the stabilization-time distribution experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.distribution import (
+    QUICK_PARAMS,
+    render_distribution,
+    run_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_distribution(**QUICK_PARAMS, seed=6)
+
+
+class TestDistribution:
+    def test_quantiles_ordered(self, table):
+        for row in table.rows:
+            assert row["p05"] <= row["p25"] <= row["median"]
+            assert row["median"] <= row["p75"] <= row["p95"] <= row["p99"]
+
+    def test_right_skew(self, table):
+        """The documented claim: the distribution is right-skewed."""
+        for row in table.rows:
+            assert row["skewness"] > 0
+            assert row["mean_over_median"] > 1.0
+
+    def test_mean_between_quartiles_extremes(self, table):
+        for row in table.rows:
+            assert row["p05"] < row["mean"] < row["p99"]
+
+    def test_render(self, table):
+        out = render_distribution(table)
+        assert "distribution" in out
+        assert "median" in out
+
+    def test_registered_in_cli(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        assert "distribution" in EXPERIMENTS

@@ -1,0 +1,42 @@
+"""Tests for the exact-validation experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.exact_validation import (
+    QUICK_PARAMS,
+    render_exact_validation,
+    run_exact_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_exact_validation(**QUICK_PARAMS, seed=5)
+
+
+class TestExactValidation:
+    def test_points_covered(self, table):
+        assert {(row["k"], row["n"]) for row in table.rows} == set(
+            QUICK_PARAMS["points"]
+        )
+
+    def test_gaps_within_statistical_error(self, table):
+        for row in table.rows:
+            assert row["gap_in_sigmas"] < 5.0, row
+
+    def test_exact_values_positive(self, table):
+        for row in table.rows:
+            assert row["exact_mean"] > 0
+            assert row["reachable_configs"] > 1
+
+    def test_render(self, table):
+        out = render_exact_validation(table)
+        assert "Exact expected interactions" in out
+        assert "worst gap" in out
+
+    def test_registered_in_cli(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        assert "exact-validation" in EXPERIMENTS

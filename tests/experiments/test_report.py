@@ -1,0 +1,40 @@
+"""Tests for the consolidated reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import render_report, run_report
+
+
+@pytest.fixture(scope="module")
+def table():
+    # The quick grids are calibrated for stable verdicts; a reduced
+    # trial override keeps this test fast while still meaningful.
+    return run_report(quick=True, seed=201801)
+
+
+class TestReport:
+    def test_all_claims_pass(self, table):
+        failing = [r for r in table.rows if not r["verdict"]]
+        assert not failing, failing
+
+    def test_covers_every_figure(self, table):
+        figures = {r["figure"] for r in table.rows}
+        assert {"fig3", "fig4", "fig5", "fig6", "state-table",
+                "uniformity-gap", "exact-validation"} <= figures
+
+    def test_measured_strings_populated(self, table):
+        for r in table.rows:
+            assert r["measured"]
+
+    def test_render(self, table):
+        out = render_report(table)
+        assert "Reproduction report" in out
+        assert "PASS" in out
+        assert f"{len(table.rows)}/{len(table.rows)} claims pass" in out
+
+    def test_registered_in_cli(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        assert "report" in EXPERIMENTS

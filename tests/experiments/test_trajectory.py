@@ -1,0 +1,64 @@
+"""Tests for the trajectory extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.trajectory import (
+    QUICK_PARAMS,
+    render_trajectory,
+    run_trajectory,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_trajectory(**QUICK_PARAMS, seed=4)
+
+
+class TestTrajectory:
+    def test_long_format(self, table):
+        k = QUICK_PARAMS["k"]
+        times = {int(r["interactions"]) for r in table.rows}
+        # Every sampled time has one row per group.
+        for t in times:
+            rows = [r for r in table.rows if r["interactions"] == t]
+            assert {int(r["group"]) for r in rows} == set(range(1, k + 1))
+
+    def test_sizes_conserve_population_at_final_time(self, table):
+        n = QUICK_PARAMS["n"]
+        final_t = max(int(r["interactions"]) for r in table.rows)
+        total = sum(
+            int(r["size"]) for r in table.rows if r["interactions"] == final_t
+        )
+        assert total == n
+
+    def test_final_partition_uniform(self, table):
+        n, k = QUICK_PARAMS["n"], QUICK_PARAMS["k"]
+        final_t = max(int(r["interactions"]) for r in table.rows)
+        sizes = [
+            int(r["size"]) for r in table.rows if r["interactions"] == final_t
+        ]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+    def test_lemma1_staircase_along_trajectory(self, table):
+        """#g_x >= #g_k at every sample (a consequence of Lemma 1,
+        modulo the m/d agents mapped into groups)."""
+        out = render_trajectory(table)
+        held, total = out.rsplit("held at ", 1)[1].split(" samples")[0].split("/")
+        assert held == total
+
+    def test_times_monotone(self, table):
+        times = [int(r["interactions"]) for r in table.where(group=1).rows]
+        assert times == sorted(times)
+
+    def test_render(self, table):
+        out = render_trajectory(table)
+        assert "Group sizes" in out
+        assert "staircase" in out
+
+    def test_registered_in_cli(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        assert "trajectory" in EXPERIMENTS

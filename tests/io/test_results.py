@@ -1,0 +1,99 @@
+"""Tests for the result-table persistence layer."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.io import ResultTable, load_table
+
+
+class TestResultTable:
+    def test_append_and_columns(self):
+        t = ResultTable("t")
+        t.append(a=1, b=2.5)
+        t.append(a=2, c="x")
+        assert t.columns == ["a", "b", "c"]
+        assert len(t) == 2
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == [2.5, None]
+
+    def test_extend(self):
+        t = ResultTable("t")
+        t.extend([{"a": 1}, {"a": 2}])
+        assert len(t) == 2
+
+    def test_non_scalar_values_rejected(self):
+        t = ResultTable("t")
+        with pytest.raises(TypeError, match="scalars"):
+            t.append(a=[1, 2])
+        with pytest.raises(TypeError, match="scalars"):
+            t.append(a={"nested": 1})
+
+    def test_non_string_keys_rejected(self):
+        t = ResultTable("t")
+        with pytest.raises(TypeError, match="strings"):
+            t.extend([{1: "x"}])  # type: ignore[dict-item]
+
+    def test_where_filters(self):
+        t = ResultTable("t")
+        t.append(k=3, n=10)
+        t.append(k=3, n=20)
+        t.append(k=4, n=10)
+        sub = t.where(k=3)
+        assert len(sub) == 2
+        sub2 = t.where(k=3, n=20)
+        assert len(sub2) == 1
+
+    def test_render(self):
+        t = ResultTable("t")
+        t.append(name="alpha", value=1.23456)
+        out = t.render(floatfmt=".2f")
+        assert "alpha" in out
+        assert "1.23" in out
+
+    def test_render_empty(self):
+        assert "empty" in ResultTable("t").render()
+
+    def test_render_max_rows(self):
+        t = ResultTable("t")
+        for i in range(10):
+            t.append(i=i)
+        out = t.render(max_rows=3)
+        assert "7 more rows" in out
+
+
+class TestPersistence:
+    def test_csv_roundtrip_columns(self, tmp_path):
+        t = ResultTable("exp")
+        t.append(k=3, mean=1.5)
+        t.append(k=4, mean=2.5)
+        path = t.write_csv(tmp_path / "out.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["k"] == "3"
+        assert rows[1]["mean"] == "2.5"
+
+    def test_json_roundtrip(self, tmp_path):
+        t = ResultTable("exp", params={"trials": 100})
+        t.append(k=3, mean=1.5)
+        path = t.write_json(tmp_path / "out.json")
+        loaded = load_table(path)
+        assert loaded.name == "exp"
+        assert loaded.params == {"trials": 100}
+        assert loaded.rows == t.rows
+
+    def test_json_is_valid(self, tmp_path):
+        t = ResultTable("exp")
+        t.append(flag=True, missing=None)
+        path = t.write_json(tmp_path / "x.json")
+        payload = json.loads(path.read_text())
+        assert payload["rows"][0] == {"flag": True, "missing": None}
+
+    def test_directories_created(self, tmp_path):
+        t = ResultTable("exp")
+        t.append(a=1)
+        path = t.write_csv(tmp_path / "deep" / "nested" / "out.csv")
+        assert path.exists()

@@ -1,0 +1,58 @@
+"""Tests for execution-trace serialization and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Population, record_script
+from repro.io import load_trace, replay, save_trace, trace_from_dict, trace_to_dict
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+FIG_SCRIPT = [(0, 1), (2, 3), (0, 2), (0, 1)]
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, proto):
+        pop = Population(proto, n=4)
+        trace = record_script(pop, FIG_SCRIPT)
+        data = trace_to_dict(trace)
+        back = trace_from_dict(data, proto)
+        assert back.pairs() == trace.pairs()
+        assert [s.before for s in back.steps] == [s.before for s in trace.steps]
+        assert back.configurations[-1] == trace.configurations[-1]
+
+    def test_file_roundtrip(self, proto, tmp_path):
+        pop = Population(proto, n=4)
+        trace = record_script(pop, FIG_SCRIPT)
+        path = save_trace(trace, tmp_path / "trace.json")
+        loaded = load_trace(path, proto)
+        assert loaded.pairs() == trace.pairs()
+        assert len(loaded.configurations) == len(trace.configurations)
+
+    def test_snapshotless_trace(self, proto, tmp_path):
+        pop = Population(proto, n=4)
+        trace = record_script(pop, FIG_SCRIPT, snapshots=False)
+        loaded = load_trace(save_trace(trace, tmp_path / "t.json"), proto)
+        assert loaded.configurations == []
+
+
+class TestReplay:
+    def test_replay_reproduces_final_state(self, proto):
+        pop = Population(proto, n=4)
+        trace = record_script(pop, FIG_SCRIPT)
+        fresh = Population(proto, n=4)
+        replay(trace, fresh)
+        assert fresh.state_names() == pop.state_names()
+
+    def test_replay_detects_divergence(self, proto):
+        pop = Population(proto, n=4)
+        trace = record_script(pop, FIG_SCRIPT)
+        wrong_start = Population(proto, ["g1", "g2", "g3", "initial"])
+        with pytest.raises(AssertionError, match="diverged"):
+            replay(trace, wrong_start)

@@ -1,0 +1,100 @@
+"""Property-based tests for the baseline and extension protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine import CountBasedEngine
+from repro.protocols import (
+    approximate_k_partition,
+    r_generalized_partition,
+    repeated_bipartition,
+    uniform_bipartition,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+_CACHE: dict = {}
+
+
+def cached(factory, key):
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(min_value=3, max_value=50), seed=seeds)
+def test_bipartition_always_within_one(n, seed):
+    p = cached(uniform_bipartition, "bip")
+    r = CountBasedEngine().run(p, n, seed=seed)
+    assert r.converged
+    sizes = r.group_sizes
+    assert abs(int(sizes[0]) - int(sizes[1])) == n % 2
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(h=st.integers(min_value=1, max_value=3), mult=st.integers(min_value=1, max_value=5), seed=seeds)
+def test_repeated_bipartition_exact_on_divisible_n(h, mult, seed):
+    p = cached(lambda: repeated_bipartition(h), ("rep", h))
+    n = (2**h) * mult
+    if n < 3:
+        n *= 2
+    r = CountBasedEngine().run(p, n, seed=seed)
+    assert r.converged
+    sizes = r.group_sizes
+    assert int(sizes.max()) == int(sizes.min())
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    h=st.integers(min_value=1, max_value=3),
+    n=st.integers(min_value=3, max_value=40),
+    seed=seeds,
+)
+def test_repeated_bipartition_spread_bounded_by_h(h, n, seed):
+    p = cached(lambda: repeated_bipartition(h), ("rep", h))
+    r = CountBasedEngine().run(p, n, seed=seed)
+    assert r.converged
+    sizes = r.group_sizes
+    assert int(sizes.max() - sizes.min()) <= h
+    assert int(sizes.sum()) == n
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    k=st.integers(min_value=2, max_value=5),
+    n=st.integers(min_value=8, max_value=60),
+    seed=seeds,
+)
+def test_approx_partition_floor_guarantee(k, n, seed):
+    p = cached(lambda: approximate_k_partition(k), ("apx", k))
+    r = CountBasedEngine().run(p, n, seed=seed)
+    assert r.converged
+    assert int(r.group_sizes.min()) >= n // (2 * k)
+    assert int(r.group_sizes.sum()) == n
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    # Keep the slot count W = sum(ratio) small: the underlying uniform
+    # W-partition costs interactions exponential in W (the paper's
+    # Figure 6), so W = 16 would take hours.  W <= 8 stays in seconds.
+    ratio=st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=3),
+    mult=st.integers(min_value=1, max_value=4),
+    seed=seeds,
+)
+def test_rgeneralized_ratio_error_bounded(ratio, mult, seed):
+    ratio = tuple(ratio)
+    p = cached(lambda: r_generalized_partition(ratio), ("rg", ratio))
+    W = sum(ratio)
+    n = max(W * mult, 3)
+    r = CountBasedEngine().run(p, n, seed=seed)
+    assert r.converged
+    targets = np.asarray(ratio, dtype=float) * n / W
+    deviation = np.abs(r.group_sizes - targets).max()
+    assert deviation <= max(ratio)
+    # Exact proportions when W divides n.
+    if n % W == 0:
+        assert deviation == 0

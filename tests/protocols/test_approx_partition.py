@@ -1,0 +1,116 @@
+"""Tests for the reconstructed approximate k-partition baseline [14]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProtocolError
+from repro.engine import CountBasedEngine, run_trials
+from repro.protocols import ApproximatePartitionProtocol, approximate_k_partition
+
+
+class TestStructure:
+    @pytest.mark.parametrize("k", [2, 3, 4, 6, 8])
+    def test_state_count_k_k_plus_3_over_2(self, k):
+        # The count the paper quotes for the baseline.
+        p = approximate_k_partition(k)
+        assert p.num_states == k * (k + 3) // 2
+        assert ApproximatePartitionProtocol.state_count(k) == k * (k + 3) // 2
+
+    def test_not_symmetric(self):
+        # The split rule (iv, iv) -> (left, right) is asymmetric - one
+        # of the dimensions Algorithm 1 improves on.
+        p = approximate_k_partition(4)
+        assert not p.is_symmetric
+        asym = p.transitions.asymmetric_rules()
+        assert all(t.p == t.q and t.p2 != t.q2 for t in asym)
+
+    def test_initial_state_is_full_interval(self):
+        assert approximate_k_partition(5).initial_state == "iv1_5"
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ProtocolError):
+            approximate_k_partition(1)
+        with pytest.raises(ProtocolError):
+            ApproximatePartitionProtocol.state_count(0)
+
+    def test_split_rule(self):
+        p = approximate_k_partition(4)
+        # [1,4] splits at mid = 2 into [1,2] and [3,4].
+        assert p.transitions.apply("iv1_4", "iv1_4") == ("iv1_2", "iv3_4")
+        assert p.transitions.apply("iv1_2", "iv1_2") == ("iv1_1", "iv2_2")
+
+    def test_odd_interval_split(self):
+        p = approximate_k_partition(3)
+        # [1,3] splits at mid = 2 into [1,2] and [3,3].
+        assert p.transitions.apply("iv1_3", "iv1_3") == ("iv1_2", "iv3_3")
+
+    def test_singleton_settles_on_any_partner(self):
+        p = approximate_k_partition(3)
+        assert p.transitions.apply("iv2_2", "iv1_3") == ("s2", "iv1_3")
+        assert p.transitions.apply("iv2_2", "s1") == ("s2", "s1")
+        assert p.transitions.apply("iv2_2", "iv2_2") == ("s2", "s2")
+        assert p.transitions.apply("iv1_1", "iv3_3") == ("s1", "s3")
+
+    def test_settled_agents_are_inert_together(self):
+        p = approximate_k_partition(3)
+        assert p.transitions.apply("s1", "s2") == ("s1", "s2")
+        assert p.transitions.apply("s3", "s3") == ("s3", "s3")
+
+    def test_group_map(self):
+        p = approximate_k_partition(4)
+        assert p.space.group_of("iv1_4") == 1
+        assert p.space.group_of("iv3_4") == 3
+        assert p.space.group_of("s2") == 2
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("k,n", [(2, 20), (3, 60), (4, 64), (4, 100), (6, 120)])
+    def test_min_group_size_floor(self, k, n):
+        """The baseline's advertised guarantee: every group >= n/(2k)."""
+        p = approximate_k_partition(k)
+        ts = run_trials(p, n, trials=10, engine=CountBasedEngine(), seed=31)
+        assert ts.all_converged
+        floor = p.guaranteed_min_group_size(n)
+        for r in ts.results:
+            assert int(r.group_sizes.min()) >= floor, (r.group_sizes, floor)
+
+    def test_partition_is_generally_not_uniform(self):
+        """The motivation for Algorithm 1: the baseline's skew is real.
+
+        With k = 3 the interval tree is lopsided ([1,3] -> [1,2]+[3,3]),
+        so group 3 collects about half the population.
+        """
+        p = approximate_k_partition(3)
+        ts = run_trials(p, 90, trials=10, engine=CountBasedEngine(), seed=32)
+        spreads = [int(r.group_sizes.max() - r.group_sizes.min()) for r in ts.results]
+        assert np.mean(spreads) > 1.0  # systematically worse than uniform
+
+    def test_population_conserved(self):
+        p = approximate_k_partition(4)
+        r = CountBasedEngine().run(p, 50, seed=33)
+        assert int(r.final_counts.sum()) == 50
+        assert int(r.group_sizes.sum()) == 50
+
+
+class TestStability:
+    def test_stability_predicate_semantics(self):
+        p = approximate_k_partition(3)
+        pred = p.stability_predicate(4)
+        counts = np.zeros(p.num_states, dtype=np.int64)
+        # Two agents still share [1,3]: can split again -> not stable.
+        counts[p.space.index("iv1_3")] = 2
+        counts[p.space.index("s1")] = 2
+        assert not pred(counts)
+        # One leftover per interval node: frozen.
+        counts[p.space.index("iv1_3")] = 1
+        counts[p.space.index("s1")] = 3
+        assert pred(counts)
+
+    def test_converged_runs_are_stable(self):
+        p = approximate_k_partition(4)
+        r = CountBasedEngine().run(p, 30, seed=34)
+        assert r.converged
+        pred = p.stability_predicate(30)
+        assert pred(r.final_counts)

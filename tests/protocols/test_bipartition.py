@@ -1,0 +1,84 @@
+"""Tests for the 4-state uniform bipartition protocol [25]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProtocolError
+from repro.engine import CountBasedEngine, run_trials
+from repro.protocols import uniform_bipartition, uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def bip():
+    return uniform_bipartition()
+
+
+class TestStructure:
+    def test_four_states(self, bip):
+        # The provably minimal count for symmetric bipartition [25].
+        assert bip.num_states == 4
+
+    def test_symmetric(self, bip):
+        assert bip.is_symmetric
+
+    def test_group_map(self, bip):
+        assert bip.space.group_of("g1") == 1
+        assert bip.space.group_of("g2") == 2
+        assert bip.space.group_of("initial") == 1
+        assert bip.space.group_of("initial'") == 1
+
+    def test_matches_kpartition_k2(self, bip):
+        """Section 4: Algorithm 1 with k = 2 IS the bipartition protocol."""
+        k2 = uniform_k_partition(2)
+        assert set(bip.states) == set(k2.states)
+        rules_bip = {(t.p, t.q): (t.p2, t.q2) for t in bip.transitions}
+        rules_k2 = {(t.p, t.q): (t.p2, t.q2) for t in k2.transitions}
+        assert rules_bip == rules_k2
+
+
+class TestStability:
+    def test_expected_sizes_even(self, bip):
+        assert bip.expected_group_sizes(10).tolist() == [5, 5]
+
+    def test_expected_sizes_odd(self, bip):
+        # The leftover free agent counts toward group 1.
+        assert bip.expected_group_sizes(11).tolist() == [6, 5]
+
+    def test_expected_sizes_nonpositive_rejected(self, bip):
+        with pytest.raises(ProtocolError, match="positive"):
+            bip.expected_group_sizes(0)
+
+    def test_stability_predicate(self, bip):
+        pred = bip.stability_predicate(5)
+        counts = np.zeros(4, dtype=np.int64)
+        counts[bip.space.index("g1")] = 2
+        counts[bip.space.index("g2")] = 2
+        counts[bip.space.index("initial'")] = 1
+        assert pred(counts)
+        assert not pred(bip.initial_counts(5))
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("n", [3, 4, 9, 10, 25])
+    def test_stabilizes_to_even_split(self, bip, n):
+        ts = run_trials(bip, n, trials=10, engine=CountBasedEngine(), seed=5)
+        assert ts.all_converged
+        for r in ts.results:
+            assert r.group_sizes.tolist() == bip.expected_group_sizes(n).tolist()
+
+    def test_same_distribution_as_kpartition_k2(self, bip):
+        """k = 2 instance of Algorithm 1 behaves statistically identically.
+
+        (The two tables register the same rules in different order, so
+        sample paths differ even under the same seed; the interaction-
+        count distributions must nevertheless agree.  Deterministic
+        seeds make this test non-flaky.)
+        """
+        from scipy import stats
+
+        k2 = uniform_k_partition(2)
+        a = run_trials(bip, 20, trials=120, seed=11).interactions
+        b = run_trials(k2, 20, trials=120, seed=12).interactions
+        assert stats.ks_2samp(a, b).pvalue > 0.01

@@ -1,0 +1,137 @@
+"""Rule-by-rule verification of Algorithm 1's transition listing.
+
+Each test checks one numbered rule of the paper against the
+implementation's transition table, for representative k, including the
+rules' side conditions (index ranges) and the OCR-corrected flip
+outputs of rules 3 and 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def p6():
+    return uniform_k_partition(6)
+
+
+def applied(p, a, b):
+    return p.transitions.apply(a, b)
+
+
+class TestRule1And2:
+    def test_rule1_initial_pair_flips(self, p6):
+        assert applied(p6, "initial", "initial") == ("initial'", "initial'")
+
+    def test_rule2_prime_pair_flips_back(self, p6):
+        assert applied(p6, "initial'", "initial'") == ("initial", "initial")
+
+
+class TestRule3:
+    @pytest.mark.parametrize("i", [1, 2, 3, 4])
+    def test_d_flips_free_agent(self, p6, i):
+        # OCR correction: the free agent's flavour flips.
+        assert applied(p6, f"d{i}", "initial") == (f"d{i}", "initial'")
+        assert applied(p6, f"d{i}", "initial'") == (f"d{i}", "initial")
+
+    def test_mirrored(self, p6):
+        assert applied(p6, "initial", "d2") == ("initial'", "d2")
+
+
+class TestRule4:
+    @pytest.mark.parametrize("i", [1, 2, 3, 4, 5, 6])
+    def test_g_flips_free_agent(self, p6, i):
+        assert applied(p6, f"g{i}", "initial") == (f"g{i}", "initial'")
+        assert applied(p6, f"g{i}", "initial'") == (f"g{i}", "initial")
+
+
+class TestRule5:
+    def test_chain_start(self, p6):
+        assert applied(p6, "initial", "initial'") == ("g1", "m2")
+
+    def test_k2_special_case(self):
+        p2 = uniform_k_partition(2)
+        assert p2.transitions.apply("initial", "initial'") == ("g1", "g2")
+
+
+class TestRule6:
+    @pytest.mark.parametrize("i", [2, 3, 4])
+    def test_chain_extension(self, p6, i):
+        # 2 <= i <= k-2 = 4 for k = 6.
+        assert applied(p6, "initial", f"m{i}") == (f"g{i}", f"m{i+1}")
+        assert applied(p6, "initial'", f"m{i}") == (f"g{i}", f"m{i+1}")
+
+    def test_range_ends_at_k_minus_2(self, p6):
+        # i = k-1 = 5 belongs to rule 7, not rule 6.
+        assert applied(p6, "initial", "m5") == ("g5", "g6")
+
+    def test_k3_has_no_rule6(self):
+        # For k = 3 the range 2..k-2 is empty; (ini, m2) is rule 7.
+        p3 = uniform_k_partition(3)
+        assert p3.transitions.apply("initial", "m2") == ("g2", "g3")
+
+
+class TestRule7:
+    def test_chain_completion(self, p6):
+        assert applied(p6, "initial", "m5") == ("g5", "g6")
+        assert applied(p6, "initial'", "m5") == ("g5", "g6")
+
+
+class TestRule8:
+    @pytest.mark.parametrize("i,j", [(2, 2), (2, 5), (3, 4), (5, 5), (4, 2)])
+    def test_chain_collision(self, p6, i, j):
+        assert applied(p6, f"m{i}", f"m{j}") == (f"d{i-1}", f"d{j-1}")
+
+    def test_same_index_collision_symmetric(self, p6):
+        out = applied(p6, "m3", "m3")
+        assert out == ("d2", "d2")
+
+
+class TestRule9:
+    @pytest.mark.parametrize("i", [2, 3, 4])
+    def test_unwind_releases_group_member(self, p6, i):
+        assert applied(p6, f"d{i}", f"g{i}") == (f"d{i-1}", "initial")
+
+    def test_mismatched_indices_are_null(self, p6):
+        # (d_i, g_j) with i != j has no rule.
+        assert applied(p6, "d3", "g2") == ("d3", "g2")
+        assert applied(p6, "d2", "g5") == ("d2", "g5")
+
+
+class TestRule10:
+    def test_final_unwind(self, p6):
+        assert applied(p6, "d1", "g1") == ("initial", "initial")
+
+
+class TestNullPairs:
+    """Pairs Algorithm 1 deliberately leaves inert."""
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("g1", "g2"),
+            ("g3", "g3"),
+            ("g6", "g1"),
+            ("m2", "g4"),
+            ("m3", "d1"),
+            ("d1", "d2"),
+            ("d2", "d2"),
+            ("m4", "g4"),
+        ],
+    )
+    def test_null(self, p6, a, b):
+        assert applied(p6, a, b) == (a, b)
+        assert applied(p6, b, a) == (b, a)
+
+    def test_rule_count_closed_form(self):
+        # Ordered non-null rule count as a function of k (k >= 4):
+        # rules 1,2: 2; rule 3: 4(k-2); rule 4: 4k; rule 5: 2;
+        # rule 6: 4(k-3); rule 7: 4; rule 8: (k-2)^2; rule 9: 2(k-3);
+        # rule 10: 2.
+        for k in (4, 5, 6, 8):
+            p = uniform_k_partition(k)
+            expected = 2 + 4 * (k - 2) + 4 * k + 2 + 4 * (k - 3) + 4 + (k - 2) ** 2 + 2 * (k - 3) + 2
+            assert len(p.rules()) == expected, k

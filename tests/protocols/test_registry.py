@@ -1,0 +1,68 @@
+"""Tests for the protocol registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Protocol, ProtocolError, StateSpace, TransitionTable
+from repro.protocols import available_protocols, build_protocol
+from repro.protocols.registry import PROTOCOL_BUILDERS, register_protocol
+
+
+class TestBuild:
+    def test_all_registered_names_listed(self):
+        names = available_protocols()
+        assert "uniform-k-partition" in names
+        assert "approx-k-partition" in names
+        assert names == sorted(names)
+
+    def test_build_with_params(self):
+        p = build_protocol("uniform-k-partition", k=5)
+        assert p.num_states == 13
+
+    def test_build_parameterless(self):
+        p = build_protocol("leader-election")
+        assert p.num_states == 2
+
+    def test_build_ratio_protocol(self):
+        p = build_protocol("r-generalized-partition", ratio=(1, 2))
+        assert p.num_groups == 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown protocol"):
+            build_protocol("no-such-protocol")
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ProtocolError, match="bad parameters"):
+            build_protocol("uniform-k-partition", wrong_kw=3)
+
+    def test_every_builder_produces_a_protocol(self):
+        samples = {
+            "uniform-k-partition": {"k": 3},
+            "uniform-bipartition": {},
+            "repeated-bipartition": {"h": 2},
+            "approx-k-partition": {"k": 3},
+            "r-generalized-partition": {"ratio": (1, 2)},
+            "leader-election": {},
+            "approximate-majority": {},
+        }
+        assert set(samples) == set(PROTOCOL_BUILDERS)
+        for name, params in samples.items():
+            assert isinstance(build_protocol(name, **params), Protocol)
+
+
+class TestRegister:
+    def test_register_and_build_custom(self):
+        def builder():
+            space = StateSpace(["z"])
+            return Protocol("custom", space, TransitionTable(space), "z")
+
+        register_protocol("custom-test-protocol", builder)
+        try:
+            assert build_protocol("custom-test-protocol").name == "custom"
+        finally:
+            del PROTOCOL_BUILDERS["custom-test-protocol"]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ProtocolError, match="already registered"):
+            register_protocol("leader-election", lambda: None)  # type: ignore[arg-type]

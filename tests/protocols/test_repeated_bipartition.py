@@ -1,0 +1,129 @@
+"""Tests for the repeated-bipartition construction (k = 2^h)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProtocolError
+from repro.engine import CountBasedEngine, run_trials
+from repro.protocols import repeated_bipartition
+
+
+class TestStructure:
+    @pytest.mark.parametrize("h,k", [(1, 2), (2, 4), (3, 8)])
+    def test_group_count(self, h, k):
+        p = repeated_bipartition(h)
+        assert p.k == k
+        assert p.num_groups == k
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_state_count_matches_3k_minus_2(self, h):
+        # Interesting coincidence checked in DESIGN.md: the hierarchy
+        # also needs 3 * 2^h - 2 reachable states.
+        p = repeated_bipartition(h)
+        assert p.num_states == 3 * 2**h - 2
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_symmetric(self, h):
+        assert repeated_bipartition(h).is_symmetric
+
+    def test_h1_is_plain_bipartition_shape(self):
+        p = repeated_bipartition(1)
+        assert p.num_states == 4
+        assert p.num_groups == 2
+
+    def test_invalid_h_rejected(self):
+        with pytest.raises(ProtocolError):
+            repeated_bipartition(0)
+        with pytest.raises(ProtocolError):
+            repeated_bipartition(-1)
+
+    def test_level_one_commit_rule(self):
+        p = repeated_bipartition(2)
+        out = p.transitions.apply("node::initial", "node::initial'")
+        assert out == ("node:1:initial", "node:2:initial")
+
+    def test_leaf_commit_rule(self):
+        p = repeated_bipartition(2)
+        out = p.transitions.apply("node:1:initial", "node:1:initial'")
+        assert out == ("leaf:11", "leaf:12")
+
+    def test_cross_subtree_free_agents_flip_each_other(self):
+        # Free agents of DIFFERENT nodes toggle flavours on contact.
+        # This cross-node flipping is load-bearing: without it, a node
+        # whose final share is exactly two agents has no third party to
+        # desynchronize the pair, and two same-flavour agents flip in
+        # lockstep forever (the sub-population would violate the
+        # bipartition protocol's own n >= 3 assumption).
+        p = repeated_bipartition(2)
+        out = p.transitions.apply("node:1:initial", "node:2:initial")
+        assert out == ("node:1:initial'", "node:2:initial'")
+
+    def test_decided_agent_flips_any_free_agent(self):
+        p = repeated_bipartition(2)
+        out = p.transitions.apply("leaf:11", "node:1:initial")
+        assert out == ("leaf:11", "node:1:initial'")
+        out = p.transitions.apply("node:1:initial", "node::initial")
+        assert out == ("node:1:initial'", "node::initial'")
+        # ... including free agents of other subtrees.
+        out = p.transitions.apply("leaf:22", "node:1:initial")
+        assert out == ("leaf:22", "node:1:initial'")
+
+    def test_exactly_two_agent_nodes_converge(self):
+        # The regression that motivated cross-node flips: h = 2, n = 4
+        # sends exactly two agents to each level-1 node.
+        p = repeated_bipartition(2)
+        r = CountBasedEngine().run(p, 4, seed=0, max_interactions=100_000)
+        assert r.converged
+        assert r.group_sizes.tolist() == [1, 1, 1, 1]
+
+
+class TestGroupMap:
+    def test_leaf_groups_enumerate_paths(self):
+        p = repeated_bipartition(2)
+        assert p.space.group_of("leaf:11") == 1
+        assert p.space.group_of("leaf:12") == 2
+        assert p.space.group_of("leaf:21") == 3
+        assert p.space.group_of("leaf:22") == 4
+
+    def test_undecided_agents_read_as_first_subgroup(self):
+        p = repeated_bipartition(2)
+        assert p.space.group_of("node::initial") == 1
+        assert p.space.group_of("node:2:initial'") == 3
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("h,n", [(1, 10), (2, 16), (2, 32), (3, 24)])
+    def test_exact_uniformity_when_k_divides_n(self, h, n):
+        p = repeated_bipartition(h)
+        assert n % p.k == 0
+        ts = run_trials(p, n, trials=8, engine=CountBasedEngine(), seed=21)
+        assert ts.all_converged
+        for r in ts.results:
+            sizes = r.group_sizes
+            assert sizes.max() - sizes.min() == 0, sizes
+
+    @pytest.mark.parametrize("h,n", [(2, 7), (2, 13), (3, 21)])
+    def test_spread_bounded_by_h_in_general(self, h, n):
+        # The construction's known weakness (why the paper needed a new
+        # protocol): leftovers can stack up to one per level.
+        p = repeated_bipartition(h)
+        ts = run_trials(p, n, trials=10, engine=CountBasedEngine(), seed=22)
+        for r in ts.results:
+            assert int(r.group_sizes.sum()) == n
+            assert r.group_sizes.max() - r.group_sizes.min() <= h, r.group_sizes
+
+    def test_group_size_spread_helper(self):
+        p = repeated_bipartition(2)
+        r = CountBasedEngine().run(p, 16, seed=3)
+        assert p.group_size_spread(r.final_counts) == 0
+
+    def test_stable_configuration_persists(self):
+        # Run to stability, then assert the stability predicate agrees
+        # with the node-occupancy criterion.
+        p = repeated_bipartition(2)
+        r = CountBasedEngine().run(p, 15, seed=9)
+        assert r.converged
+        pred = p.stability_predicate(15)
+        assert pred(r.final_counts)

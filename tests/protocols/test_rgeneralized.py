@@ -1,0 +1,86 @@
+"""Tests for the R-generalized partition extension [24]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProtocolError
+from repro.engine import CountBasedEngine, run_trials
+from repro.protocols import r_generalized_partition
+
+
+class TestStructure:
+    def test_state_count_is_3w_minus_2(self):
+        p = r_generalized_partition((1, 2, 3))
+        assert p.total_weight == 6
+        assert p.num_states == 3 * 6 - 2
+
+    def test_group_count_is_ratio_length(self):
+        p = r_generalized_partition((2, 5))
+        assert p.k == 2
+        assert p.num_groups == 2
+
+    def test_symmetric(self):
+        assert r_generalized_partition((1, 1, 2)).is_symmetric
+
+    def test_slot_to_group_mapping(self):
+        p = r_generalized_partition((2, 3))
+        # slots 1-2 -> group 1, slots 3-5 -> group 2.
+        assert p.space.group_of("g1") == 1
+        assert p.space.group_of("g2") == 1
+        assert p.space.group_of("g3") == 2
+        assert p.space.group_of("g5") == 2
+        assert p.space.group_of("m3") == 2
+        assert p.space.group_of("initial") == 1
+        assert p.space.group_of("d1") == 1
+
+    def test_uniform_ratio_reduces_to_uniform_partition(self):
+        p = r_generalized_partition((1, 1, 1))
+        sizes = p.expected_group_sizes(9)
+        assert sizes.tolist() == [3, 3, 3]
+
+    def test_bad_ratios_rejected(self):
+        with pytest.raises(ProtocolError):
+            r_generalized_partition((3,))
+        with pytest.raises(ProtocolError):
+            r_generalized_partition((1, 0))
+        with pytest.raises(ProtocolError):
+            r_generalized_partition((1, -2))
+
+    def test_inner_protocol_exposed(self):
+        p = r_generalized_partition((1, 2))
+        assert p.inner.k == 3
+
+
+class TestExpectedSizes:
+    def test_exact_when_w_divides_n(self):
+        p = r_generalized_partition((1, 2, 3))
+        sizes = p.expected_group_sizes(60)  # W = 6 divides 60
+        assert sizes.tolist() == [10, 20, 30]
+        assert p.max_ratio_error(60) == 0.0
+
+    def test_error_bounded_by_ratio_entry(self):
+        p = r_generalized_partition((1, 2, 3))
+        for n in (7, 11, 20, 33):
+            sizes = p.expected_group_sizes(n)
+            assert int(sizes.sum()) == n
+            targets = np.array([1, 2, 3]) * n / 6
+            assert np.abs(sizes - targets).max() <= 3  # max(ratio)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("ratio,n", [((1, 2), 30), ((1, 1, 2), 40), ((3, 1), 24)])
+    def test_stabilizes_to_expected_sizes(self, ratio, n):
+        p = r_generalized_partition(ratio)
+        ts = run_trials(p, n, trials=6, engine=CountBasedEngine(), seed=41)
+        assert ts.all_converged
+        expected = p.expected_group_sizes(n).tolist()
+        for r in ts.results:
+            assert r.group_sizes.tolist() == expected
+
+    def test_ratio_realized_proportionally(self):
+        p = r_generalized_partition((1, 3))
+        r = CountBasedEngine().run(p, 80, seed=42)
+        sizes = r.group_sizes
+        assert sizes.tolist() == [20, 60]

@@ -1,0 +1,62 @@
+"""Tests for the fairness diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling import (
+    RoundRobinScheduler,
+    StickyScheduler,
+    UniformScheduler,
+    WeightedScheduler,
+    chi_square_uniformity,
+    measure_pair_coverage,
+)
+
+
+class TestPairCoverage:
+    def test_uniform_covers_everything(self):
+        cov = measure_pair_coverage(UniformScheduler(8, seed=0), 20_000)
+        assert cov.total_pairs == 28
+        assert cov.coverage == 1.0
+        assert cov.min_count > 0
+        assert cov.imbalance < 1.5
+
+    def test_round_robin_perfectly_even(self):
+        n = 5
+        sched = RoundRobinScheduler(n)
+        cov = measure_pair_coverage(sched, n * (n - 1))
+        assert cov.coverage == 1.0
+        assert cov.min_count == cov.max_count == 2  # both orientations
+
+    def test_weighted_is_imbalanced(self):
+        cov = measure_pair_coverage(
+            WeightedScheduler([1, 1, 1, 1, 30], seed=1), 30_000
+        )
+        assert cov.coverage == 1.0  # every pair still occurs...
+        assert cov.imbalance > 2.0  # ...but far from evenly
+
+    def test_small_sample_partial_coverage(self):
+        cov = measure_pair_coverage(UniformScheduler(40, seed=2), 30)
+        assert cov.samples == 30
+        assert cov.distinct_pairs <= 30
+        assert cov.min_count == 0  # unseen pairs exist
+
+    def test_blocked_consumption_matches_total(self):
+        cov = measure_pair_coverage(UniformScheduler(6, seed=3), 10_000, block=128)
+        assert cov.samples == 10_000
+
+
+class TestChiSquare:
+    def test_uniform_scheduler_passes(self):
+        p = chi_square_uniformity(UniformScheduler(5, seed=4), 40_000)
+        assert p > 0.001
+
+    def test_weighted_scheduler_fails(self):
+        p = chi_square_uniformity(WeightedScheduler([1, 1, 1, 1, 20], seed=5), 40_000)
+        assert p < 1e-6
+
+    def test_sticky_scheduler_fails(self):
+        # Heavy repetition inflates some pair counts.
+        p = chi_square_uniformity(StickyScheduler(5, 0.9, seed=6), 40_000)
+        assert p < 1e-6

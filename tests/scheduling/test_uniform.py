@@ -1,0 +1,77 @@
+"""Tests for the uniform random scheduler (the paper's model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SchedulerError
+from repro.scheduling import UniformScheduler
+
+
+class TestBasics:
+    def test_pairs_are_distinct(self):
+        sched = UniformScheduler(10, seed=0)
+        a, b = sched.next_block(10_000)
+        assert (a != b).all()
+
+    def test_indices_in_range(self):
+        sched = UniformScheduler(7, seed=1)
+        a, b = sched.next_block(5_000)
+        for arr in (a, b):
+            assert arr.min() >= 0
+            assert arr.max() < 7
+
+    def test_single_pair_convenience(self):
+        sched = UniformScheduler(5, seed=2)
+        a, b = sched.next_pair()
+        assert a != b
+        assert 0 <= a < 5 and 0 <= b < 5
+
+    def test_minimum_population(self):
+        with pytest.raises(SchedulerError, match="at least two"):
+            UniformScheduler(1)
+
+    def test_is_uniform_flag(self):
+        assert UniformScheduler(4).is_uniform
+
+    def test_reproducible(self):
+        a1 = UniformScheduler(9, seed=3).next_block(100)
+        a2 = UniformScheduler(9, seed=3).next_block(100)
+        assert np.array_equal(a1[0], a2[0])
+        assert np.array_equal(a1[1], a2[1])
+
+
+class TestDistribution:
+    def test_marginals_uniform(self):
+        """Each agent appears as initiator ~uniformly."""
+        n, samples = 6, 60_000
+        sched = UniformScheduler(n, seed=4)
+        a, _ = sched.next_block(samples)
+        counts = np.bincount(a, minlength=n)
+        expected = samples / n
+        assert (np.abs(counts - expected) < 5 * np.sqrt(expected)).all()
+
+    def test_unordered_pairs_uniform(self):
+        """Every unordered pair has probability 2 / (n(n-1))."""
+        n, samples = 5, 100_000
+        sched = UniformScheduler(n, seed=5)
+        a, b = sched.next_block(samples)
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        keys = lo * n + hi
+        total_pairs = n * (n - 1) // 2
+        counts = np.bincount(keys, minlength=n * n)
+        nonzero = counts[counts > 0]
+        assert nonzero.size == total_pairs
+        expected = samples / total_pairs
+        assert (np.abs(nonzero - expected) < 5 * np.sqrt(expected)).all()
+
+    def test_orientation_balanced(self):
+        """Both orientations of each pair are equally likely."""
+        sched = UniformScheduler(3, seed=6)
+        a, b = sched.next_block(30_000)
+        forward = int(((a == 0) & (b == 1)).sum())
+        backward = int(((a == 1) & (b == 0)).sum())
+        expected = 30_000 / 6
+        assert abs(forward - backward) < 5 * np.sqrt(2 * expected)

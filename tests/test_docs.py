@@ -1,0 +1,83 @@
+"""Documentation consistency tests.
+
+The README's code blocks and the experiment names referenced across the
+docs must keep working — documentation drift is a bug.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def python_blocks(path: Path) -> list[str]:
+    text = path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_quickstart_block_runs(self):
+        blocks = python_blocks(ROOT / "README.md")
+        assert blocks, "README should contain python examples"
+        # The first block is the quickstart; it must execute cleanly.
+        namespace: dict = {}
+        exec(compile(blocks[0], "README.md[quickstart]", "exec"), namespace)
+
+    def test_second_block_runs(self):
+        blocks = python_blocks(ROOT / "README.md")
+        assert len(blocks) >= 2
+        namespace: dict = {}
+        exec(compile(blocks[1], "README.md[entrypoints]", "exec"), namespace)
+
+    def test_mentioned_cli_commands_exist(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        text = (ROOT / "README.md").read_text()
+        for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
+            assert name in set(EXPERIMENTS) | {"all"}, name
+
+
+class TestExperimentsDoc:
+    def test_mentioned_cli_commands_exist(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
+            assert name in set(EXPERIMENTS) | {"all"}, name
+
+
+class TestDesignDoc:
+    def test_experiment_index_modules_exist(self):
+        """Every module path cited in DESIGN.md's tables must import."""
+        import importlib
+
+        text = (ROOT / "DESIGN.md").read_text()
+        for mod in re.findall(r"`repro\.([a-z_.]+)`", text):
+            importlib.import_module(f"repro.{mod.rstrip('.')}")
+
+    def test_traceability_tests_exist(self):
+        """Test paths cited in TRACEABILITY.md must exist on disk."""
+        text = (ROOT / "TRACEABILITY.md").read_text()
+        for path in set(re.findall(r"`(tests/[a-z_/]+\.py)", text)):
+            assert (ROOT / path).exists(), path
+
+
+class TestTutorial:
+    def test_tutorial_python_blocks_run_in_sequence(self):
+        """docs/tutorial.md code blocks execute top to bottom."""
+        blocks = python_blocks(ROOT / "docs" / "tutorial.md")
+        assert len(blocks) >= 5
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"tutorial.md[block {i}]", "exec"), namespace)
+
+    def test_tutorial_cli_commands_exist(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        text = (ROOT / "docs" / "tutorial.md").read_text()
+        for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
+            assert name in set(EXPERIMENTS) | {"all", "describe"}, name
