@@ -1,0 +1,94 @@
+"""Benchmark: ensemble engine vs serial count-engine trials.
+
+The ensemble engine's reason to exist is the paper's evaluation shape:
+100 independent replicates per parameter point.  This benchmark times
+``run_trials``-style workloads both ways — serial scalar jump chain
+per trial vs one vectorized batch — at two working points:
+
+* Figure 3's k = 3, n = 300 (the acceptance point: the batch must be
+  several times faster than the serial loop), and
+* Figure 6's k = 6, n = 960 (the heavy regime, where the serial
+  baseline is extrapolated from a few trials to keep the suite quick).
+
+Besides the pytest-benchmark stats, the measured throughput is written
+to ``BENCH_ensemble.json`` at the repository root so the speedup is
+recorded alongside the code that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.rng import spawn_seed_sequences
+from repro.engine import CountBasedEngine, EnsembleEngine
+from repro.protocols import uniform_k_partition
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_ensemble.json"
+TRIALS = 100
+#: Conservative CI floor; the committed BENCH_ensemble.json records the
+#: actual measured speedup (>= 5x on the reference machine).
+MIN_SPEEDUP = 2.5
+
+
+def _serial_seconds_per_trial(protocol, n, *, seed, trials) -> float:
+    engine = CountBasedEngine()
+    seeds = spawn_seed_sequences(seed, trials)
+    start = time.perf_counter()
+    for s in seeds:
+        result = engine.run(protocol, n, seed=s)
+        assert result.converged
+    return (time.perf_counter() - start) / trials
+
+
+def _record(point: str, payload: dict) -> None:
+    data = {}
+    if RESULT_PATH.exists():
+        try:
+            data = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[point] = payload
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize(
+    ("k", "n", "serial_trials"),
+    [(3, 300, TRIALS), (6, 960, 5)],
+    ids=["fig3-k3-n300", "fig6-k6-n960"],
+)
+def test_ensemble_vs_serial(benchmark, k, n, serial_trials):
+    protocol = uniform_k_partition(k)
+    protocol.compiled  # warm the compile cache outside the timings
+    seeds = spawn_seed_sequences(2026, TRIALS)
+    engine = EnsembleEngine()
+
+    def run_batch():
+        return engine.run_batch(protocol, n, seeds=seeds)
+
+    results = benchmark.pedantic(run_batch, rounds=3, iterations=1)
+    assert len(results) == TRIALS
+    assert all(r.converged for r in results)
+
+    ensemble_per_trial = benchmark.stats.stats.min / TRIALS
+    serial_per_trial = _serial_seconds_per_trial(
+        protocol, n, seed=2026, trials=serial_trials
+    )
+    speedup = serial_per_trial / ensemble_per_trial
+    _record(
+        f"k{k}_n{n}",
+        {
+            "k": k,
+            "n": n,
+            "trials": TRIALS,
+            "serial_trials_measured": serial_trials,
+            "serial_seconds_per_trial": round(serial_per_trial, 6),
+            "ensemble_seconds_per_trial": round(ensemble_per_trial, 6),
+            "speedup": round(speedup, 2),
+        },
+    )
+    if k == 3:  # the acceptance point
+        assert speedup >= MIN_SPEEDUP

@@ -48,9 +48,12 @@ from .engine import (
     AgentBasedEngine,
     BatchEngine,
     CountBasedEngine,
+    EnsembleEngine,
     HybridEngine,
     SimulationResult,
     TrialSet,
+    available_engines,
+    build_engine,
     run_trials,
 )
 from .protocols import (
@@ -93,9 +96,12 @@ __all__ = [
     "AgentBasedEngine",
     "BatchEngine",
     "CountBasedEngine",
+    "EnsembleEngine",
     "HybridEngine",
     "SimulationResult",
     "TrialSet",
+    "available_engines",
+    "build_engine",
     "run_trials",
     # scheduling
     "UniformScheduler",

@@ -1,13 +1,17 @@
-"""Simulation engines: reference agent-based, batched uniform, and the
-count-based jump-chain engine with null-interaction skipping."""
+"""Simulation engines: reference agent-based, batched uniform, the
+count-based jump-chain engine with null-interaction skipping, and the
+ensemble engine that vectorizes the jump chain across replicates."""
 
 from .agent_based import AgentBasedEngine
 from .base import Engine, SimulationResult, StepCallback
 from .batch import BatchEngine
 from .count_based import CountBasedEngine
+from .ensemble import EnsembleEngine
 from .hybrid import HybridEngine
 from .metrics import GroupSizeRecorder, TimeSeriesRecorder, aggregate_milestones
+from .registry import available_engines, build_engine, register_engine, resolve_engine
 from .runner import TrialSet, run_trials
+from .sampling import FenwickWeights
 
 __all__ = [
     "Engine",
@@ -16,7 +20,13 @@ __all__ = [
     "AgentBasedEngine",
     "BatchEngine",
     "CountBasedEngine",
+    "EnsembleEngine",
     "HybridEngine",
+    "FenwickWeights",
+    "available_engines",
+    "build_engine",
+    "register_engine",
+    "resolve_engine",
     "TimeSeriesRecorder",
     "GroupSizeRecorder",
     "aggregate_milestones",

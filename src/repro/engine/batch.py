@@ -63,12 +63,20 @@ class BatchEngine(Engine):
 
         pred = protocol.stability_predicate(n_total)
         classes = compiled.classes
+        state_classes = compiled.state_classes
 
-        def silent() -> bool:
-            return all(cls.weight(counts) == 0 for cls in classes)
+        # Total active weight, maintained incrementally: after each
+        # effective interaction only the classes sharing a touched state
+        # are refreshed, so the silence test is an O(1) comparison
+        # instead of a rescan of every class.
+        weights = [cls.weight(counts) for cls in classes]
+        W_active = sum(weights)
+        # pq rule key -> indices of classes whose weight the rule can
+        # change (lazily cached; the reachable rule set is small).
+        dirty_by_pq: dict[int, list[int]] = {}
 
         def is_stable() -> bool:
-            return pred(counts) if pred is not None else silent()
+            return pred(counts) if pred is not None else W_active == 0
 
         budget = max_interactions if max_interactions is not None else 2**62
         interactions = 0
@@ -100,6 +108,17 @@ class BatchEngine(Engine):
                 counts[p2] += 1
                 counts[q2] += 1
                 effective += 1
+                dirty = dirty_by_pq.get(pq)
+                if dirty is None:
+                    touched: set[int] = set()
+                    for s in (p, q, p2, q2):
+                        touched.update(state_classes[s])
+                    dirty = sorted(touched)
+                    dirty_by_pq[pq] = dirty
+                for j in dirty:
+                    w = classes[j].weight(counts)
+                    W_active += w - weights[j]
+                    weights[j] = w
                 if track is not None:
                     cur = counts[track]
                     while high_water < cur:
@@ -120,7 +139,7 @@ class BatchEngine(Engine):
             interactions=interactions,
             effective_interactions=effective,
             converged=converged,
-            silent=silent(),
+            silent=W_active == 0,
             final_counts=final,
             group_sizes=self._group_sizes_or_empty(protocol, final),
             tracked_milestones=milestones,

@@ -23,12 +23,14 @@ The engine therefore simulates only the *embedded jump chain*:
 The resulting sequence of configurations — and the total interaction
 count — has exactly the same distribution as agent-level simulation
 (the equivalence tests check this), but the cost per *effective*
-interaction is O(#classes) and completely independent of how many null
-interactions occur.  Near stabilization, where the paper observes that
-the last grouping dominates the total count (Figure 4), almost all
-interactions are null, and this engine is orders of magnitude faster
-than agent-level simulation — it is what makes the exponential-in-k
-sweep of Figure 6 feasible in pure Python.
+interaction is O(log #classes) — class sampling and weight maintenance
+go through the Fenwick-tree index of
+:class:`~repro.engine.sampling.FenwickWeights` — and completely
+independent of how many null interactions occur.  Near stabilization,
+where the paper observes that the last grouping dominates the total
+count (Figure 4), almost all interactions are null, and this engine is
+orders of magnitude faster than agent-level simulation — it is what
+makes the exponential-in-k sweep of Figure 6 feasible in pure Python.
 
 Limitation: the derivation requires the uniform scheduler (the one the
 paper simulates); for other schedulers use the agent-based engine.
@@ -45,6 +47,7 @@ import numpy as np
 from ..core.protocol import Protocol
 from ..core.rng import SeedLike, ensure_generator
 from .base import Engine, SimulationResult, StepCallback
+from .sampling import FenwickWeights
 
 __all__ = ["CountBasedEngine"]
 
@@ -52,7 +55,7 @@ _RAND_BLOCK = 4096
 
 
 class CountBasedEngine(Engine):
-    """Jump-chain engine: O(#rules) per effective interaction."""
+    """Jump-chain engine: O(log #rules) per effective interaction."""
 
     name = "count"
 
@@ -101,8 +104,10 @@ class CountBasedEngine(Engine):
                 return c * (c - 1)
             return mult[r] * counts[in1[r]] * counts[in2[r]]
 
-        weights = [class_weight(r) for r in range(R)]
-        W = sum(weights)
+        weights = FenwickWeights(class_weight(r) for r in range(R))
+        fen_set = weights.set
+        fen_find = weights.find
+        W = weights.total
         # Ordered distinct pairs: the scheduler's sample space.
         T = n_total * (n_total - 1)
 
@@ -151,15 +156,10 @@ class CountBasedEngine(Engine):
             interactions += nulls + 1
 
             # --- sample the effective class -----------------------------
-            x = rand[rand_pos] * W
+            # Inverse-CDF search on the Fenwick tree: O(log R), same
+            # class a linear first-prefix-exceeding scan would pick.
+            r = fen_find(rand[rand_pos] * W)
             rand_pos += 1
-            acc = 0
-            r = R - 1  # fallback for floating-point edge
-            for i in range(R):
-                acc += weights[i]
-                if x < acc:
-                    r = i
-                    break
 
             # --- apply it ------------------------------------------------
             i1 = in1[r]
@@ -176,11 +176,10 @@ class CountBasedEngine(Engine):
             for j in affected[r]:
                 if same[j]:
                     c = counts[in1[j]]
-                    w_new = c * (c - 1)
+                    fen_set(j, c * (c - 1))
                 else:
-                    w_new = mult[j] * counts[in1[j]] * counts[in2[j]]
-                W += w_new - weights[j]
-                weights[j] = w_new
+                    fen_set(j, mult[j] * counts[in1[j]] * counts[in2[j]])
+            W = weights.total
 
             if track is not None:
                 cur = counts[track]

@@ -1,0 +1,418 @@
+"""Ensemble engine: the jump chain vectorized across replicates.
+
+Every data point of the paper's evaluation averages 100 independent
+executions of the *same* parameter point.  The count-based engine
+already reduces one execution to its embedded jump chain (a Markov
+chain on count vectors); the replicate dimension on top of that is
+embarrassingly parallel, and this engine simulates all replicates of a
+parameter point simultaneously as NumPy matrix operations:
+
+* configurations are a state-major ``(S, live)`` int64 count matrix —
+  replicates along the contiguous axis, so per-step reductions run at
+  SIMD speed instead of strided;
+* class weights are an ``(R, live)`` int64 matrix; after each step the
+  columns are refreshed from the count matrix — wholesale when the
+  class count is small (a fused elementwise recomputation is fewer
+  NumPy dispatches than a sparse update), incrementally via a
+  precomputed class-affects-class bitmask when ``R`` is large;
+* the geometric null-run lengths of all live replicates are sampled in
+  one vectorized draw, as are the per-replicate effective classes
+  (cumulative-weight inverse sampling along the class axis);
+* replicates that stabilized (or exhausted their budget) are *retired*:
+  their results are written back and the live matrices are compacted,
+  so finished replicates cost nothing.
+
+Per step, every live replicate advances by exactly one effective
+interaction, so the vectorized phase costs
+``O(max_effective_interactions)`` Python-level steps of O(live * R)
+NumPy work — instead of ``O(sum of effective interactions)`` Python
+iterations for serial :class:`~repro.engine.count_based.CountBasedEngine`
+runs.  Replicates stabilize at different times, though, and once only a
+few stragglers remain the fixed per-step NumPy dispatch overhead
+exceeds the scalar engine's per-event cost; when the live set drops to
+``finish_threshold`` replicates the engine therefore hands each
+survivor to the scalar jump chain (the Markov property makes the
+hand-off exact: the count vector determines the law of the remainder,
+exactly as in :class:`~repro.engine.hybrid.HybridEngine`).  At the
+paper's 100-trial points the combination is the difference between
+seconds and fractions of a second (see
+``benchmarks/bench_ensemble.py``).
+
+Reproducibility follows the same discipline as
+:func:`~repro.engine.runner.run_trials`: one generator per replicate,
+spawned from a single master ``SeedSequence``, so a batch is
+deterministic end to end — same seed, same trial count, same results,
+trial by trial.  (Unlike serial ``run_trials``, the point where a
+replicate leaves the vectorized phase depends on the whole batch, so
+per-trial results are reproducible at fixed batch size rather than
+independently of it; the distribution is the same either way, which the
+equivalence tests check.)
+
+Like the count engine, the derivation requires the uniform scheduler
+(the one the paper simulates).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.protocol import Protocol
+from ..core.rng import SeedLike, ensure_generator
+from .base import Engine, SimulationResult, StepCallback
+from .count_based import CountBasedEngine
+
+__all__ = ["EnsembleEngine"]
+
+#: Effective interactions' worth of uniforms pre-drawn per replicate.
+_EVENT_BLOCK = 1024
+
+#: Refresh all class weights wholesale when R is at most this large;
+#: beyond it, update only the classes the affects-bitmask marks dirty.
+#: For small R the fused full recomputation is ~8 NumPy dispatches,
+#: fewer than the gather/scatter traffic of a sparse update.
+_FULL_REFRESH_MAX_R = 48
+
+
+class EnsembleEngine(Engine):
+    """Vectorized jump-chain engine over a batch of replicates.
+
+    Parameters
+    ----------
+    finish_threshold:
+        Hand the remaining replicates to the scalar jump chain once the
+        live count drops to this value.  ``None`` (default) auto-tunes
+        to ``max(1, trials // 8)`` — roughly where per-step NumPy
+        dispatch overhead overtakes the scalar engine's per-event cost.
+        ``0`` disables the scalar finisher entirely (pure vectorized
+        execution, mainly for tests).
+    """
+
+    name = "ensemble"
+
+    def __init__(self, finish_threshold: int | None = None) -> None:
+        if finish_threshold is not None and finish_threshold < 0:
+            raise ValueError(
+                f"finish_threshold must be non-negative, got {finish_threshold}"
+            )
+        self._finish_threshold = finish_threshold
+
+    def run(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seed: SeedLike = None,
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+    ) -> SimulationResult:
+        """Simulate one execution (a batch of size 1)."""
+        return self._simulate(
+            protocol,
+            n,
+            [ensure_generator(seed)],
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+        )[0]
+
+    def run_batch(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seeds: Sequence[np.random.SeedSequence],
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate one independent execution per seed, all at once.
+
+        ``seeds`` carries one ``SeedSequence`` per replicate (the
+        spawn-based discipline of :func:`~repro.engine.runner.run_trials`,
+        which auto-selects this method).  Results are returned in seed
+        order.
+        """
+        if not seeds:
+            raise SimulationError("run_batch needs at least one seed")
+        return self._simulate(
+            protocol,
+            n,
+            [np.random.default_rng(s) for s in seeds],
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=None,
+        )
+
+    # ------------------------------------------------------------------
+    # Core vectorized loop
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        protocol: Protocol,
+        n: int | None,
+        gens: list[np.random.Generator],
+        *,
+        initial_counts: Sequence[int] | np.ndarray | None,
+        max_interactions: int | None,
+        track_state: str | int | None,
+        on_effective: StepCallback | None,
+    ) -> list[SimulationResult]:
+        B = len(gens)
+        if on_effective is not None and B != 1:
+            raise SimulationError(
+                "on_effective callbacks are only supported for single runs"
+            )
+        counts0 = self._resolve_initial(protocol, n, initial_counts)
+        n_total = int(counts0.sum())
+        track = self._resolve_track_state(protocol, track_state)
+        finish_cut = self._finish_threshold
+        if finish_cut is None:
+            finish_cut = max(1, B // 8)
+
+        compiled = protocol.compiled
+        classes = compiled.classes
+        state_classes = compiled.state_classes
+        R = len(classes)
+        in1 = np.fromiter((c.in1 for c in classes), dtype=np.intp, count=R)
+        in2 = np.fromiter((c.in2 for c in classes), dtype=np.intp, count=R)
+        out1 = np.fromiter((c.out1 for c in classes), dtype=np.intp, count=R)
+        out2 = np.fromiter((c.out2 for c in classes), dtype=np.intp, count=R)
+        same_col = np.fromiter((c.same for c in classes), dtype=bool, count=R)[:, None]
+        mult_col = np.fromiter(
+            (c.multiplier for c in classes), dtype=np.int64, count=R
+        )[:, None]
+        full_refresh = R <= _FULL_REFRESH_MAX_R
+        if not full_refresh:
+            # affects_t[j, r]: firing class r can change class j's weight
+            # (they share a touched state) — the incremental-update mask,
+            # stored as float so one mat-vec per step flags dirty classes.
+            affects_t = np.zeros((R, R), dtype=np.float64)
+            for r, c in enumerate(classes):
+                for s in {c.in1, c.in2, c.out1, c.out2}:
+                    affects_t[state_classes[s], r] = 1.0
+
+        # Compacted live state: column i belongs to original replicate
+        # ids[i].  State-major layout keeps the replicate axis contiguous.
+        ids = np.arange(B, dtype=np.intp)
+        ccounts = np.repeat(counts0[:, None], B, axis=1)  # (S, live)
+        d1 = ccounts[in1]
+        d2 = ccounts[in2]
+        cweights = np.where(same_col, d1 * (d1 - 1), mult_col * d1 * d2)  # (R, live)
+        cW = cweights.sum(axis=0)  # (live,) total active weight
+        cinter = np.zeros(B, dtype=np.int64)
+        ceff = np.zeros(B, dtype=np.int64)
+        chw = ccounts[track].copy() if track is not None else None
+        cols = np.arange(B, dtype=np.intp)  # scatter column index: arange(live)
+
+        T = n_total * (n_total - 1)  # ordered distinct pairs
+        inv_T = 1.0 / T
+        batch_pred = protocol.batch_stability_predicate(n_total)
+        budget = max_interactions if max_interactions is not None else 2**62
+
+        # Global results, written back as replicates retire.
+        counts_g = np.tile(counts0, (B, 1))
+        interactions_g = np.zeros(B, dtype=np.int64)
+        effective_g = np.zeros(B, dtype=np.int64)
+        converged_g = np.zeros(B, dtype=bool)
+        silent_g = np.zeros(B, dtype=bool)
+        milestones: list[list[int]] = [[] for _ in range(B)]
+
+        # Pre-drawn uniforms, two per effective interaction per replicate,
+        # allocated lazily so batches that go straight to the scalar
+        # finisher never touch their generators here.
+        width = 2 * _EVENT_BLOCK
+        crand: np.ndarray | None = None
+        pos = width
+
+        def retire(done: np.ndarray, keep: np.ndarray) -> None:
+            """Write back finished columns, then compact the live state."""
+            nonlocal ids, ccounts, cweights, cW, cinter, ceff, chw, crand, cols
+            done_ids = ids[done]
+            counts_g[done_ids] = ccounts[:, done].T
+            interactions_g[done_ids] = cinter[done]
+            effective_g[done_ids] = ceff[done]
+            ids = ids[keep]
+            ccounts = ccounts[:, keep]
+            cweights = cweights[:, keep]
+            cW = cW[keep]
+            cinter = cinter[keep]
+            ceff = ceff[keep]
+            if chw is not None:
+                chw = chw[keep]
+            if crand is not None:
+                crand = crand[keep]
+            cols = cols[: ids.size]
+
+        t0 = time.perf_counter()
+        while ids.size > finish_cut:
+            # --- retire stabilized and silent replicates ----------------
+            sil = cW == 0
+            if batch_pred is not None:
+                stable = batch_pred(ccounts.T)
+                done = stable | sil
+            else:
+                stable = None
+                done = sil
+            if done.any():
+                done_ids = ids[done]
+                if stable is not None:
+                    converged_g[done_ids] = stable[done]
+                else:
+                    # Silence without a predicate *is* stability.
+                    converged_g[done_ids] = True
+                silent_g[done_ids] = sil[done]
+                retire(done, ~done)
+                continue
+
+            # --- refill the shared uniform block ------------------------
+            if pos >= width:
+                if crand is None:
+                    crand = np.empty((ids.size, width), dtype=np.float64)
+                for i, t in enumerate(ids.tolist()):
+                    crand[i] = gens[t].random(width)
+                pos = 0
+            u_null = crand[:, pos]
+            u_class = crand[:, pos + 1]
+            pos += 2
+
+            # --- vectorized geometric null skip -------------------------
+            p_eff = cW * inv_T
+            if (p_eff >= 1.0).any():
+                p_safe = np.where(p_eff >= 1.0, 0.5, p_eff)
+                nulls = np.where(
+                    p_eff >= 1.0, 0.0, np.log1p(-u_null) / np.log1p(-p_safe)
+                ).astype(np.int64)
+            else:
+                nulls = (np.log1p(-u_null) / np.log1p(-p_eff)).astype(np.int64)
+            if max_interactions is None:
+                cinter += nulls
+                cinter += 1
+            else:
+                totals = cinter + nulls + 1
+                over = totals > budget
+                if over.any():
+                    keep = ~over
+                    cinter[over] = budget
+                    retire(over, keep)
+                    if ids.size == 0:
+                        break
+                    totals = totals[keep]
+                    u_class = u_class[keep]
+                cinter = totals
+
+            # --- per-replicate cumulative-weight inverse sampling --------
+            cum = cweights.cumsum(axis=0)
+            fired = (cum <= u_class * cW).sum(axis=0)
+            np.minimum(fired, R - 1, out=fired)  # floating-point edge
+
+            # --- apply one effective interaction everywhere --------------
+            # Column indices are unique within each scatter, so plain
+            # fancy indexing is exact even when a class reads or writes
+            # the same state twice (separate statements accumulate).
+            ccounts[in1[fired], cols] -= 1
+            ccounts[in2[fired], cols] -= 1
+            ccounts[out1[fired], cols] += 1
+            ccounts[out2[fired], cols] += 1
+            ceff += 1
+
+            # --- weight maintenance --------------------------------------
+            if full_refresh:
+                d1 = ccounts[in1]
+                d2 = ccounts[in2]
+                cweights = np.where(same_col, d1 * (d1 - 1), mult_col * d1 * d2)
+                cW = cweights.sum(axis=0)
+            else:
+                hist = np.bincount(fired, minlength=R)
+                dirty = np.flatnonzero(affects_t @ hist)
+                d1 = ccounts[in1[dirty]]
+                d2 = ccounts[in2[dirty]]
+                fresh = np.where(
+                    same_col[dirty], d1 * (d1 - 1), mult_col[dirty] * d1 * d2
+                )
+                cW = cW + (fresh - cweights[dirty]).sum(axis=0)
+                cweights[dirty] = fresh
+
+            if chw is not None:
+                cur = ccounts[track]
+                rose = cur > chw
+                if rose.any():
+                    for i in rose.nonzero()[0].tolist():
+                        ms = milestones[ids[i]]
+                        ni = int(cinter[i])
+                        level = int(cur[i])
+                        while chw[i] < level:
+                            chw[i] += 1
+                            ms.append(ni)
+            if on_effective is not None:
+                on_effective(int(cinter[0]), ccounts[:, 0])
+
+        # --- scalar finisher for the straggler tail ----------------------
+        # The count vector is a sufficient statistic, so each survivor
+        # continues on the scalar jump chain with its own generator.
+        if ids.size:
+            tail_engine = CountBasedEngine()
+            for i, t in enumerate(ids.tolist()):
+                base = int(cinter[i])
+                remaining = None if max_interactions is None else budget - base
+                if on_effective is None:
+                    callback = None
+                else:
+
+                    def callback(ni: int, c: Sequence[int], _base=base) -> None:
+                        on_effective(_base + ni, c)
+
+                level0 = int(ccounts[track, i]) if track is not None else 0
+                tail = tail_engine.run(
+                    protocol,
+                    initial_counts=ccounts[:, i].copy(),
+                    seed=gens[t],
+                    max_interactions=remaining,
+                    track_state=track,
+                    on_effective=callback,
+                )
+                interactions_g[t] = base + tail.interactions
+                effective_g[t] = int(ceff[i]) + tail.effective_interactions
+                converged_g[t] = tail.converged
+                silent_g[t] = tail.silent
+                counts_g[t] = tail.final_counts
+                if track is not None:
+                    # The tail restarts its high-water mark at the
+                    # current count; skip milestones for levels this
+                    # replicate had already reached before a dip.
+                    drop = max(0, int(chw[i]) - level0)
+                    milestones[t].extend(
+                        base + ni for ni in tail.tracked_milestones[drop:]
+                    )
+        elapsed = time.perf_counter() - t0
+
+        # Wall time is shared by the whole batch; report the amortized
+        # per-replicate cost so throughput statistics stay comparable
+        # with the scalar engines.
+        per_trial_elapsed = elapsed / B
+        results = []
+        for t in range(B):
+            final = counts_g[t]
+            results.append(
+                SimulationResult(
+                    protocol=protocol.name,
+                    n=n_total,
+                    engine=self.name,
+                    interactions=int(interactions_g[t]),
+                    effective_interactions=int(effective_g[t]),
+                    converged=bool(converged_g[t]),
+                    silent=bool(silent_g[t]),
+                    final_counts=final,
+                    group_sizes=self._group_sizes_or_empty(protocol, final),
+                    tracked_milestones=milestones[t],
+                    elapsed=per_trial_elapsed,
+                )
+            )
+        return results

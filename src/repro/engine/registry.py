@@ -1,0 +1,61 @@
+"""Engine registry: resolve engines by name.
+
+Experiments, the CLI, and :func:`~repro.engine.runner.run_trials`
+accept either an :class:`~repro.engine.base.Engine` instance or a
+string name; this module maps names to constructors so callers can say
+``engine="ensemble"`` without importing engine classes.  Third-party
+engines can join via :func:`register_engine`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..core.errors import SimulationError
+from .agent_based import AgentBasedEngine
+from .base import Engine
+from .batch import BatchEngine
+from .count_based import CountBasedEngine
+from .ensemble import EnsembleEngine
+from .hybrid import HybridEngine
+
+__all__ = ["available_engines", "build_engine", "register_engine", "resolve_engine"]
+
+_REGISTRY: dict[str, Callable[[], Engine]] = {
+    AgentBasedEngine.name: AgentBasedEngine,
+    BatchEngine.name: BatchEngine,
+    CountBasedEngine.name: CountBasedEngine,
+    HybridEngine.name: HybridEngine,
+    EnsembleEngine.name: EnsembleEngine,
+}
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_engine(name: str, factory: Callable[[], Engine]) -> None:
+    """Register ``factory`` under ``name`` (overwrites existing entries)."""
+    if not name:
+        raise ValueError("engine name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def build_engine(name: str) -> Engine:
+    """Instantiate the engine registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_engines())
+        raise SimulationError(f"unknown engine {name!r}; known engines: {known}") from None
+    return factory()
+
+
+def resolve_engine(engine: Engine | str | None, default: str = "count") -> Engine:
+    """Normalize an engine argument: instance, name, or None (default)."""
+    if engine is None:
+        return build_engine(default)
+    if isinstance(engine, str):
+        return build_engine(engine)
+    return engine

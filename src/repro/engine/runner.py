@@ -18,7 +18,7 @@ from ..core.errors import SimulationError
 from ..core.protocol import Protocol
 from ..core.rng import SeedLike, spawn_seed_sequences
 from .base import Engine, SimulationResult
-from .count_based import CountBasedEngine
+from .registry import resolve_engine
 
 __all__ = ["TrialSet", "run_trials"]
 
@@ -83,7 +83,7 @@ def run_trials(
     n: int | None = None,
     *,
     trials: int = 100,
-    engine: Engine | None = None,
+    engine: Engine | str | None = None,
     seed: SeedLike = 0,
     initial_counts: Sequence[int] | np.ndarray | None = None,
     max_interactions: int | None = None,
@@ -98,6 +98,13 @@ def run_trials(
 
     trials:
         Number of independent executions (the paper uses 100).
+    engine:
+        An :class:`Engine` instance, a registered engine name (see
+        :func:`~repro.engine.registry.available_engines`), or None for
+        the default count-based engine.  Engines that expose a
+        ``run_batch`` method (the ensemble engine) simulate all trials
+        of a chunk in one call; the runner detects and uses it
+        automatically.
     seed:
         Master seed; per-trial streams are spawned from it.
     require_convergence:
@@ -108,8 +115,11 @@ def run_trials(
         Optional callback ``(trial_index, result)`` after each trial.
     workers:
         Number of worker processes.  ``1`` (default) runs serially in
-        this process; ``> 1`` fans trials out over a process pool.
-        Because per-trial seeds are spawned up front, the results are
+        this process; ``> 1`` splits the trials into ``workers``
+        contiguous chunks of ``ceil(trials / workers)`` and fans the
+        chunks out over a process pool (one submission per worker, not
+        per trial, so pickling overhead is paid per chunk).  Because
+        per-trial seeds are spawned up front, scalar-engine results are
         bit-identical to the serial run regardless of worker count or
         completion order.  Requires the engine and protocol to be
         picklable (all engines and shipped protocols are; agent-based
@@ -119,28 +129,28 @@ def run_trials(
         raise SimulationError(f"trials must be positive, got {trials}")
     if workers < 1:
         raise SimulationError(f"workers must be positive, got {workers}")
-    if engine is None:
-        engine = CountBasedEngine()
+    engine = resolve_engine(engine)
     seeds = spawn_seed_sequences(seed, trials)
     init = None if initial_counts is None else np.asarray(initial_counts, dtype=np.int64)
 
     if workers == 1:
-        results = [
-            _run_one(engine, protocol, n, seeds[t], init, max_interactions, track_state)
-            for t in range(trials)
-        ]
+        results = _run_chunk(
+            engine, protocol, n, seeds, init, max_interactions, track_state
+        )
     else:
         from concurrent.futures import ProcessPoolExecutor
 
+        chunk = -(-trials // workers)  # ceil division
+        spans = [(lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
-                    _run_one, engine, protocol, n, seeds[t], init,
+                    _run_chunk, engine, protocol, n, seeds[lo:hi], init,
                     max_interactions, track_state,
                 )
-                for t in range(trials)
+                for lo, hi in spans
             ]
-            results = [f.result() for f in futures]
+            results = [r for f in futures for r in f.result()]
 
     for t, result in enumerate(results):
         if require_convergence and not result.converged:
@@ -158,21 +168,38 @@ def run_trials(
     )
 
 
-def _run_one(
+def _run_chunk(
     engine: Engine,
     protocol: Protocol,
     n: int | None,
-    seed: np.random.SeedSequence,
+    seeds: Sequence[np.random.SeedSequence],
     initial_counts: np.ndarray | None,
     max_interactions: int | None,
     track_state: str | int | None,
-) -> SimulationResult:
-    """One trial — module-level so process pools can pickle it."""
-    return engine.run(
-        protocol,
-        n,
-        seed=seed,
-        initial_counts=initial_counts,
-        max_interactions=max_interactions,
-        track_state=track_state,
-    )
+) -> list[SimulationResult]:
+    """A contiguous run of trials — module-level so pools can pickle it.
+
+    Engines with a ``run_batch`` method simulate the whole chunk in one
+    vectorized call; scalar engines loop, one independent run per seed.
+    """
+    run_batch = getattr(engine, "run_batch", None)
+    if run_batch is not None:
+        return run_batch(
+            protocol,
+            n,
+            seeds=list(seeds),
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+        )
+    return [
+        engine.run(
+            protocol,
+            n,
+            seed=s,
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+        )
+        for s in seeds
+    ]

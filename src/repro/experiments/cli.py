@@ -165,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"master seed (default {DEFAULT_SEED})",
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help=(
+            "simulation engine for sweep experiments (e.g. 'count', "
+            "'ensemble'); defaults to each experiment's own choice"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="DIR",
@@ -184,6 +193,7 @@ def run_experiment(
     quick: bool = False,
     trials: int | None = None,
     seed: int = DEFAULT_SEED,
+    engine: str | None = None,
     out: str | None = None,
     progress_enabled: bool = True,
 ) -> ResultTable:
@@ -194,6 +204,8 @@ def run_experiment(
         params["trials"] = trials
     if "seed" in _signature_params(run):
         params["seed"] = seed
+    if engine is not None and "engine" in _signature_params(run):
+        params["engine"] = engine
     progress = ProgressPrinter(enabled=progress_enabled)
     if "progress" in _signature_params(run):
         params["progress"] = progress
@@ -244,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             trials=args.trials,
             seed=args.seed,
+            engine=args.engine,
             out=args.out,
             progress_enabled=not args.no_progress,
         )

@@ -17,6 +17,7 @@ import numpy as np
 from ..engine.agent_based import AgentBasedEngine
 from ..engine.batch import BatchEngine
 from ..engine.count_based import CountBasedEngine
+from ..engine.ensemble import EnsembleEngine
 from ..engine.hybrid import HybridEngine
 from ..engine.runner import run_trials
 from ..io.results import ResultTable
@@ -35,8 +36,14 @@ def run_engine_ablation(
     seed: int = DEFAULT_SEED,
     progress=None,
 ) -> ResultTable:
-    """Time all three engines on (k, n) workload points."""
-    engines = [AgentBasedEngine(), BatchEngine(), CountBasedEngine(), HybridEngine()]
+    """Time all the engines on (k, n) workload points."""
+    engines = [
+        AgentBasedEngine(),
+        BatchEngine(),
+        CountBasedEngine(),
+        HybridEngine(),
+        EnsembleEngine(),
+    ]
     table = ResultTable(
         name="engine_ablation",
         params={"points": [list(p) for p in points], "trials": trials, "seed": seed},

@@ -43,7 +43,7 @@ def run_fig3(
     n_max: int = 120,
     trials: int = 100,
     seed: int = DEFAULT_SEED,
-    engine: Engine | None = None,
+    engine: Engine | str | None = None,
     progress=None,
 ) -> ResultTable:
     """Sweep n for each k and record interaction statistics.

@@ -43,7 +43,7 @@ def run_fig4(
     n_max: int = 60,
     trials: int = 100,
     seed: int = DEFAULT_SEED,
-    engine: Engine | None = None,
+    engine: Engine | str | None = None,
     progress=None,
 ) -> ResultTable:
     """Sweep n per k, decomposing interactions by grouping index.

@@ -40,7 +40,7 @@ def run_fig5(
     base_n: int = 120,
     trials: int = 100,
     seed: int = DEFAULT_SEED,
-    engine: Engine | None = None,
+    engine: Engine | str | None = None,
     progress=None,
 ) -> ResultTable:
     """Sweep ``n = base_n * n'`` for each k (all k divide ``base_n``)."""

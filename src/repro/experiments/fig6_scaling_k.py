@@ -41,7 +41,7 @@ def run_fig6(
     ks: Sequence[int] = (3, 4, 5, 6, 8, 10),
     trials: int = 100,
     seed: int = DEFAULT_SEED,
-    engine: Engine | None = None,
+    engine: Engine | str | None = None,
     progress=None,
 ) -> ResultTable:
     """Sweep k at fixed n (every k must divide n, as in the paper)."""

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import AgentBasedEngine, BatchEngine, CountBasedEngine, HybridEngine
+from repro.engine import (
+    AgentBasedEngine,
+    BatchEngine,
+    CountBasedEngine,
+    EnsembleEngine,
+    HybridEngine,
+)
 from repro.protocols import (
     approximate_k_partition,
     approximate_majority,
@@ -51,7 +57,7 @@ def majority():
     return approximate_majority()
 
 
-@pytest.fixture(params=["agent", "batch", "count", "hybrid"])
+@pytest.fixture(params=["agent", "batch", "count", "hybrid", "ensemble"])
 def any_engine(request):
     """Parametrizes a test over all engines."""
     return {
@@ -59,4 +65,5 @@ def any_engine(request):
         "batch": BatchEngine(),
         "count": CountBasedEngine(),
         "hybrid": HybridEngine(),
+        "ensemble": EnsembleEngine(),
     }[request.param]

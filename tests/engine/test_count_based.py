@@ -149,3 +149,64 @@ class TestNullSkipping:
         expected = trials * prob
         sigma = (trials * prob * (1 - prob)) ** 0.5
         assert abs(rule7_first - expected) < 5 * sigma
+
+
+class TestPinnedExecutions:
+    """Bit-exact regression baselines, captured on the pre-Fenwick
+    linear-scan implementation.
+
+    The Fenwick-tree swap must preserve executions bit-for-bit: the
+    prefix sums involved are integers below 2**53, so the float
+    comparisons in :meth:`FenwickWeights.find` are exact and the tree
+    picks the same class as a linear first-prefix-exceeding scan for
+    every draw.  Any change to the engine's random-stream consumption
+    or sampling convention trips these."""
+
+    def test_kpartition3_tracked(self):
+        r = CountBasedEngine().run(
+            uniform_k_partition(3), 17, seed=12345, track_state="g3"
+        )
+        assert r.interactions == 162
+        assert r.effective_interactions == 65
+        assert r.final_counts.tolist() == [0, 0, 6, 5, 5, 1, 0]
+        assert r.tracked_milestones == [13, 21, 23, 26, 162]
+
+    def test_kpartition5(self):
+        r = CountBasedEngine().run(uniform_k_partition(5), 33, seed=777)
+        assert r.interactions == 4120
+        assert r.effective_interactions == 840
+        assert r.final_counts.tolist() == [0, 0, 7, 7, 6, 6, 6, 0, 1, 0, 0, 0, 0]
+
+    def test_bipartition(self):
+        from repro.protocols import uniform_bipartition
+
+        r = CountBasedEngine().run(uniform_bipartition(), 20, seed=42)
+        assert r.interactions == 420
+        assert r.effective_interactions == 104
+        assert r.final_counts.tolist() == [0, 0, 10, 10]
+
+    def test_leader_election(self):
+        r = CountBasedEngine().run(leader_election(), 25, seed=9)
+        assert r.interactions == 646
+        assert r.effective_interactions == 24
+        assert r.final_counts.tolist() == [1, 24]
+
+    def test_kpartition8_many_classes(self):
+        # k = 8 has 70 interaction classes — a deep Fenwick tree.
+        r = CountBasedEngine().run(uniform_k_partition(8), 50, seed=2024)
+        assert r.interactions == 23934
+        assert r.effective_interactions == 2911
+        assert r.final_counts.tolist() == [
+            0, 0, 7, 6, 6, 6, 6, 6, 6, 6, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+        ]
+
+    def test_kpartition8_budget_path(self):
+        r = CountBasedEngine().run(
+            uniform_k_partition(8), 50, seed=2024, max_interactions=500
+        )
+        assert not r.converged
+        assert r.interactions == 500
+        assert r.effective_interactions == 242
+        assert r.final_counts.tolist() == [
+            5, 4, 11, 7, 7, 3, 2, 0, 0, 0, 0, 0, 3, 0, 1, 0, 4, 0, 1, 1, 1, 0,
+        ]

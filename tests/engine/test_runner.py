@@ -124,3 +124,40 @@ class TestParallelWorkers:
     def test_parallel_convergence_enforcement(self, proto):
         with pytest.raises(SimulationError, match="did not stabilize"):
             run_trials(proto, 40, trials=2, seed=22, max_interactions=10, workers=2)
+
+    def test_chunking_bit_identical_for_every_worker_count(self, proto):
+        # Trials are split into ceil(trials/workers) contiguous chunks;
+        # per-trial seeds make the outcome independent of the split.
+        base = run_trials(proto, 12, trials=7, seed=23)
+        for workers in (2, 3, 4, 7, 12):
+            split = run_trials(proto, 12, trials=7, seed=23, workers=workers)
+            assert np.array_equal(base.interactions, split.interactions)
+
+    def test_workers_exceeding_trials(self, proto):
+        ts = run_trials(proto, 12, trials=2, seed=24, workers=5)
+        assert ts.trials == 2
+
+    def test_parallel_ensemble_engine_deterministic(self, proto):
+        a = run_trials(proto, 12, trials=8, seed=25, engine="ensemble", workers=2)
+        b = run_trials(proto, 12, trials=8, seed=25, engine="ensemble", workers=2)
+        assert np.array_equal(a.interactions, b.interactions)
+        assert a.engine == "ensemble"
+
+
+class TestEngineResolution:
+    def test_engine_by_name(self, proto):
+        a = run_trials(proto, 12, trials=3, seed=26, engine="count")
+        b = run_trials(proto, 12, trials=3, seed=26, engine=CountBasedEngine())
+        assert np.array_equal(a.interactions, b.interactions)
+
+    def test_unknown_engine_rejected(self, proto):
+        with pytest.raises(SimulationError, match="unknown engine"):
+            run_trials(proto, 12, trials=2, engine="warp-drive")
+
+    def test_registry_round_trip(self):
+        from repro.engine import available_engines, build_engine
+
+        names = available_engines()
+        assert names == ("agent", "batch", "count", "ensemble", "hybrid")
+        for name in names:
+            assert build_engine(name).name == name

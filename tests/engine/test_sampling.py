@@ -1,0 +1,154 @@
+"""Unit tests for the Fenwick-tree weight index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.sampling import FenwickWeights
+
+
+def linear_find(weights: list[int], x: float) -> int:
+    """Reference: first index whose inclusive prefix sum exceeds x."""
+    acc = 0
+    for i, w in enumerate(weights):
+        acc += w
+        if x < acc:
+            return i
+    return len(weights) - 1
+
+
+class TestBuild:
+    def test_total_and_values(self):
+        fw = FenwickWeights([3, 0, 5, 2])
+        assert fw.total == 10
+        assert len(fw) == 4
+        assert [fw.get(i) for i in range(4)] == [3, 0, 5, 2]
+        assert fw.to_list() == [3, 0, 5, 2]
+
+    def test_accepts_generator(self):
+        fw = FenwickWeights(i * i for i in range(6))
+        assert fw.total == sum(i * i for i in range(6))
+
+    def test_empty(self):
+        fw = FenwickWeights([])
+        assert fw.total == 0
+        assert len(fw) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickWeights([1, -2, 3])
+
+    def test_prefix_sums_match_cumsum(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 50, size=37).tolist()
+        fw = FenwickWeights(values)
+        for count in range(len(values) + 1):
+            assert fw.prefix_sum(count) == sum(values[:count])
+
+    def test_prefix_sum_bounds(self):
+        fw = FenwickWeights([1, 2])
+        with pytest.raises(IndexError):
+            fw.prefix_sum(3)
+        with pytest.raises(IndexError):
+            fw.prefix_sum(-1)
+
+
+class TestUpdate:
+    def test_set_updates_total_and_prefixes(self):
+        fw = FenwickWeights([4, 4, 4])
+        fw.set(1, 10)
+        assert fw.total == 18
+        assert fw.get(1) == 10
+        assert fw.prefix_sum(2) == 14
+
+    def test_set_to_zero_and_back(self):
+        fw = FenwickWeights([5, 7])
+        fw.set(0, 0)
+        assert fw.total == 7
+        fw.set(0, 5)
+        assert fw.to_list() == [5, 7]
+
+    def test_negative_rejected(self):
+        fw = FenwickWeights([1])
+        with pytest.raises(ValueError):
+            fw.set(0, -1)
+
+    def test_random_update_sequence_matches_flat_list(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 20, size=25).tolist()
+        fw = FenwickWeights(values)
+        for _ in range(500):
+            i = int(rng.integers(0, 25))
+            w = int(rng.integers(0, 30))
+            values[i] = w
+            fw.set(i, w)
+            assert fw.total == sum(values)
+        assert fw.to_list() == values
+        for count in range(26):
+            assert fw.prefix_sum(count) == sum(values[:count])
+
+
+class TestFind:
+    def test_matches_linear_scan_exactly(self):
+        """The bit-identity contract: find() must agree with the
+        first-prefix-exceeding linear scan for every float draw."""
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 12, size=31).tolist()
+        fw = FenwickWeights(values)
+        total = fw.total
+        for u in rng.random(2000):
+            x = u * total
+            assert fw.find(x) == linear_find(values, x)
+
+    def test_boundaries_hit_exact_indices(self):
+        fw = FenwickWeights([2, 3, 5])
+        # Inclusive prefix sums are 2, 5, 10: draws on a boundary
+        # belong to the *next* index (prefix must strictly exceed x).
+        assert fw.find(0.0) == 0
+        assert fw.find(1.999) == 0
+        assert fw.find(2.0) == 1
+        assert fw.find(4.999) == 1
+        assert fw.find(5.0) == 2
+        assert fw.find(9.999) == 2
+
+    def test_zero_weight_classes_skipped(self):
+        fw = FenwickWeights([0, 4, 0, 0, 6, 0])
+        rng = np.random.default_rng(3)
+        picked = {fw.find(u * fw.total) for u in rng.random(500)}
+        assert picked == {1, 4}
+
+    def test_draw_at_or_beyond_total_falls_back_to_last(self):
+        fw = FenwickWeights([1, 1])
+        assert fw.find(2.0) == 1
+        assert fw.find(5.0) == 1
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            FenwickWeights([0, 0, 0]).find(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FenwickWeights([]).find(0.0)
+
+    def test_find_after_updates(self):
+        values = [3, 3, 3, 3]
+        fw = FenwickWeights(values)
+        fw.set(0, 0)
+        fw.set(2, 9)
+        values = [0, 3, 9, 3]
+        rng = np.random.default_rng(4)
+        for u in rng.random(500):
+            x = u * fw.total
+            assert fw.find(x) == linear_find(values, x)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 8, 9, 64, 100])
+    def test_various_sizes(self, size):
+        rng = np.random.default_rng(size)
+        values = (rng.integers(0, 5, size=size) + (1 if size == 1 else 0)).tolist()
+        if sum(values) == 0:
+            values[0] = 1
+        fw = FenwickWeights(values)
+        for u in rng.random(200):
+            x = u * fw.total
+            assert fw.find(x) == linear_find(values, x)
