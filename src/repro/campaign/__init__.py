@@ -1,0 +1,31 @@
+"""Campaign subsystem: resumable, cache-backed experiment sweeps.
+
+Turns one-shot experiment scripts into durable campaigns: job specs
+are content-addressed (:class:`JobSpec`), a SQLite store records every
+job's status and results across invocations (:class:`CampaignStore`),
+an executor drains the queue with retries and Ctrl-C checkpointing
+(:func:`run_campaign`), figure grids decompose into independent jobs
+(:func:`experiment_specs`), and a stdlib HTTP daemon serves
+submit/status/result/metrics for detached operation
+(:class:`CampaignService`).  See ``docs/campaign.md``.
+"""
+
+from .executor import CampaignReport, execute_spec, fetch_trial_set, run_campaign
+from .grids import GRID_EXPERIMENTS, experiment_specs
+from .service import CampaignService
+from .spec import JobSpec
+from .store import CampaignStore, JobRecord, StoreTrialCache
+
+__all__ = [
+    "JobSpec",
+    "JobRecord",
+    "CampaignStore",
+    "StoreTrialCache",
+    "CampaignReport",
+    "CampaignService",
+    "execute_spec",
+    "fetch_trial_set",
+    "run_campaign",
+    "experiment_specs",
+    "GRID_EXPERIMENTS",
+]

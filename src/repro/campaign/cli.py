@@ -1,0 +1,203 @@
+"""``repro-experiments campaign`` — CLI verbs over the job store.
+
+Verbs::
+
+    campaign submit --experiment fig3 --quick      # enqueue a grid
+    campaign run    --quick                        # enqueue + drain (resumable)
+    campaign status                                # queue counts
+    campaign gc --older-than 30                    # prune failed/old rows
+    campaign serve --port 8642                     # HTTP service daemon
+
+``run`` is idempotent and interruption-safe: Ctrl-C checkpoints
+in-flight jobs back to the queue, and a re-run only computes what is
+missing — already-done digests are reported as cache hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..experiments.common import DEFAULT_SEED, ProgressPrinter
+from .executor import run_campaign
+from .grids import GRID_EXPERIMENTS, experiment_specs
+from .service import CampaignService
+from .store import CampaignStore
+
+__all__ = ["build_campaign_parser", "campaign_main"]
+
+#: Default database location, shared with the experiment harness's
+#: incremental mode (``repro-experiments all --out results/``).
+DEFAULT_DB = "results/campaign.db"
+
+
+def build_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments campaign",
+        description="Resumable, cache-backed experiment campaigns",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--db", default=DEFAULT_DB, metavar="PATH",
+        help=f"job store database (default {DEFAULT_DB})",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    def add_grid_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--experiment", default="all",
+            choices=list(GRID_EXPERIMENTS) + ["all"],
+            help="which figure grid to enqueue (default all)",
+        )
+        p.add_argument("--quick", action="store_true", help="smoke-scale grids")
+        p.add_argument("--trials", type=int, default=None, help="override trials/point")
+        p.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
+        p.add_argument("--engine", default="count", help="engine registry name")
+        p.add_argument("--campaign", default=None, help="label grouping these jobs")
+
+    p_submit = sub.add_parser(
+        "submit", parents=[common], help="enqueue a figure grid (no execution)"
+    )
+    add_grid_args(p_submit)
+
+    p_run = sub.add_parser(
+        "run", parents=[common], help="enqueue (idempotent) and drain the queue"
+    )
+    add_grid_args(p_run)
+    p_run.add_argument("--workers", type=int, default=1, help="process-pool width")
+    p_run.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts before a job is marked failed",
+    )
+    p_run.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after N completions"
+    )
+    p_run.add_argument(
+        "--no-submit", action="store_true",
+        help="drain only what is already queued (skip grid submission)",
+    )
+    p_run.add_argument("--no-progress", action="store_true")
+
+    sub.add_parser(
+        "status", parents=[common], help="print job counts and recent failures"
+    )
+
+    p_gc = sub.add_parser(
+        "gc", parents=[common], help="delete failed jobs and prune old results"
+    )
+    p_gc.add_argument(
+        "--keep-failed", action="store_true", help="do not delete failed jobs"
+    )
+    p_gc.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="also delete done jobs (and cache entries) finished more than DAYS ago",
+    )
+    p_gc.add_argument("--no-vacuum", action="store_true")
+
+    p_serve = sub.add_parser(
+        "serve", parents=[common], help="run the HTTP service daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument(
+        "--no-worker", action="store_true",
+        help="serve submit/status only; drain with 'campaign run' elsewhere",
+    )
+    return parser
+
+
+def _cmd_submit(store: CampaignStore, args: argparse.Namespace) -> int:
+    specs = experiment_specs(
+        args.experiment, quick=args.quick, trials=args.trials,
+        seed=args.seed, engine=args.engine,
+    )
+    outcome = store.submit_many(specs, campaign=args.campaign)
+    print(
+        f"submitted {outcome['created']} new job(s); "
+        f"{outcome['existing']} already known "
+        f"({outcome['done']} of those done)"
+    )
+    return 0
+
+
+def _cmd_run(store: CampaignStore, args: argparse.Namespace) -> int:
+    if not args.no_submit:
+        specs = experiment_specs(
+            args.experiment, quick=args.quick, trials=args.trials,
+            seed=args.seed, engine=args.engine,
+        )
+        outcome = store.submit_many(specs, campaign=args.campaign)
+        total = len(specs)
+        hits = outcome["done"]
+        pct = 100.0 * hits / total if total else 0.0
+        print(
+            f"grid {args.experiment}: {total} point(s), "
+            f"{outcome['created']} new, {hits} cached ({pct:.0f}% cache hits)"
+        )
+    progress = ProgressPrinter(enabled=not args.no_progress)
+    report = run_campaign(
+        store,
+        workers=args.workers,
+        retries=args.retries,
+        max_jobs=args.max_jobs,
+        progress=progress if not args.no_progress else None,
+    )
+    print(f"campaign run: {report.summary()}")
+    if report.interrupted:
+        return 130
+    return 1 if report.failed else 0
+
+
+def _cmd_status(store: CampaignStore, args: argparse.Namespace) -> int:
+    counts = store.counts()
+    print(json.dumps(counts, indent=2))
+    failures = store.list_jobs(status="failed", limit=10)
+    for job in failures:
+        print(f"failed {job.digest[:12]} ({job.spec.label()}): {job.error}")
+    print(f"trial cache: {store.trial_cache_size()} entr(ies)")
+    return 0
+
+
+def _cmd_gc(store: CampaignStore, args: argparse.Namespace) -> int:
+    older = None if args.older_than is None else args.older_than * 86400.0
+    removed = store.gc(
+        failed=not args.keep_failed,
+        done_older_than=older,
+        vacuum=not args.no_vacuum,
+    )
+    print(
+        f"gc: removed {removed['failed']} failed, {removed['done']} done, "
+        f"{removed['trial_cache']} cache entr(ies)"
+    )
+    return 0
+
+
+def _cmd_serve(store: CampaignStore, args: argparse.Namespace) -> int:
+    service = CampaignService(
+        store.path, host=args.host, port=args.port, worker=not args.no_worker
+    )
+    print(f"campaign service on {service.url} (db {store.path}); Ctrl-C to stop")
+    service.serve_forever()
+    return 0
+
+
+def campaign_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-experiments campaign ...``."""
+    args = build_campaign_parser().parse_args(argv)
+    store = CampaignStore(args.db)
+    commands = {
+        "submit": _cmd_submit,
+        "run": _cmd_run,
+        "status": _cmd_status,
+        "gc": _cmd_gc,
+        "serve": _cmd_serve,
+    }
+    try:
+        return commands[args.verb](store, args)
+    finally:
+        store.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(campaign_main())

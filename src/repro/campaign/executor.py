@@ -1,0 +1,275 @@
+"""Campaign executor: drain pending jobs with retries and checkpointing.
+
+The executor is crash-first software: every state transition is
+committed to the store before and after work happens, so killing the
+process at any instant loses at most the in-flight simulations (their
+jobs return to ``pending`` on the next start via
+:meth:`CampaignStore.recover_running`).  A ``KeyboardInterrupt`` is the
+polite version of the same thing — in-flight jobs are checkpointed
+back to ``pending`` synchronously before the executor returns.
+
+Workers: ``workers=1`` executes in-process (and therefore also
+populates the store's trial cache through the runner hook);
+``workers>1`` fans jobs out over a ``ProcessPoolExecutor``, one job
+per submission, with the parent committing results — worker processes
+never touch SQLite.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from ..engine.runner import TrialSet, trial_fingerprint
+from .spec import JobSpec
+from .store import CampaignStore, JobRecord
+
+__all__ = ["CampaignReport", "execute_spec", "fetch_trial_set", "run_campaign"]
+
+
+def execute_spec(spec_dict: dict) -> dict:
+    """Run one job spec to completion; module-level so pools can pickle.
+
+    Returns a JSON-safe payload: the full trial record, the summary
+    statistics, the runner-level cache key (so the parent can populate
+    ``trial_cache`` without rebuilding the protocol), and wall time.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    protocol = spec.build_protocol()
+    t0 = time.perf_counter()
+    from ..engine.runner import run_trials
+
+    ts = run_trials(
+        protocol,
+        spec.n,
+        trials=spec.trials,
+        engine=spec.engine,
+        seed=spec.seed,
+        max_interactions=spec.max_interactions,
+        track_state=spec.track_state,
+        require_convergence=spec.max_interactions is None,
+        cache=_NO_CACHE,
+    )
+    wall = time.perf_counter() - t0
+    key = trial_fingerprint(
+        protocol,
+        spec.n,
+        trials=spec.trials,
+        engine=ts.engine,
+        seed=spec.seed,
+        max_interactions=spec.max_interactions,
+        track_state=spec.track_state,
+    )
+    return {
+        "record": ts.to_record(),
+        "summary": ts.stats(),
+        "trial_key": key,
+        "wall_time": wall,
+    }
+
+
+class _NullCache:
+    """Sentinel cache that never hits nor stores.
+
+    Passed explicitly so a process-wide :func:`use_trial_cache` context
+    cannot double-report job executions as runner-level hits — the
+    executor owns store population itself.
+    """
+
+    def get(self, key: str) -> None:
+        return None
+
+    def put(self, key: str, record: dict) -> None:
+        return None
+
+
+_NO_CACHE = _NullCache()
+
+
+@dataclass(slots=True)
+class CampaignReport:
+    """What one :func:`run_campaign` drain accomplished."""
+
+    executed: int = 0
+    failed: int = 0
+    retried: int = 0
+    recovered: int = 0
+    cache_hits: int = 0
+    interrupted: bool = False
+    wall_time: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = [
+            f"executed={self.executed}",
+            f"cache_hits={self.cache_hits}",
+            f"failed={self.failed}",
+        ]
+        if self.retried:
+            parts.append(f"retried={self.retried}")
+        if self.recovered:
+            parts.append(f"recovered={self.recovered}")
+        if self.interrupted:
+            parts.append("INTERRUPTED (checkpointed; re-run to resume)")
+        parts.append(f"wall={self.wall_time:.2f}s")
+        return " ".join(parts)
+
+
+def _commit_success(store: CampaignStore, digest: str, payload: dict) -> None:
+    store.mark_done(
+        digest,
+        summary=payload["summary"],
+        record=payload["record"],
+        wall_time=payload["wall_time"],
+    )
+    if payload.get("trial_key"):
+        store.trial_cache().put(payload["trial_key"], payload["record"])
+
+
+def _handle_failure(
+    store: CampaignStore,
+    job: JobRecord,
+    error: str,
+    retries: int,
+    report: CampaignReport,
+    progress: Callable[[str], None] | None,
+) -> None:
+    if job.attempts <= retries:
+        store.reset_to_pending(job.digest)
+        report.retried += 1
+        if progress is not None:
+            progress(f"retry {job.attempts}/{retries + 1} {job.spec.label()}: {error}")
+    else:
+        store.mark_failed(job.digest, error)
+        report.failed += 1
+        report.errors.append(f"{job.digest[:12]}: {error}")
+        if progress is not None:
+            progress(f"FAILED {job.spec.label()}: {error}")
+
+
+def run_campaign(
+    store: CampaignStore,
+    *,
+    workers: int = 1,
+    retries: int = 1,
+    max_jobs: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Drain the store's pending queue; returns a :class:`CampaignReport`.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width; ``1`` runs in-process.
+    retries:
+        Extra attempts before a job is marked ``failed`` (a job runs at
+        most ``retries + 1`` times across all invocations).
+    max_jobs:
+        Stop after this many completions (None = drain everything).
+    progress:
+        Optional ``callable(message)`` for per-job reporting.
+    """
+    report = CampaignReport()
+    report.recovered = store.recover_running()
+    report.cache_hits = store.counts()["done"]
+    t0 = time.perf_counter()
+    try:
+        if workers <= 1:
+            _drain_serial(store, retries, max_jobs, progress, report)
+        else:
+            _drain_pool(store, workers, retries, max_jobs, progress, report)
+    except KeyboardInterrupt:
+        report.interrupted = True
+        if progress is not None:
+            progress("interrupted — pending jobs checkpointed, re-run to resume")
+    report.wall_time = time.perf_counter() - t0
+    return report
+
+
+def _drain_serial(
+    store: CampaignStore,
+    retries: int,
+    max_jobs: int | None,
+    progress: Callable[[str], None] | None,
+    report: CampaignReport,
+) -> None:
+    while max_jobs is None or report.executed < max_jobs:
+        job = store.claim_next()
+        if job is None:
+            return
+        try:
+            payload = execute_spec(job.spec.canonical())
+        except KeyboardInterrupt:
+            store.reset_to_pending(job.digest)
+            raise
+        except Exception as exc:  # noqa: BLE001 — any job error is recorded
+            _handle_failure(
+                store, job, _format_error(exc), retries, report, progress
+            )
+            continue
+        _commit_success(store, job.digest, payload)
+        report.executed += 1
+        if progress is not None:
+            progress(f"done {job.spec.label()} in {payload['wall_time']:.2f}s")
+
+
+def _drain_pool(
+    store: CampaignStore,
+    workers: int,
+    retries: int,
+    max_jobs: int | None,
+    progress: Callable[[str], None] | None,
+    report: CampaignReport,
+) -> None:
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    in_flight: dict = {}
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            while True:
+                while len(in_flight) < workers and (
+                    max_jobs is None or report.executed + len(in_flight) < max_jobs
+                ):
+                    job = store.claim_next()
+                    if job is None:
+                        break
+                    future = pool.submit(execute_spec, job.spec.canonical())
+                    in_flight[future] = job
+                if not in_flight:
+                    return
+                finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    job = in_flight.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        _handle_failure(
+                            store, job, _format_error(exc), retries, report, progress
+                        )
+                        continue
+                    payload = future.result()
+                    _commit_success(store, job.digest, payload)
+                    report.executed += 1
+                    if progress is not None:
+                        progress(
+                            f"done {job.spec.label()} in {payload['wall_time']:.2f}s"
+                        )
+    except KeyboardInterrupt:
+        # Checkpoint everything in flight before propagating: those
+        # jobs were claimed (status running) but their results are lost.
+        for future, job in in_flight.items():
+            future.cancel()
+            store.reset_to_pending(job.digest)
+        raise
+
+
+def _format_error(exc: BaseException) -> str:
+    tb = traceback.format_exception_only(type(exc), exc)
+    return "".join(tb).strip()
+
+
+def fetch_trial_set(store: CampaignStore, spec: JobSpec) -> TrialSet | None:
+    """Reconstruct the TrialSet of a done job (None when absent)."""
+    record = store.result_record(spec.digest)
+    return None if record is None else TrialSet.from_record(record)

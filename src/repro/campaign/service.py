@@ -1,0 +1,309 @@
+"""Simulation service daemon: submit/status/result/metrics over HTTP.
+
+A thin JSON API over the campaign store so long sweeps run detached
+from any terminal: clients POST job specs (or whole figure grids),
+a background worker thread drains the queue, and pollers read status
+and results by digest.  Pure stdlib — ``ThreadingHTTPServer`` gives
+one thread per connection, which the store supports via per-thread
+SQLite connections and WAL mode.
+
+Endpoints
+---------
+``GET /healthz``            liveness probe
+``GET /status``             job counts + queue/worker state
+``GET /jobs?status=S``      digests by status (bounded list)
+``GET /result/<digest>``    spec, provenance and summary of one job
+``GET /metrics``            cumulative service counters
+``POST /submit``            body ``{"specs": [...]}`` or
+                            ``{"experiment": "fig3", "quick": true}``
+
+Every response is ``application/json``.  See ``docs/campaign.md`` for
+the full API table and examples.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from ..core.errors import CampaignError, ReproError
+from .executor import execute_spec
+from .grids import experiment_specs
+from .spec import JobSpec
+from .store import CampaignStore, JOB_STATUSES
+
+__all__ = ["CampaignService"]
+
+
+class _Metrics:
+    """Cumulative counters, guarded by a lock (handler threads write)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests = 0
+        self.submitted = 0
+        self.executed = 0
+        self.failed = 0
+        self.wall_time_total = 0.0
+
+    def bump(self, field: str, amount: float = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "uptime_seconds": time.time() - self.started_at,
+                "requests": self.requests,
+                "submitted": self.submitted,
+                "executed": self.executed,
+                "failed": self.failed,
+                "wall_time_total": self.wall_time_total,
+            }
+
+
+class CampaignService:
+    """HTTP facade plus background worker over one campaign store.
+
+    Parameters
+    ----------
+    store_path:
+        SQLite database path (created if missing).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read
+        :attr:`address` after :meth:`start`).
+    worker:
+        When True (default) a daemon thread drains pending jobs
+        serially while the server runs; False serves a read/submit-only
+        facade (an external ``campaign run`` drains the queue).
+    poll_interval:
+        Worker sleep between empty-queue polls, in seconds.
+    """
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        worker: bool = True,
+        poll_interval: float = 0.2,
+    ) -> None:
+        self.store = CampaignStore(store_path)
+        self.metrics = _Metrics()
+        self.poll_interval = poll_interval
+        self._want_worker = worker
+        self._stop = threading.Event()
+        self._worker_thread: threading.Thread | None = None
+        self._server_thread: threading.Thread | None = None
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """Actual bound ``(host, port)``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CampaignService":
+        """Serve in background threads; returns self for chaining."""
+        self._server_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="campaign-http", daemon=True
+        )
+        self._server_thread.start()
+        if self._want_worker:
+            self._worker_thread = threading.Thread(
+                target=self._worker_loop, name="campaign-worker", daemon=True
+            )
+            self._worker_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI ``serve`` verb."""
+        self.start()
+        try:
+            while not self._stop.is_set():
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._worker_thread is not None:
+            self._worker_thread.join(timeout=10)
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=10)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        self.store.recover_running()
+        while not self._stop.is_set():
+            job = self.store.claim_next()
+            if job is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            try:
+                payload = execute_spec(job.spec.canonical())
+            except Exception as exc:  # noqa: BLE001 — recorded, not fatal
+                self.store.mark_failed(job.digest, f"{type(exc).__name__}: {exc}")
+                self.metrics.bump("failed")
+                continue
+            self.store.mark_done(
+                job.digest,
+                summary=payload["summary"],
+                record=payload["record"],
+                wall_time=payload["wall_time"],
+            )
+            if payload.get("trial_key"):
+                self.store.trial_cache().put(payload["trial_key"], payload["record"])
+            self.metrics.bump("executed")
+            self.metrics.bump("wall_time_total", payload["wall_time"])
+        # Checkpoint: a claim made but not finished returns to pending.
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads)
+    # ------------------------------------------------------------------
+    def handle_get(self, path: str, query: dict[str, str]) -> tuple[int, dict]:
+        self.metrics.bump("requests")
+        if path == "/healthz":
+            return 200, {"ok": True, "store": str(self.store.path)}
+        if path == "/status":
+            counts = self.store.counts()
+            return 200, {
+                "jobs": counts,
+                "queue_depth": counts["pending"] + counts["running"],
+                "worker": self._want_worker,
+                "trial_cache_entries": self.store.trial_cache_size(),
+                "uptime_seconds": time.time() - self.metrics.started_at,
+            }
+        if path == "/metrics":
+            body = self.metrics.snapshot()
+            body["jobs"] = self.store.counts()
+            return 200, body
+        if path == "/jobs":
+            status = query.get("status")
+            if status is not None and status not in JOB_STATUSES:
+                return 400, {"error": f"unknown status {status!r}"}
+            limit = min(int(query.get("limit", "100")), 1000)
+            jobs = self.store.list_jobs(status=status, limit=limit)
+            return 200, {
+                "jobs": [
+                    {"digest": j.digest, "status": j.status, "label": j.spec.label()}
+                    for j in jobs
+                ]
+            }
+        if path.startswith("/result/"):
+            digest = path.removeprefix("/result/")
+            job = self.store.get(digest)
+            if job is None:
+                return 404, {"error": f"no job with digest {digest!r}"}
+            return 200, {
+                "digest": job.digest,
+                "status": job.status,
+                "spec": job.spec.canonical(),
+                "summary": job.summary,
+                "error": job.error,
+                "attempts": job.attempts,
+                "wall_time": job.wall_time,
+                "git_rev": job.git_rev,
+                "package_version": job.package_version,
+            }
+        return 404, {"error": f"no route for GET {path}"}
+
+    def handle_post(self, path: str, body: dict) -> tuple[int, dict]:
+        self.metrics.bump("requests")
+        if path != "/submit":
+            return 404, {"error": f"no route for POST {path}"}
+        try:
+            specs = self._specs_from_body(body)
+        except (ReproError, TypeError, ValueError, KeyError) as exc:
+            return 400, {"error": str(exc)}
+        outcome = self.store.submit_many(
+            specs, campaign=body.get("campaign")
+        )
+        self.metrics.bump("submitted", outcome["created"])
+        return 200, {
+            "submitted": outcome["created"],
+            "already_known": outcome["existing"],
+            "already_done": outcome["done"],
+            "digests": [spec.digest for spec in specs],
+        }
+
+    @staticmethod
+    def _specs_from_body(body: dict) -> list[JobSpec]:
+        if "specs" in body:
+            return [JobSpec.from_dict(s) for s in body["specs"]]
+        if "experiment" in body:
+            return experiment_specs(
+                body["experiment"],
+                quick=bool(body.get("quick", False)),
+                trials=body.get("trials"),
+                seed=int(body.get("seed", 201801)),
+                engine=body.get("engine", "count"),
+            )
+        raise CampaignError("submit body needs either 'specs' or 'experiment'")
+
+
+def _make_handler(service: CampaignService) -> type[BaseHTTPRequestHandler]:
+    """A handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt: str, *args: object) -> None:  # noqa: A003
+            pass  # no access log — /metrics carries the counters
+
+        def _respond(self, code: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 — http.server API
+            from urllib.parse import parse_qsl, urlsplit
+
+            parts = urlsplit(self.path)
+            query = dict(parse_qsl(parts.query))
+            try:
+                code, payload = service.handle_get(parts.path, query)
+            except Exception as exc:  # noqa: BLE001 — surface as 500
+                code, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._respond(code, payload)
+
+        def do_POST(self) -> None:  # noqa: N802 — http.server API
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw or b"{}")
+                if not isinstance(body, dict):
+                    raise ValueError("request body must be a JSON object")
+            except ValueError as exc:
+                self._respond(400, {"error": f"bad JSON body: {exc}"})
+                return
+            try:
+                code, payload = service.handle_post(self.path, body)
+            except Exception as exc:  # noqa: BLE001 — surface as 500
+                code, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._respond(code, payload)
+
+    return Handler

@@ -1,0 +1,396 @@
+"""SQLite-backed job store: durable campaign state across invocations.
+
+One database holds every job ever submitted, keyed by the spec's
+content digest.  Jobs move ``pending -> running -> done | failed``;
+``done`` rows carry the full per-trial record (for bit-identical cache
+hits) plus compact summary statistics and provenance (git revision,
+package version, wall time).
+
+Concurrency model: WAL journaling allows any number of concurrent
+readers alongside one writer; every thread gets its own connection
+(SQLite connections are not thread-safe), and claims are serialized
+with ``BEGIN IMMEDIATE`` so two executors never run the same job.
+A second table, ``trial_cache``, memoizes raw ``run_trials`` calls by
+their :func:`~repro.engine.runner.trial_fingerprint` — the hook that
+makes plain ``repro-experiments`` sweeps incremental even when they
+were never submitted as campaign jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import subprocess
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .. import __version__ as _PACKAGE_VERSION
+from ..core.errors import CampaignError
+from .spec import JobSpec
+
+__all__ = ["CampaignStore", "JobRecord", "StoreTrialCache", "JOB_STATUSES"]
+
+JOB_STATUSES = ("pending", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    digest          TEXT PRIMARY KEY,
+    spec            TEXT NOT NULL,
+    status          TEXT NOT NULL DEFAULT 'pending'
+                    CHECK (status IN ('pending', 'running', 'done', 'failed')),
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    error           TEXT,
+    summary         TEXT,
+    record          TEXT,
+    campaign        TEXT,
+    git_rev         TEXT,
+    package_version TEXT,
+    wall_time       REAL,
+    created_at      REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status, created_at);
+CREATE INDEX IF NOT EXISTS jobs_by_campaign ON jobs (campaign);
+CREATE TABLE IF NOT EXISTS trial_cache (
+    key        TEXT PRIMARY KEY,
+    record     TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+"""
+
+
+def _git_rev() -> str | None:
+    """Current git revision, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5, check=False,
+        )
+    except OSError:
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """One row of the ``jobs`` table, spec already decoded."""
+
+    digest: str
+    spec: JobSpec
+    status: str
+    attempts: int
+    error: str | None
+    summary: dict | None
+    campaign: str | None
+    git_rev: str | None
+    package_version: str | None
+    wall_time: float | None
+    created_at: float
+    started_at: float | None
+    finished_at: float | None
+
+    @classmethod
+    def _from_row(cls, row: sqlite3.Row) -> "JobRecord":
+        return cls(
+            digest=row["digest"],
+            spec=JobSpec.from_json(row["spec"]),
+            status=row["status"],
+            attempts=row["attempts"],
+            error=row["error"],
+            summary=json.loads(row["summary"]) if row["summary"] else None,
+            campaign=row["campaign"],
+            git_rev=row["git_rev"],
+            package_version=row["package_version"],
+            wall_time=row["wall_time"],
+            created_at=row["created_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+        )
+
+
+class StoreTrialCache:
+    """:class:`~repro.engine.runner.TrialCache` view over the store.
+
+    Installed with :func:`~repro.engine.runner.use_trial_cache`, it
+    makes every ``run_trials`` call inside an experiment sweep check
+    the database first — the mechanism behind incremental
+    ``repro-experiments all`` re-runs.
+    """
+
+    def __init__(self, store: "CampaignStore") -> None:
+        self._store = store
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> dict | None:
+        row = self._store._query(
+            "SELECT record FROM trial_cache WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return json.loads(row["record"])
+
+    def put(self, key: str, record: dict) -> None:
+        with self._store._write() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO trial_cache (key, record, created_at) "
+                "VALUES (?, ?, ?)",
+                (key, json.dumps(record), time.time()),
+            )
+
+
+class CampaignStore:
+    """Persistent job store; one instance may be shared across threads."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._local = threading.local()
+        self._conns: list[sqlite3.Connection] = []
+        self._conns_lock = threading.Lock()
+        # Create the schema eagerly so read-only callers see tables.
+        with self._write():
+            pass
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def _query(self, sql: str, args: tuple = ()) -> sqlite3.Cursor:
+        return self._conn().execute(sql, args)
+
+    def _write(self):
+        """Context manager: one committed transaction on this thread."""
+        return self._conn()
+
+    def close(self) -> None:
+        with self._conns_lock:
+            for conn in self._conns:
+                try:
+                    conn.close()
+                except sqlite3.Error:
+                    pass
+            self._conns.clear()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec, *, campaign: str | None = None) -> tuple[str, bool]:
+        """Record a job; returns ``(digest, created)``.
+
+        Submission is idempotent by digest: re-submitting an existing
+        job (any status) changes nothing and returns ``created=False``
+        — that is the job-level cache hit.
+        """
+        digest = spec.digest
+        with self._write() as conn:
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO jobs (digest, spec, campaign, created_at) "
+                "VALUES (?, ?, ?, ?)",
+                (digest, spec.to_json(), campaign, time.time()),
+            )
+        return digest, cur.rowcount == 1
+
+    def submit_many(
+        self, specs: list[JobSpec], *, campaign: str | None = None
+    ) -> dict[str, int]:
+        """Submit a batch; returns ``{"created": .., "existing": .., "done": ..}``."""
+        created = existing = done = 0
+        for spec in specs:
+            digest, was_new = self.submit(spec, campaign=campaign)
+            if was_new:
+                created += 1
+            else:
+                existing += 1
+                row = self._query(
+                    "SELECT status FROM jobs WHERE digest = ?", (digest,)
+                ).fetchone()
+                if row is not None and row["status"] == "done":
+                    done += 1
+        return {"created": created, "existing": existing, "done": done}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def claim_next(self) -> JobRecord | None:
+        """Atomically move the oldest pending job to ``running``."""
+        conn = self._conn()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE status = 'pending' "
+                "ORDER BY created_at, digest LIMIT 1"
+            ).fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return None
+            conn.execute(
+                "UPDATE jobs SET status = 'running', started_at = ?, "
+                "attempts = attempts + 1 WHERE digest = ?",
+                (time.time(), row["digest"]),
+            )
+            conn.execute("COMMIT")
+        except sqlite3.Error:
+            conn.execute("ROLLBACK")
+            raise
+        record = JobRecord._from_row(row)
+        record.status = "running"
+        record.attempts += 1
+        return record
+
+    def mark_done(
+        self,
+        digest: str,
+        *,
+        summary: dict,
+        record: dict,
+        wall_time: float,
+    ) -> None:
+        with self._write() as conn:
+            conn.execute(
+                "UPDATE jobs SET status = 'done', summary = ?, record = ?, "
+                "wall_time = ?, finished_at = ?, error = NULL, "
+                "git_rev = ?, package_version = ? WHERE digest = ?",
+                (
+                    json.dumps(summary),
+                    json.dumps(record),
+                    wall_time,
+                    time.time(),
+                    _git_rev(),
+                    _PACKAGE_VERSION,
+                    digest,
+                ),
+            )
+
+    def mark_failed(self, digest: str, error: str) -> None:
+        with self._write() as conn:
+            conn.execute(
+                "UPDATE jobs SET status = 'failed', error = ?, finished_at = ? "
+                "WHERE digest = ?",
+                (error, time.time(), digest),
+            )
+
+    def reset_to_pending(self, digest: str) -> None:
+        """Checkpoint one job back to the queue (Ctrl-C, retry)."""
+        with self._write() as conn:
+            conn.execute(
+                "UPDATE jobs SET status = 'pending', started_at = NULL "
+                "WHERE digest = ?",
+                (digest,),
+            )
+
+    def recover_running(self) -> int:
+        """Re-queue jobs left ``running`` by a killed process.
+
+        Call at executor startup: any ``running`` row necessarily
+        belongs to a process that died mid-job (live executors reset
+        their claims on the way out).
+        """
+        with self._write() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET status = 'pending', started_at = NULL "
+                "WHERE status = 'running'"
+            )
+        return cur.rowcount
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> JobRecord | None:
+        row = self._query("SELECT * FROM jobs WHERE digest = ?", (digest,)).fetchone()
+        return None if row is None else JobRecord._from_row(row)
+
+    def result_record(self, digest: str) -> dict | None:
+        """The full :meth:`TrialSet.to_record` payload of a done job."""
+        row = self._query(
+            "SELECT record FROM jobs WHERE digest = ? AND status = 'done'", (digest,)
+        ).fetchone()
+        return None if row is None or row["record"] is None else json.loads(row["record"])
+
+    def counts(self) -> dict[str, int]:
+        """Job counts by status (every status present, zeros included)."""
+        out = {status: 0 for status in JOB_STATUSES}
+        for row in self._query("SELECT status, COUNT(*) AS c FROM jobs GROUP BY status"):
+            out[row["status"]] = row["c"]
+        return out
+
+    def list_jobs(
+        self, *, status: str | None = None, limit: int = 100
+    ) -> list[JobRecord]:
+        if status is not None and status not in JOB_STATUSES:
+            raise CampaignError(f"unknown status {status!r}; expected one of {JOB_STATUSES}")
+        if status is None:
+            cur = self._query(
+                "SELECT * FROM jobs ORDER BY created_at, digest LIMIT ?", (limit,)
+            )
+        else:
+            cur = self._query(
+                "SELECT * FROM jobs WHERE status = ? ORDER BY created_at, digest LIMIT ?",
+                (status, limit),
+            )
+        return [JobRecord._from_row(row) for row in cur.fetchall()]
+
+    def trial_cache_size(self) -> int:
+        row = self._query("SELECT COUNT(*) AS c FROM trial_cache").fetchone()
+        return row["c"]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        *,
+        failed: bool = True,
+        done_older_than: float | None = None,
+        vacuum: bool = True,
+    ) -> dict[str, int]:
+        """Delete failed jobs and (optionally) old done jobs.
+
+        ``done_older_than`` is an age threshold in seconds applied to
+        ``finished_at``; trial-cache entries older than the same
+        threshold are pruned too.  Returns per-category deletion counts.
+        """
+        removed = {"failed": 0, "done": 0, "trial_cache": 0}
+        with self._write() as conn:
+            if failed:
+                cur = conn.execute("DELETE FROM jobs WHERE status = 'failed'")
+                removed["failed"] = cur.rowcount
+            if done_older_than is not None:
+                cutoff = time.time() - done_older_than
+                cur = conn.execute(
+                    "DELETE FROM jobs WHERE status = 'done' AND finished_at < ?",
+                    (cutoff,),
+                )
+                removed["done"] = cur.rowcount
+                cur = conn.execute(
+                    "DELETE FROM trial_cache WHERE created_at < ?", (cutoff,)
+                )
+                removed["trial_cache"] = cur.rowcount
+        if vacuum:
+            self._conn().execute("VACUUM")
+        return removed
+
+    def trial_cache(self) -> StoreTrialCache:
+        """A runner-compatible cache view over this store."""
+        return StoreTrialCache(self)

@@ -5,6 +5,7 @@ from .compiler import CompiledProtocol, InteractionClass, compile_protocol
 from .configuration import Configuration
 from .errors import (
     AsymmetricTransitionError,
+    CampaignError,
     ConfigurationError,
     ConvergenceError,
     ExperimentError,
@@ -13,6 +14,8 @@ from .errors import (
     ReproError,
     SchedulerError,
     SimulationError,
+    UnknownEngineError,
+    UnknownProtocolError,
     UnknownStateError,
 )
 from .execution import ExecutionTrace, Step, record_script
@@ -49,4 +52,7 @@ __all__ = [
     "ConvergenceError",
     "SchedulerError",
     "ExperimentError",
+    "UnknownEngineError",
+    "UnknownProtocolError",
+    "CampaignError",
 ]

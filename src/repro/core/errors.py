@@ -19,6 +19,9 @@ __all__ = [
     "ConvergenceError",
     "SchedulerError",
     "ExperimentError",
+    "UnknownEngineError",
+    "UnknownProtocolError",
+    "CampaignError",
 ]
 
 
@@ -75,3 +78,19 @@ class SchedulerError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class UnknownEngineError(SimulationError, ValueError):
+    """An engine name is not present in the engine registry.
+
+    Doubles as :class:`ValueError` so registry lookups behave like
+    ordinary bad-argument errors for callers outside the library.
+    """
+
+
+class UnknownProtocolError(ProtocolError, ValueError):
+    """A protocol name is not present in the protocol registry."""
+
+
+class CampaignError(ReproError):
+    """The campaign subsystem (job store / executor / service) failed."""

@@ -10,7 +10,14 @@ from .ensemble import EnsembleEngine
 from .hybrid import HybridEngine
 from .metrics import GroupSizeRecorder, TimeSeriesRecorder, aggregate_milestones
 from .registry import available_engines, build_engine, register_engine, resolve_engine
-from .runner import TrialSet, run_trials
+from .runner import (
+    InMemoryTrialCache,
+    TrialCache,
+    TrialSet,
+    run_trials,
+    trial_fingerprint,
+    use_trial_cache,
+)
 from .sampling import FenwickWeights
 
 __all__ = [
@@ -31,5 +38,9 @@ __all__ = [
     "GroupSizeRecorder",
     "aggregate_milestones",
     "TrialSet",
+    "TrialCache",
+    "InMemoryTrialCache",
     "run_trials",
+    "trial_fingerprint",
+    "use_trial_cache",
 ]

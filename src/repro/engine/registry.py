@@ -9,9 +9,10 @@ engines can join via :func:`register_engine`.
 
 from __future__ import annotations
 
+import difflib
 from collections.abc import Callable
 
-from ..core.errors import SimulationError
+from ..core.errors import UnknownEngineError
 from .agent_based import AgentBasedEngine
 from .base import Engine
 from .batch import BatchEngine
@@ -43,12 +44,23 @@ def register_engine(name: str, factory: Callable[[], Engine]) -> None:
 
 
 def build_engine(name: str) -> Engine:
-    """Instantiate the engine registered under ``name``."""
+    """Instantiate the engine registered under ``name``.
+
+    Raises
+    ------
+    UnknownEngineError
+        (a :class:`ValueError`) listing every registered name and, when
+        one is close enough, the most likely intended spelling.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
         known = ", ".join(available_engines())
-        raise SimulationError(f"unknown engine {name!r}; known engines: {known}") from None
+        message = f"unknown engine {name!r}; known engines: {known}"
+        close = difflib.get_close_matches(name, available_engines(), n=1)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        raise UnknownEngineError(message) from None
     return factory()
 
 

@@ -9,8 +9,12 @@ and independent of execution order.
 
 from __future__ import annotations
 
+import hashlib
+import json
+from contextlib import contextmanager
 from dataclasses import dataclass
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import Protocol as TypingProtocol
 
 import numpy as np
 
@@ -20,7 +24,20 @@ from ..core.rng import SeedLike, spawn_seed_sequences
 from .base import Engine, SimulationResult
 from .registry import resolve_engine
 
-__all__ = ["TrialSet", "run_trials"]
+__all__ = [
+    "TrialSet",
+    "TrialCache",
+    "InMemoryTrialCache",
+    "run_trials",
+    "trial_fingerprint",
+    "use_trial_cache",
+    "active_trial_cache",
+]
+
+#: Called after every completed trial with ``(done, total)`` where
+#: ``done`` counts finished trials (1-based).  Engines that simulate a
+#: whole chunk in one vectorized call report the chunk at once.
+ProgressCallback = Callable[[int, int], None]
 
 
 @dataclass(slots=True)
@@ -77,6 +94,192 @@ class TrialSet:
             f"range=[{int(self.interactions.min())}, {int(self.interactions.max())}]"
         )
 
+    # ------------------------------------------------------------------
+    # Serialization (campaign cache / job store)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """JSON-safe summary statistics (the per-point figures report)."""
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "engine": self.engine,
+            "trials": self.trials,
+            "mean_interactions": self.mean_interactions,
+            "std_interactions": self.std_interactions,
+            "sem_interactions": self.sem_interactions,
+            "min_interactions": int(self.interactions.min()),
+            "max_interactions": int(self.interactions.max()),
+            "mean_effective": float(self.effective_interactions.mean()),
+            "all_converged": self.all_converged,
+        }
+
+    def to_record(self) -> dict[str, object]:
+        """Lossless JSON-safe serialization of every trial.
+
+        ``TrialSet.from_record(ts.to_record())`` reconstructs a trial
+        set whose arrays and statistics are bit-identical to the
+        original — the contract the campaign cache relies on.
+        """
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "engine": self.engine,
+            "results": [
+                {
+                    "protocol": r.protocol,
+                    "n": r.n,
+                    "engine": r.engine,
+                    "interactions": r.interactions,
+                    "effective_interactions": r.effective_interactions,
+                    "converged": r.converged,
+                    "silent": r.silent,
+                    "final_counts": [int(c) for c in r.final_counts],
+                    "group_sizes": [int(g) for g in r.group_sizes],
+                    "tracked_milestones": list(r.tracked_milestones),
+                    "elapsed": r.elapsed,
+                }
+                for r in self.results
+            ],
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, object]) -> "TrialSet":
+        """Inverse of :meth:`to_record`."""
+        results = [
+            SimulationResult(
+                protocol=r["protocol"],
+                n=r["n"],
+                engine=r["engine"],
+                interactions=r["interactions"],
+                effective_interactions=r["effective_interactions"],
+                converged=r["converged"],
+                silent=r["silent"],
+                final_counts=np.asarray(r["final_counts"], dtype=np.int64),
+                group_sizes=np.asarray(r["group_sizes"], dtype=np.int64),
+                tracked_milestones=list(r["tracked_milestones"]),
+                elapsed=r["elapsed"],
+            )
+            for r in record["results"]
+        ]
+        return cls(
+            protocol=record["protocol"],
+            n=record["n"],
+            engine=record["engine"],
+            results=results,
+        )
+
+
+class TrialCache(TypingProtocol):
+    """Key-value interface :func:`run_trials` consults before running.
+
+    Keys are :func:`trial_fingerprint` digests; values are
+    :meth:`TrialSet.to_record` dicts.  Implementations must be safe to
+    call from the thread that invoked :func:`run_trials` only.
+    """
+
+    def get(self, key: str) -> dict | None: ...  # pragma: no cover
+
+    def put(self, key: str, record: dict) -> None: ...  # pragma: no cover
+
+
+class InMemoryTrialCache:
+    """Dict-backed :class:`TrialCache` with hit/miss counters."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str) -> dict | None:
+        record = self._data.get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        self._data[key] = record
+
+
+#: Process-wide cache installed by :func:`use_trial_cache`; ``None``
+#: disables caching for callers that do not pass ``cache=`` explicitly.
+_ACTIVE_CACHE: TrialCache | None = None
+
+
+def active_trial_cache() -> TrialCache | None:
+    """The cache currently installed by :func:`use_trial_cache`."""
+    return _ACTIVE_CACHE
+
+
+@contextmanager
+def use_trial_cache(cache: TrialCache | None) -> Iterator[TrialCache | None]:
+    """Install ``cache`` as the process-wide default for ``run_trials``.
+
+    Every :func:`run_trials` call inside the ``with`` block that does
+    not pass its own ``cache=`` consults (and populates) this one.  The
+    experiment CLI uses it to make whole-figure sweeps incremental
+    without threading a cache argument through every experiment module.
+    """
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE = previous
+
+
+def _protocol_fingerprint(protocol: Protocol) -> str:
+    """Content hash of a protocol's full behaviour description.
+
+    Built from :meth:`Protocol.describe`, which renders the state
+    space, group map, and every transition rule — two protocols with
+    the same digest are behaviourally identical regardless of how they
+    were constructed (registry, composition, or hand-built).
+    """
+    return hashlib.sha256(protocol.describe().encode()).hexdigest()
+
+
+def trial_fingerprint(
+    protocol: Protocol,
+    n: int | None,
+    *,
+    trials: int,
+    engine: str,
+    seed: SeedLike,
+    initial_counts: np.ndarray | None = None,
+    max_interactions: int | None = None,
+    track_state: str | int | None = None,
+) -> str | None:
+    """Digest identifying one :func:`run_trials` call's full input.
+
+    Returns ``None`` when the call is not cacheable (a ``Generator`` or
+    ``SeedSequence`` seed has hidden stream state that a digest cannot
+    capture).  Everything else — protocol behaviour, population,
+    trial count, engine, integer seed, budget, tracking — is hashed
+    into one hex digest, so cache hits are exact-input matches.
+    """
+    if not (seed is None or isinstance(seed, int)):
+        return None
+    payload = {
+        "protocol": _protocol_fingerprint(protocol),
+        "n": n,
+        "trials": trials,
+        "engine": engine,
+        "seed": seed,
+        "initial_counts": (
+            None if initial_counts is None else [int(c) for c in initial_counts]
+        ),
+        "max_interactions": max_interactions,
+        "track_state": track_state,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
 
 def run_trials(
     protocol: Protocol,
@@ -89,8 +292,9 @@ def run_trials(
     max_interactions: int | None = None,
     track_state: str | int | None = None,
     require_convergence: bool = True,
-    progress: Callable[[int, SimulationResult], None] | None = None,
+    progress: ProgressCallback | None = None,
     workers: int = 1,
+    cache: TrialCache | None = None,
 ) -> TrialSet:
     """Run ``trials`` independent executions and collect the results.
 
@@ -112,7 +316,16 @@ def run_trials(
         within its budget (default True — averaging censored counts
         silently would bias the reproduction).
     progress:
-        Optional callback ``(trial_index, result)`` after each trial.
+        Optional callback ``(done, total)`` fired as trials complete
+        (``done`` is the 1-based count of finished trials).  Vectorized
+        engines and worker pools report whole chunks at once.
+    cache:
+        Optional :class:`TrialCache`.  When the call's
+        :func:`trial_fingerprint` is already present, the stored record
+        is returned immediately — bit-identical to re-running — and no
+        simulation happens; otherwise the fresh result is stored under
+        that key on the way out.  ``None`` falls back to the cache
+        installed by :func:`use_trial_cache` (if any).
     workers:
         Number of worker processes.  ``1`` (default) runs serially in
         this process; ``> 1`` splits the trials into ``workers``
@@ -130,12 +343,37 @@ def run_trials(
     if workers < 1:
         raise SimulationError(f"workers must be positive, got {workers}")
     engine = resolve_engine(engine)
-    seeds = spawn_seed_sequences(seed, trials)
     init = None if initial_counts is None else np.asarray(initial_counts, dtype=np.int64)
+
+    if cache is None:
+        cache = _ACTIVE_CACHE
+    key: str | None = None
+    if cache is not None:
+        key = trial_fingerprint(
+            protocol,
+            n,
+            trials=trials,
+            engine=engine.name,
+            seed=seed,
+            initial_counts=init,
+            max_interactions=max_interactions,
+            track_state=track_state,
+        )
+        if key is not None:
+            record = cache.get(key)
+            if record is not None:
+                ts = TrialSet.from_record(record)
+                if progress is not None:
+                    progress(trials, trials)
+                _enforce_convergence(ts.results, protocol, require_convergence)
+                return ts
+
+    seeds = spawn_seed_sequences(seed, trials)
 
     if workers == 1:
         results = _run_chunk(
-            engine, protocol, n, seeds, init, max_interactions, track_state
+            engine, protocol, n, seeds, init, max_interactions, track_state,
+            progress=progress, total=trials,
         )
     else:
         from concurrent.futures import ProcessPoolExecutor
@@ -150,22 +388,37 @@ def run_trials(
                 )
                 for lo, hi in spans
             ]
-            results = [r for f in futures for r in f.result()]
+            results = []
+            for (lo, hi), future in zip(spans, futures):
+                results.extend(future.result())
+                if progress is not None:
+                    progress(hi, trials)
 
-    for t, result in enumerate(results):
-        if require_convergence and not result.converged:
-            raise SimulationError(
-                f"trial {t} of {protocol.name} (n={result.n}) did not stabilize "
-                f"within {result.interactions} interactions"
-            )
-        if progress is not None:
-            progress(t, result)
-    return TrialSet(
+    _enforce_convergence(results, protocol, require_convergence)
+    ts = TrialSet(
         protocol=protocol.name,
         n=results[0].n,
         engine=engine.name,
         results=results,
     )
+    if cache is not None and key is not None:
+        cache.put(key, ts.to_record())
+    return ts
+
+
+def _enforce_convergence(
+    results: Sequence[SimulationResult],
+    protocol: Protocol,
+    require_convergence: bool,
+) -> None:
+    if not require_convergence:
+        return
+    for t, result in enumerate(results):
+        if not result.converged:
+            raise SimulationError(
+                f"trial {t} of {protocol.name} (n={result.n}) did not stabilize "
+                f"within {result.interactions} interactions"
+            )
 
 
 def _run_chunk(
@@ -176,15 +429,20 @@ def _run_chunk(
     initial_counts: np.ndarray | None,
     max_interactions: int | None,
     track_state: str | int | None,
+    progress: ProgressCallback | None = None,
+    total: int | None = None,
 ) -> list[SimulationResult]:
     """A contiguous run of trials — module-level so pools can pickle it.
 
     Engines with a ``run_batch`` method simulate the whole chunk in one
     vectorized call; scalar engines loop, one independent run per seed.
+    ``progress`` is only wired on the in-process path (callbacks do not
+    cross the pickle boundary); pooled runs report per chunk instead.
     """
+    total = total if total is not None else len(seeds)
     run_batch = getattr(engine, "run_batch", None)
     if run_batch is not None:
-        return run_batch(
+        results = run_batch(
             protocol,
             n,
             seeds=list(seeds),
@@ -192,14 +450,21 @@ def _run_chunk(
             max_interactions=max_interactions,
             track_state=track_state,
         )
-    return [
-        engine.run(
-            protocol,
-            n,
-            seed=s,
-            initial_counts=initial_counts,
-            max_interactions=max_interactions,
-            track_state=track_state,
+        if progress is not None:
+            progress(len(results), total)
+        return results
+    results = []
+    for s in seeds:
+        results.append(
+            engine.run(
+                protocol,
+                n,
+                seed=s,
+                initial_counts=initial_counts,
+                max_interactions=max_interactions,
+                track_state=track_state,
+            )
         )
-        for s in seeds
-    ]
+        if progress is not None:
+            progress(len(results), total)
+    return results

@@ -5,12 +5,21 @@ Regenerates every figure and table of the paper's evaluation::
     repro-experiments fig3              # full-scale Figure 3 sweep
     repro-experiments fig6 --quick      # smoke-scale Figure 6
     repro-experiments all --quick --out results/
+    repro-experiments campaign run --quick   # resumable cached sweeps
 
 Full-scale runs use the paper's parameters (100 trials, n up to 960,
 k up to 10) and take minutes; ``--quick`` runs the same code on
 reduced grids in seconds.  Outputs: a terminal rendering, plus
 ``<name>.csv`` / ``<name>.json`` / ``<name>.txt`` when ``--out`` is
 given.
+
+Sweeps are **incremental**: with ``--out`` (or an explicit ``--cache``
+path) every ``run_trials`` point is memoized in a campaign database,
+so a re-run — after an interruption, or after ``campaign run``
+computed the same grid — only simulates the missing points.  Pass
+``--no-cache`` to force recomputation.  The ``campaign`` subcommand
+(submit/run/status/gc/serve) manages long sweeps as durable job
+queues; see ``docs/campaign.md``.
 """
 
 from __future__ import annotations
@@ -129,7 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=choices,
         help=(
             "which figure/table to regenerate ('all' runs everything; "
-            "'describe' prints a protocol's states and rules)"
+            "'describe' prints a protocol's states and rules; "
+            "'campaign' manages resumable job queues — "
+            "see 'repro-experiments campaign --help')"
         ),
     )
     parser.add_argument(
@@ -183,6 +194,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress",
         action="store_true",
         help="suppress progress lines on stderr",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DB",
+        help=(
+            "campaign database memoizing every sweep point (default: "
+            "<out>/campaign.db when --out is given, else no cache)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force recomputation: neither read nor write the point cache",
     )
     return parser
 
@@ -240,7 +265,33 @@ def describe_protocol(name: str, params: list[str]) -> str:
     return build_protocol(name, **kwargs).describe()
 
 
+def _resolve_cache(args: "argparse.Namespace"):
+    """The trial cache implied by ``--cache`` / ``--out`` / ``--no-cache``.
+
+    Returns ``(cache, store)`` — both ``None`` when caching is off.
+    """
+    if args.no_cache:
+        return None, None
+    path = args.cache
+    if path is None and args.out is not None:
+        from pathlib import Path
+
+        path = str(Path(args.out) / "campaign.db")
+    if path is None:
+        return None, None
+    from ..campaign.store import CampaignStore
+
+    store = CampaignStore(path)
+    return store.trial_cache(), store
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        from ..campaign.cli import campaign_main
+
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "describe":
         if not args.protocol:
@@ -248,20 +299,35 @@ def main(argv: list[str] | None = None) -> int:
         print(describe_protocol(args.protocol, args.param))
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        _, render, _, description = EXPERIMENTS[name]
-        print(f"== {name}: {description} ==")
-        table = run_experiment(
-            name,
-            quick=args.quick,
-            trials=args.trials,
-            seed=args.seed,
-            engine=args.engine,
-            out=args.out,
-            progress_enabled=not args.no_progress,
-        )
-        print(render(table))
-        print()
+    cache, store = _resolve_cache(args)
+    from ..engine.runner import use_trial_cache
+
+    try:
+        with use_trial_cache(cache):
+            for name in names:
+                _, render, _, description = EXPERIMENTS[name]
+                print(f"== {name}: {description} ==")
+                table = run_experiment(
+                    name,
+                    quick=args.quick,
+                    trials=args.trials,
+                    seed=args.seed,
+                    engine=args.engine,
+                    out=args.out,
+                    progress_enabled=not args.no_progress,
+                )
+                print(render(table))
+                print()
+        if cache is not None and (cache.hits or cache.misses):
+            total = cache.hits + cache.misses
+            print(
+                f"[point cache] {cache.hits}/{total} hits "
+                f"({100.0 * cache.hits / total:.0f}%), "
+                f"{cache.misses} point(s) simulated"
+            )
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 

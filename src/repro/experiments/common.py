@@ -25,7 +25,13 @@ from collections.abc import Callable
 
 from ..io.results import ResultTable
 
-__all__ = ["point_seed", "ProgressPrinter", "write_outputs", "DEFAULT_SEED"]
+__all__ = [
+    "point_seed",
+    "ProgressPrinter",
+    "trial_progress",
+    "write_outputs",
+    "DEFAULT_SEED",
+]
 
 #: Master seed used by all experiments unless overridden (the paper's
 #: publication year + month, for flavour — any constant works).
@@ -57,6 +63,36 @@ class ProgressPrinter:
         if self.enabled:
             elapsed = time.perf_counter() - self._t0
             print(f"[{elapsed:8.1f}s] {message}", file=sys.stderr, flush=True)
+
+    def trials(self, label: str) -> Callable[[int, int], None] | None:
+        """A per-trial ``(done, total)`` callback for ``run_trials``.
+
+        Prints quarter-way marks of long points (``total >= 8``) so a
+        sweep spending minutes inside one parameter point is visibly
+        alive; the point's own completion line still comes from the
+        experiment loop.  Returns ``None`` when reporting is disabled
+        so the runner skips callback dispatch entirely.
+        """
+        if not self.enabled:
+            return None
+
+        def callback(done: int, total: int) -> None:
+            step = max(1, total // 4)
+            if total >= 8 and done < total and done % step == 0:
+                self(f"{label}: trial {done}/{total}")
+
+        return callback
+
+
+def trial_progress(progress: object, label: str) -> Callable[[int, int], None] | None:
+    """Adapt an experiment's ``progress`` argument for ``run_trials``.
+
+    Experiments accept any ``callable(message)`` for per-point lines;
+    only :class:`ProgressPrinter` (or anything else exposing a
+    ``trials(label)`` factory) additionally gets per-trial reporting.
+    """
+    factory = getattr(progress, "trials", None)
+    return factory(label) if callable(factory) else None
 
 
 def write_outputs(

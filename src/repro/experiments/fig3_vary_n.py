@@ -24,7 +24,7 @@ from ..engine.runner import run_trials
 from ..io.results import ResultTable
 from ..protocols.kpartition import uniform_k_partition
 from .ascii_plot import line_plot
-from .common import DEFAULT_SEED, point_seed
+from .common import DEFAULT_SEED, point_seed, trial_progress
 
 __all__ = ["run_fig3", "render_fig3", "sawtooth_drops", "QUICK_PARAMS"]
 
@@ -73,6 +73,7 @@ def run_fig3(
                 trials=trials,
                 engine=engine,
                 seed=point_seed(seed, "fig3", k, n),
+                progress=trial_progress(progress, f"fig3 k={k} n={n}"),
             )
             table.append(
                 k=k,

@@ -25,7 +25,7 @@ from ..engine.runner import run_trials
 from ..io.results import ResultTable
 from ..protocols.kpartition import uniform_k_partition
 from .ascii_plot import stacked_bars
-from .common import DEFAULT_SEED, point_seed
+from .common import DEFAULT_SEED, point_seed, trial_progress
 
 __all__ = ["run_fig4", "render_fig4", "QUICK_PARAMS"]
 
@@ -76,6 +76,7 @@ def run_fig4(
                 engine=engine,
                 seed=point_seed(seed, "fig4", k, n),
                 track_state=f"g{k}",
+                progress=trial_progress(progress, f"fig4 k={k} n={n}"),
             )
             decomp = decompose_groupings(ts, k)
             _append_decomposition(table, k, decomp)

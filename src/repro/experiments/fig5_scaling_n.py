@@ -21,7 +21,7 @@ from ..engine.runner import run_trials
 from ..io.results import ResultTable
 from ..protocols.kpartition import uniform_k_partition
 from .ascii_plot import line_plot
-from .common import DEFAULT_SEED, point_seed
+from .common import DEFAULT_SEED, point_seed, trial_progress
 
 __all__ = ["run_fig5", "render_fig5", "scaling_fits", "QUICK_PARAMS"]
 
@@ -69,6 +69,7 @@ def run_fig5(
                 trials=trials,
                 engine=engine,
                 seed=point_seed(seed, "fig5", k, n),
+                progress=trial_progress(progress, f"fig5 k={k} n={n}"),
             )
             table.append(
                 k=k,

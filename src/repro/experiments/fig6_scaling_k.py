@@ -24,7 +24,7 @@ from ..engine.runner import run_trials
 from ..io.results import ResultTable
 from ..protocols.kpartition import uniform_k_partition
 from .ascii_plot import line_plot
-from .common import DEFAULT_SEED, point_seed
+from .common import DEFAULT_SEED, point_seed, trial_progress
 
 __all__ = ["run_fig6", "render_fig6", "exponential_fit", "QUICK_PARAMS"]
 
@@ -60,6 +60,7 @@ def run_fig6(
             trials=trials,
             engine=engine,
             seed=point_seed(seed, "fig6", k, n),
+            progress=trial_progress(progress, f"fig6 k={k}"),
         )
         table.append(
             k=k,

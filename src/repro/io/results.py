@@ -4,6 +4,13 @@ Every experiment produces an :class:`ResultTable`: a named list of
 records (plain dicts with scalar values) plus the parameters that
 generated them.  Tables serialize to CSV (for plotting elsewhere) and
 JSON (with the parameter manifest, for exact provenance).
+
+Loading is symmetric: :meth:`ResultTable.from_json` is lossless;
+:meth:`ResultTable.from_csv` recovers column order from the header and
+infers ``int`` / ``float`` / ``bool`` / ``None`` typing from the cell
+text (CSV cannot distinguish the *string* ``"True"`` from the boolean,
+so prefer the JSON artifact — :func:`load_table` does automatically
+when both files exist side by side).
 """
 
 from __future__ import annotations
@@ -77,6 +84,33 @@ class ResultTable:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ResultTable":
+        """Load a table written by :meth:`write_json` (lossless)."""
+        payload = json.loads(Path(path).read_text())
+        table = cls(name=payload["name"], params=payload.get("params", {}))
+        table.extend(payload.get("rows", []))
+        return table
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "ResultTable":
+        """Load a table from CSV, inferring scalar types per cell.
+
+        Column order follows the CSV header (which :meth:`write_csv`
+        emits in first-seen order), empty cells become ``None``, and
+        ``True`` / ``False`` / numeric text become the matching Python
+        scalars.  The table name is the file stem; no parameter
+        manifest survives CSV — use :meth:`from_json` when provenance
+        matters.
+        """
+        path = Path(path)
+        table = cls(name=path.stem)
+        with path.open(newline="") as fh:
+            reader = csv.DictReader(fh)
+            for raw in reader:
+                table.append(**{k: _infer_scalar(v) for k, v in raw.items()})
+        return table
+
     def write_csv(self, path: str | Path) -> Path:
         """Write the rows as CSV; returns the path."""
         path = Path(path)
@@ -123,9 +157,41 @@ class ResultTable:
         return "\n".join(lines)
 
 
+def _infer_scalar(text: str | None) -> object:
+    """Best-effort inverse of ``str()`` for CSV cells."""
+    if text is None or text == "":
+        return None
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
 def load_table(path: str | Path) -> ResultTable:
-    """Load a table previously written with :meth:`ResultTable.write_json`."""
-    payload = json.loads(Path(path).read_text())
-    table = ResultTable(name=payload["name"], params=payload.get("params", {}))
-    table.extend(payload.get("rows", []))
-    return table
+    """Load a table written by :meth:`ResultTable.write_csv` / ``write_json``.
+
+    ``.json`` paths load losslessly.  ``.csv`` paths first look for a
+    sibling ``.json`` (the experiment harness always writes both) and
+    prefer it; otherwise the CSV is parsed with scalar-type inference.
+    A path without a suffix tries ``<path>.json`` then ``<path>.csv``.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        return ResultTable.from_json(path)
+    if path.suffix == ".csv":
+        sibling = path.with_suffix(".json")
+        if sibling.exists():
+            return ResultTable.from_json(sibling)
+        return ResultTable.from_csv(path)
+    for candidate in (path.with_suffix(".json"), path.with_suffix(".csv")):
+        if candidate.exists():
+            return load_table(candidate)
+    raise FileNotFoundError(f"no table found at {path}(.json|.csv)")

@@ -10,9 +10,10 @@ the registry keeps the mapping in one place::
 
 from __future__ import annotations
 
+import difflib
 from collections.abc import Callable
 
-from ..core.errors import ProtocolError
+from ..core.errors import ProtocolError, UnknownProtocolError
 from ..core.protocol import Protocol
 from .approx_partition import approximate_k_partition
 from .bipartition import uniform_bipartition
@@ -52,9 +53,13 @@ def build_protocol(name: str, /, **params: object) -> Protocol:
     try:
         builder = PROTOCOL_BUILDERS[name]
     except KeyError:
-        raise ProtocolError(
+        message = (
             f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
-        ) from None
+        )
+        close = difflib.get_close_matches(name, available_protocols(), n=1)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        raise UnknownProtocolError(message) from None
     try:
         return builder(**params)  # type: ignore[arg-type]
     except TypeError as exc:

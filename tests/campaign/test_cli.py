@@ -1,0 +1,116 @@
+"""Tests for the campaign CLI verbs and the incremental experiment CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign import CampaignStore, experiment_specs
+from repro.campaign.cli import campaign_main
+from repro.experiments.cli import main as experiments_main
+
+GRID = ["--experiment", "fig6", "--quick", "--trials", "1"]
+
+
+def grid_size() -> int:
+    return len(experiment_specs("fig6", quick=True, trials=1))
+
+
+class TestCampaignVerbs:
+    def test_submit_then_status(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        assert campaign_main(["submit", "--db", db, *GRID]) == 0
+        out = capsys.readouterr().out
+        assert f"submitted {grid_size()} new job(s)" in out
+
+        assert campaign_main(["status", "--db", db]) == 0
+        counts = json.loads(
+            capsys.readouterr().out.split("trial cache")[0]
+        )
+        assert counts["pending"] == grid_size()
+
+    def test_run_twice_is_all_cache_hits(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        assert campaign_main(["run", "--db", db, "--no-progress", *GRID]) == 0
+        first = capsys.readouterr().out
+        assert f"{grid_size()} new, 0 cached (0% cache hits)" in first
+        assert f"executed={grid_size()}" in first
+
+        assert campaign_main(["run", "--db", db, "--no-progress", *GRID]) == 0
+        second = capsys.readouterr().out
+        assert f"0 new, {grid_size()} cached (100% cache hits)" in second
+        assert "executed=0" in second
+
+    def test_run_no_submit_drains_queue_only(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        campaign_main(["submit", "--db", db, *GRID])
+        capsys.readouterr()
+        assert campaign_main(["run", "--db", db, "--no-submit",
+                              "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "grid" not in out  # no submission line
+        assert f"executed={grid_size()}" in out
+
+    def test_run_reports_failures_with_exit_code(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        store = CampaignStore(db)
+        from repro.campaign import JobSpec
+
+        store.submit(JobSpec(
+            protocol="uniform-k-partition", params={"k": 3, "bogus": 1},
+            n=9, trials=1,
+        ))
+        store.close()
+        rc = campaign_main(["run", "--db", db, "--no-submit", "--no-progress",
+                            "--retries", "0"])
+        assert rc == 1
+        assert "failed=1" in capsys.readouterr().out
+
+    def test_gc_reports_removals(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        campaign_main(["run", "--db", db, "--no-progress", *GRID])
+        capsys.readouterr()
+        assert campaign_main(["gc", "--db", db, "--older-than", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"{grid_size()} done" in out
+
+    def test_dispatch_through_experiments_entry_point(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        rc = experiments_main(["campaign", "submit", "--db", db, *GRID])
+        assert rc == 0
+        assert "submitted" in capsys.readouterr().out
+
+
+class TestIncrementalExperiments:
+    ARGS = ["fig6", "--quick", "--trials", "1", "--no-progress"]
+
+    def test_explicit_cache_makes_second_run_free(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        assert experiments_main([*self.ARGS, "--cache", db]) == 0
+        first = capsys.readouterr().out
+        assert f"{grid_size()} point(s) simulated" in first
+
+        assert experiments_main([*self.ARGS, "--cache", db]) == 0
+        second = capsys.readouterr().out
+        assert f"{grid_size()}/{grid_size()} hits (100%)" in second
+        assert "0 point(s) simulated" in second
+
+    def test_out_dir_implies_cache(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert experiments_main([*self.ARGS, "--out", str(out)]) == 0
+        assert (out / "campaign.db").exists()
+        assert "[point cache]" in capsys.readouterr().out
+
+    def test_no_cache_disables_the_implied_cache(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        rc = experiments_main([*self.ARGS, "--out", str(out), "--no-cache"])
+        assert rc == 0
+        assert not (out / "campaign.db").exists()
+        assert "[point cache]" not in capsys.readouterr().out
+
+    def test_campaign_run_warms_experiment_cache(self, tmp_path, capsys):
+        db = str(tmp_path / "campaign.db")
+        assert campaign_main(["run", "--db", db, "--no-progress", *GRID]) == 0
+        capsys.readouterr()
+        assert experiments_main([*self.ARGS, "--cache", db]) == 0
+        out = capsys.readouterr().out
+        assert f"{grid_size()}/{grid_size()} hits (100%)" in out

@@ -1,0 +1,115 @@
+"""Tests for the campaign executor: draining, retries, interruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignStore, JobSpec, run_campaign
+from repro.campaign import executor as executor_module
+
+
+def make_spec(seed: int = 0, **overrides) -> JobSpec:
+    base = dict(
+        protocol="uniform-k-partition", params={"k": 3}, n=9, trials=2, seed=seed
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    s = CampaignStore(tmp_path / "campaign.db")
+    yield s
+    s.close()
+
+
+class TestDrain:
+    def test_drains_everything(self, store):
+        store.submit_many([make_spec(seed=s) for s in range(5)])
+        report = run_campaign(store)
+        assert report.executed == 5
+        assert report.failed == 0
+        assert store.counts()["done"] == 5
+
+    def test_max_jobs_stops_early(self, store):
+        store.submit_many([make_spec(seed=s) for s in range(4)])
+        report = run_campaign(store, max_jobs=2)
+        assert report.executed == 2
+        assert store.counts()["pending"] == 2
+
+    def test_progress_messages(self, store):
+        store.submit(make_spec())
+        messages = []
+        run_campaign(store, progress=messages.append)
+        assert any("done" in m for m in messages)
+
+    def test_pool_workers_match_serial(self, tmp_path):
+        specs = [make_spec(seed=s) for s in range(4)]
+        serial = CampaignStore(tmp_path / "serial.db")
+        serial.submit_many(specs)
+        run_campaign(serial)
+        pooled = CampaignStore(tmp_path / "pooled.db")
+        pooled.submit_many(specs)
+        report = run_campaign(pooled, workers=2)
+        assert report.executed == 4
+        from tests.campaign.test_store import scientific_content
+
+        for spec in specs:
+            assert scientific_content(serial.result_record(spec.digest)) == \
+                scientific_content(pooled.result_record(spec.digest))
+        serial.close()
+        pooled.close()
+
+
+class TestFailure:
+    def test_bad_job_fails_after_retries(self, store):
+        # An unknown protocol parameter fails identically every attempt.
+        store.submit(make_spec(params={"k": 3, "bogus": 1}))
+        report = run_campaign(store, retries=1)
+        assert report.failed == 1
+        assert report.retried == 1  # one re-queue before giving up
+        job = store.list_jobs(status="failed")[0]
+        assert job.attempts == 2
+        assert "bogus" in job.error
+
+    def test_failure_does_not_block_other_jobs(self, store):
+        store.submit(make_spec(params={"k": 3, "bogus": 1}))
+        store.submit(make_spec(seed=1))
+        report = run_campaign(store, retries=0)
+        assert report.executed == 1
+        assert report.failed == 1
+
+
+class TestInterruption:
+    def test_ctrl_c_checkpoints_in_flight_job(self, store, monkeypatch):
+        store.submit_many([make_spec(seed=s) for s in range(3)])
+        real_execute = executor_module.execute_spec
+        calls = []
+
+        def flaky(spec_dict):
+            if len(calls) == 1:
+                calls.append("boom")
+                raise KeyboardInterrupt
+            calls.append("ok")
+            return real_execute(spec_dict)
+
+        monkeypatch.setattr(executor_module, "execute_spec", flaky)
+        report = run_campaign(store)
+        assert report.interrupted
+        assert report.executed == 1
+        counts = store.counts()
+        # The interrupted job went back to pending — nothing is stuck
+        # in 'running', so a plain re-run resumes cleanly.
+        assert counts["running"] == 0
+        assert counts["pending"] == 2
+
+        monkeypatch.setattr(executor_module, "execute_spec", real_execute)
+        resumed = run_campaign(store)
+        assert not resumed.interrupted
+        assert store.counts()["done"] == 3
+
+    def test_report_summary_mentions_interruption(self):
+        from repro.campaign import CampaignReport
+
+        report = CampaignReport(executed=1, interrupted=True)
+        assert "INTERRUPTED" in report.summary()

@@ -1,0 +1,87 @@
+"""Tests for the figure-grid -> job-spec adapters.
+
+The load-bearing property: a campaign that ran a grid leaves the
+store's trial cache warm for the *experiment* that defined the grid —
+which requires the adapter to reproduce the experiment's protocols,
+parameters, and per-point seeds exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignStore, experiment_specs, run_campaign
+from repro.core.errors import CampaignError
+from repro.engine.runner import use_trial_cache
+from repro.experiments.common import point_seed
+from repro.experiments.fig6_scaling_k import QUICK_PARAMS, run_fig6
+
+
+class TestGridShapes:
+    def test_fig3_quick_matches_experiment_grid(self):
+        from repro.experiments.fig3_vary_n import QUICK_PARAMS as F3
+
+        specs = experiment_specs("fig3", quick=True)
+        assert len(specs) == len(F3["ks"]) * len(F3["n_values"])
+        assert all(s.trials == F3["trials"] for s in specs)
+        assert all(s.track_state is None for s in specs)
+
+    def test_fig4_tracks_gk(self):
+        specs = experiment_specs("fig4", quick=True)
+        assert all(s.track_state == "g4" for s in specs if s.params["k"] == 4)
+
+    def test_fig5_n_multiples(self):
+        specs = experiment_specs("fig5", quick=True)
+        from repro.experiments.fig5_scaling_n import QUICK_PARAMS as F5
+
+        assert {s.n for s in specs} == {
+            F5["base_n"] * u for u in F5["n_units"]
+        }
+
+    def test_fig6_seeds_match_experiment(self):
+        specs = experiment_specs("fig6", quick=True, seed=123)
+        for spec in specs:
+            k = spec.params["k"]
+            assert spec.seed == point_seed(123, "fig6", k, spec.n)
+
+    def test_all_is_concatenation(self):
+        total = len(experiment_specs("all", quick=True))
+        parts = sum(
+            len(experiment_specs(name, quick=True))
+            for name in ("fig3", "fig4", "fig5", "fig6")
+        )
+        assert total == parts
+
+    def test_trials_override(self):
+        specs = experiment_specs("fig6", quick=True, trials=3)
+        assert all(s.trials == 3 for s in specs)
+
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(CampaignError, match="no campaign grid"):
+            experiment_specs("state-table")
+
+    def test_digests_unique_across_all(self):
+        specs = experiment_specs("all", quick=True)
+        digests = [s.digest for s in specs]
+        assert len(set(digests)) == len(digests)
+
+
+class TestCampaignServesExperiments:
+    def test_campaign_warm_cache_serves_run_fig6(self, tmp_path):
+        """A drained fig6 campaign makes run_fig6 a pure cache read."""
+        store = CampaignStore(tmp_path / "campaign.db")
+        store.submit_many(
+            experiment_specs("fig6", quick=True, trials=2, seed=99)
+        )
+        run_campaign(store)
+
+        cache = store.trial_cache()
+        with use_trial_cache(cache):
+            table = run_fig6(**{**QUICK_PARAMS, "trials": 2}, seed=99)
+        assert cache.hits == len(table.rows) > 0
+        assert cache.misses == 0
+
+        # And the cached table is identical to a fresh computation.
+        fresh = run_fig6(**{**QUICK_PARAMS, "trials": 2}, seed=99)
+        assert table.rows == fresh.rows
+        store.close()

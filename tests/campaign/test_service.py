@@ -1,0 +1,151 @@
+"""Tests for the HTTP service daemon (stdlib client, ephemeral port)."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignService
+
+
+def http(url: str, body: dict | None = None) -> tuple[int, dict]:
+    """GET (body None) or POST json; returns (status, payload) incl. 4xx."""
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+SPEC = {
+    "protocol": "uniform-k-partition", "params": {"k": 3},
+    "n": 9, "trials": 2, "seed": 5,
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = CampaignService(tmp_path / "campaign.db", worker=False).start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture()
+def worker_service(tmp_path):
+    svc = CampaignService(
+        tmp_path / "campaign.db", worker=True, poll_interval=0.05
+    ).start()
+    yield svc
+    svc.stop()
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        code, body = http(service.url + "/healthz")
+        assert code == 200 and body["ok"] is True
+
+    def test_status_reports_queue(self, service):
+        http(service.url + "/submit", {"specs": [SPEC]})
+        code, body = http(service.url + "/status")
+        assert code == 200
+        assert body["jobs"]["pending"] == 1
+        assert body["queue_depth"] == 1
+        assert body["worker"] is False
+
+    def test_submit_specs_idempotent(self, service):
+        code, body = http(service.url + "/submit", {"specs": [SPEC]})
+        assert code == 200 and body["submitted"] == 1
+        code, body = http(service.url + "/submit", {"specs": [SPEC]})
+        assert body["submitted"] == 0 and body["already_known"] == 1
+
+    def test_submit_experiment_grid(self, service):
+        code, body = http(
+            service.url + "/submit",
+            {"experiment": "fig6", "quick": True, "trials": 1},
+        )
+        assert code == 200
+        assert body["submitted"] == len(body["digests"]) > 0
+
+    def test_jobs_listing(self, service):
+        _, submitted = http(service.url + "/submit", {"specs": [SPEC]})
+        code, body = http(service.url + "/jobs?status=pending")
+        assert code == 200
+        assert [j["digest"] for j in body["jobs"]] == submitted["digests"]
+
+    def test_result_of_pending_job(self, service):
+        _, submitted = http(service.url + "/submit", {"specs": [SPEC]})
+        code, body = http(service.url + "/result/" + submitted["digests"][0])
+        assert code == 200
+        assert body["status"] == "pending" and body["summary"] is None
+        assert body["spec"]["n"] == SPEC["n"]
+
+
+class TestErrors:
+    def test_unknown_get_route_404(self, service):
+        code, body = http(service.url + "/nope")
+        assert code == 404 and "no route" in body["error"]
+
+    def test_unknown_post_route_404(self, service):
+        code, _ = http(service.url + "/nope", {})
+        assert code == 404
+
+    def test_result_unknown_digest_404(self, service):
+        code, body = http(service.url + "/result/deadbeef")
+        assert code == 404 and "deadbeef" in body["error"]
+
+    def test_jobs_bad_status_400(self, service):
+        code, body = http(service.url + "/jobs?status=sleeping")
+        assert code == 400 and "sleeping" in body["error"]
+
+    def test_submit_empty_body_400(self, service):
+        code, body = http(service.url + "/submit", {})
+        assert code == 400 and "specs" in body["error"]
+
+    def test_submit_invalid_spec_400(self, service):
+        code, body = http(
+            service.url + "/submit", {"specs": [{**SPEC, "trials": 0}]}
+        )
+        assert code == 400 and "trials" in body["error"]
+
+    def test_submit_unknown_experiment_400(self, service):
+        code, _ = http(service.url + "/submit", {"experiment": "fig99"})
+        assert code == 400
+
+
+class TestWorker:
+    def wait_done(self, service, digest, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, body = http(service.url + "/result/" + digest)
+            if body["status"] in ("done", "failed"):
+                return body
+            time.sleep(0.05)
+        raise AssertionError("job did not finish in time")
+
+    def test_worker_executes_submitted_job(self, worker_service):
+        _, submitted = http(worker_service.url + "/submit", {"specs": [SPEC]})
+        body = self.wait_done(worker_service, submitted["digests"][0])
+        assert body["status"] == "done"
+        assert body["summary"]["trials"] == SPEC["trials"]
+        assert body["package_version"]
+        assert body["wall_time"] > 0
+
+        _, metrics = http(worker_service.url + "/metrics")
+        assert metrics["executed"] == 1
+        assert metrics["jobs"]["done"] == 1
+
+    def test_worker_records_failures(self, worker_service):
+        bad = {**SPEC, "params": {"k": 3, "bogus": 1}}
+        _, submitted = http(worker_service.url + "/submit", {"specs": [bad]})
+        body = self.wait_done(worker_service, submitted["digests"][0])
+        assert body["status"] == "failed"
+        assert "bogus" in body["error"]

@@ -1,0 +1,211 @@
+"""Tests for the SQLite job store (the satellite checklist items).
+
+Covers: digest-keyed idempotent submission, the pending -> running ->
+done/failed lifecycle, resume-after-kill recovery, bit-identical cache
+hits, and concurrent submission from multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.campaign import CampaignStore, JobSpec, run_campaign
+from repro.campaign.executor import execute_spec
+from repro.core.errors import CampaignError
+
+
+def make_spec(seed: int = 7, **overrides) -> JobSpec:
+    base = dict(
+        protocol="uniform-k-partition", params={"k": 3}, n=9, trials=2, seed=seed
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def scientific_content(record: dict) -> dict:
+    """A trial record minus wall-clock timings (the reproducible part)."""
+    return {
+        **record,
+        "results": [
+            {k: v for k, v in r.items() if k != "elapsed"}
+            for r in record["results"]
+        ],
+    }
+
+
+@pytest.fixture()
+def store(tmp_path):
+    s = CampaignStore(tmp_path / "campaign.db")
+    yield s
+    s.close()
+
+
+class TestSubmission:
+    def test_submit_creates_pending(self, store):
+        digest, created = store.submit(make_spec())
+        assert created
+        job = store.get(digest)
+        assert job.status == "pending"
+        assert job.spec == make_spec()
+
+    def test_submit_idempotent(self, store):
+        d1, c1 = store.submit(make_spec())
+        d2, c2 = store.submit(make_spec())
+        assert d1 == d2 and c1 and not c2
+        assert store.counts()["pending"] == 1
+
+    def test_submit_many_counts_done(self, store):
+        specs = [make_spec(seed=s) for s in range(3)]
+        outcome = store.submit_many(specs)
+        assert outcome == {"created": 3, "existing": 0, "done": 0}
+        run_campaign(store)
+        outcome = store.submit_many(specs)
+        assert outcome == {"created": 0, "existing": 3, "done": 3}
+
+    def test_concurrent_submit_from_two_threads(self, store):
+        # The same grid submitted racily from two threads must land
+        # exactly once per digest, with no exceptions.
+        specs = [make_spec(seed=s) for s in range(20)]
+        errors: list[Exception] = []
+
+        def submit_all():
+            try:
+                for spec in specs:
+                    store.submit(spec)
+            except Exception as exc:  # noqa: BLE001 — recorded for assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit_all) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert store.counts()["pending"] == len(specs)
+
+
+class TestLifecycle:
+    def test_claim_marks_running_and_increments_attempts(self, store):
+        store.submit(make_spec())
+        job = store.claim_next()
+        assert job.status == "running"
+        assert job.attempts == 1
+        assert store.counts() == {"pending": 0, "running": 1, "done": 0, "failed": 0}
+        assert store.claim_next() is None
+
+    def test_mark_done_records_provenance(self, store):
+        digest, _ = store.submit(make_spec())
+        job = store.claim_next()
+        payload = execute_spec(job.spec.canonical())
+        store.mark_done(
+            digest,
+            summary=payload["summary"],
+            record=payload["record"],
+            wall_time=payload["wall_time"],
+        )
+        job = store.get(digest)
+        assert job.status == "done"
+        assert job.package_version == "1.0.0"
+        assert job.wall_time > 0
+        assert job.summary["trials"] == 2
+        assert store.result_record(digest) == payload["record"]
+
+    def test_mark_failed_and_gc(self, store):
+        digest, _ = store.submit(make_spec())
+        store.claim_next()
+        store.mark_failed(digest, "boom")
+        assert store.get(digest).error == "boom"
+        removed = store.gc()
+        assert removed["failed"] == 1
+        assert store.get(digest) is None
+
+    def test_reset_to_pending(self, store):
+        digest, _ = store.submit(make_spec())
+        store.claim_next()
+        store.reset_to_pending(digest)
+        assert store.get(digest).status == "pending"
+
+    def test_unknown_status_rejected(self, store):
+        with pytest.raises(CampaignError, match="unknown status"):
+            store.list_jobs(status="sleeping")
+
+
+class TestResumeAfterKill:
+    def test_recover_running_requeues(self, store):
+        # Simulate a mid-sweep kill: jobs claimed but never finished.
+        for s in range(3):
+            store.submit(make_spec(seed=s))
+        store.claim_next()
+        store.claim_next()
+        assert store.counts()["running"] == 2
+        # New process starts up:
+        assert store.recover_running() == 2
+        assert store.counts()["pending"] == 3
+
+    def test_resume_produces_identical_results(self, tmp_path):
+        specs = [make_spec(seed=s) for s in range(4)]
+
+        uninterrupted = CampaignStore(tmp_path / "a.db")
+        uninterrupted.submit_many(specs)
+        run_campaign(uninterrupted)
+
+        interrupted = CampaignStore(tmp_path / "b.db")
+        interrupted.submit_many(specs)
+        # First invocation dies after two jobs, mid-claim on a third.
+        run_campaign(interrupted, max_jobs=2)
+        interrupted.claim_next()  # claimed but never finished = killed
+        # Second invocation recovers and finishes the sweep.
+        report = run_campaign(interrupted)
+        assert report.recovered == 1
+        assert interrupted.counts()["done"] == 4
+
+        for spec in specs:
+            a = uninterrupted.get(spec.digest)
+            b = interrupted.get(spec.digest)
+            assert a.status == b.status == "done"
+            assert a.summary == b.summary
+            assert scientific_content(
+                uninterrupted.result_record(spec.digest)
+            ) == scientific_content(interrupted.result_record(spec.digest))
+        uninterrupted.close()
+        interrupted.close()
+
+
+class TestCacheHits:
+    def test_cache_hit_returns_bit_identical_summaries(self, store):
+        spec = make_spec()
+        store.submit(spec)
+        first = run_campaign(store)
+        assert first.executed == 1 and first.cache_hits == 0
+        summary_before = store.get(spec.digest).summary
+        record_before = store.result_record(spec.digest)
+
+        # Re-submitting and re-running is a pure cache hit: nothing
+        # executes and the stored bytes are untouched.
+        store.submit(spec)
+        second = run_campaign(store)
+        assert second.executed == 0 and second.cache_hits == 1
+        assert store.get(spec.digest).summary == summary_before
+        assert store.result_record(spec.digest) == record_before
+
+    def test_trial_cache_populated_by_jobs(self, store):
+        store.submit(make_spec())
+        run_campaign(store)
+        assert store.trial_cache_size() == 1
+
+    def test_store_trial_cache_counts_hits(self, store):
+        cache = store.trial_cache()
+        assert cache.get("nope") is None
+        cache.put("k1", {"results": []})
+        assert cache.get("k1") == {"results": []}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_gc_prunes_old_done_jobs(self, store):
+        store.submit(make_spec())
+        run_campaign(store)
+        removed = store.gc(done_older_than=0.0)
+        assert removed["done"] == 1
+        assert removed["trial_cache"] == 1
+        assert store.counts()["done"] == 0

@@ -66,8 +66,29 @@ class TestRunTrials:
 
     def test_progress_callback(self, proto):
         seen = []
-        run_trials(proto, 9, trials=4, seed=9, progress=lambda t, r: seen.append(t))
-        assert seen == [0, 1, 2, 3]
+        run_trials(
+            proto, 9, trials=4, seed=9,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_progress_callback_batch_engine(self, proto):
+        # Vectorized engines simulate the whole chunk at once and
+        # report it as one jump to completion.
+        seen = []
+        run_trials(
+            proto, 9, trials=4, seed=9, engine="ensemble",
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(4, 4)]
+
+    def test_progress_callback_workers(self, proto):
+        seen = []
+        run_trials(
+            proto, 9, trials=4, seed=9, workers=2,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(2, 4), (4, 4)]
 
     def test_require_convergence_raises(self, proto):
         with pytest.raises(SimulationError, match="did not stabilize"):
@@ -144,6 +165,70 @@ class TestParallelWorkers:
         assert a.engine == "ensemble"
 
 
+class TestTrialCache:
+    def test_cache_hit_is_bit_identical(self, proto):
+        from repro.engine import InMemoryTrialCache
+
+        cache = InMemoryTrialCache()
+        a = run_trials(proto, 12, trials=5, seed=30, cache=cache)
+        assert cache.hits == 0 and cache.misses == 1
+        b = run_trials(proto, 12, trials=5, seed=30, cache=cache)
+        assert cache.hits == 1
+        assert np.array_equal(a.interactions, b.interactions)
+        assert np.array_equal(a.effective_interactions, b.effective_interactions)
+        for ra, rb in zip(a.results, b.results):
+            assert np.array_equal(ra.final_counts, rb.final_counts)
+            assert np.array_equal(ra.group_sizes, rb.group_sizes)
+            assert ra.tracked_milestones == rb.tracked_milestones
+
+    def test_cache_distinguishes_parameters(self, proto):
+        from repro.engine import InMemoryTrialCache
+
+        cache = InMemoryTrialCache()
+        run_trials(proto, 12, trials=3, seed=31, cache=cache)
+        run_trials(proto, 12, trials=3, seed=32, cache=cache)
+        run_trials(proto, 15, trials=3, seed=31, cache=cache)
+        run_trials(proto, 12, trials=4, seed=31, cache=cache)
+        assert cache.hits == 0 and len(cache) == 4
+
+    def test_use_trial_cache_context(self, proto):
+        from repro.engine import InMemoryTrialCache, use_trial_cache
+
+        cache = InMemoryTrialCache()
+        with use_trial_cache(cache):
+            run_trials(proto, 12, trials=3, seed=33)
+            run_trials(proto, 12, trials=3, seed=33)
+        assert cache.hits == 1 and cache.misses == 1
+        # Outside the context the cache is no longer consulted.
+        run_trials(proto, 12, trials=3, seed=33)
+        assert cache.hits == 1
+
+    def test_seed_sequence_not_cacheable(self, proto):
+        from repro.engine import InMemoryTrialCache
+
+        cache = InMemoryTrialCache()
+        run_trials(
+            proto, 12, trials=3, seed=np.random.SeedSequence(34), cache=cache
+        )
+        assert len(cache) == 0
+
+    def test_record_round_trip(self, proto):
+        from repro.engine import TrialSet
+
+        ts = run_trials(proto, 12, trials=4, seed=35, track_state="g3")
+        back = TrialSet.from_record(ts.to_record())
+        assert back.protocol == ts.protocol
+        assert back.engine == ts.engine
+        assert np.array_equal(back.interactions, ts.interactions)
+        assert back.milestone_lists() == ts.milestone_lists()
+        assert back.stats() == ts.stats()
+        # JSON-safe: survives an actual encode/decode cycle.
+        import json
+
+        again = TrialSet.from_record(json.loads(json.dumps(ts.to_record())))
+        assert np.array_equal(again.interactions, ts.interactions)
+
+
 class TestEngineResolution:
     def test_engine_by_name(self, proto):
         a = run_trials(proto, 12, trials=3, seed=26, engine="count")
@@ -153,6 +238,20 @@ class TestEngineResolution:
     def test_unknown_engine_rejected(self, proto):
         with pytest.raises(SimulationError, match="unknown engine"):
             run_trials(proto, 12, trials=2, engine="warp-drive")
+
+    def test_unknown_engine_is_a_value_error(self, proto):
+        with pytest.raises(ValueError):
+            run_trials(proto, 12, trials=2, engine="warp-drive")
+
+    def test_unknown_engine_lists_valid_names_and_suggests(self):
+        from repro.engine import available_engines, build_engine
+
+        with pytest.raises(SimulationError) as excinfo:
+            build_engine("cuont")
+        message = str(excinfo.value)
+        for name in available_engines():
+            assert name in message
+        assert "did you mean" in message and "count" in message
 
     def test_registry_round_trip(self):
         from repro.engine import available_engines, build_engine

@@ -97,3 +97,64 @@ class TestPersistence:
         t.append(a=1)
         path = t.write_csv(tmp_path / "deep" / "nested" / "out.csv")
         assert path.exists()
+
+
+class TestRoundTrip:
+    """load_table must give back exactly what the experiment wrote."""
+
+    def table(self) -> ResultTable:
+        t = ResultTable("exp", params={"trials": 4, "quick": True})
+        t.append(k=3, n=12, mean=1.5, converged=True, note=None)
+        t.append(k=4, n=12, mean=2.0, converged=False, note="slow")
+        return t
+
+    def test_csv_roundtrip_preserves_column_order(self, tmp_path):
+        t = self.table()
+        path = t.write_csv(tmp_path / "exp.csv")
+        back = ResultTable.from_csv(path)
+        assert back.columns == t.columns
+        assert back.rows == t.rows
+
+    def test_csv_roundtrip_types_bool_and_none(self, tmp_path):
+        t = self.table()
+        back = ResultTable.from_csv(t.write_csv(tmp_path / "exp.csv"))
+        assert back.rows[0]["converged"] is True
+        assert back.rows[1]["converged"] is False
+        assert back.rows[0]["note"] is None
+        assert isinstance(back.rows[0]["k"], int)
+        assert isinstance(back.rows[0]["mean"], float)
+
+    def test_from_json_is_lossless(self, tmp_path):
+        t = self.table()
+        back = ResultTable.from_json(t.write_json(tmp_path / "exp.json"))
+        assert back.name == t.name
+        assert back.params == t.params
+        assert back.rows == t.rows
+
+    def test_load_table_prefers_json_sibling_of_csv(self, tmp_path):
+        # CSV cannot distinguish the *string* "True" from the boolean;
+        # when the harness wrote both artifacts, the JSON one wins.
+        t = ResultTable("exp")
+        t.append(label="True", count=1)
+        t.write_csv(tmp_path / "exp.csv")
+        t.write_json(tmp_path / "exp.json")
+        loaded = load_table(tmp_path / "exp.csv")
+        assert loaded.rows[0]["label"] == "True"
+        assert loaded.params == t.params
+
+    def test_load_table_csv_without_sibling(self, tmp_path):
+        t = self.table()
+        t.write_csv(tmp_path / "exp.csv")
+        loaded = load_table(tmp_path / "exp.csv")
+        assert loaded.rows == t.rows
+
+    def test_load_table_suffixless_tries_json_then_csv(self, tmp_path):
+        t = self.table()
+        t.write_csv(tmp_path / "exp.csv")
+        assert load_table(tmp_path / "exp").rows == t.rows
+        t.write_json(tmp_path / "exp.json")
+        assert load_table(tmp_path / "exp").params == t.params
+
+    def test_load_table_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_table(tmp_path / "absent")

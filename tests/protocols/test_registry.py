@@ -32,6 +32,24 @@ class TestBuild:
         with pytest.raises(ProtocolError, match="unknown protocol"):
             build_protocol("no-such-protocol")
 
+    def test_unknown_name_is_a_value_error(self):
+        # Callers catching plain ValueError (argparse-style validation)
+        # must see registry misses too.
+        with pytest.raises(ValueError):
+            build_protocol("no-such-protocol")
+
+    def test_unknown_name_lists_valid_names(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            build_protocol("no-such-protocol")
+        for name in available_protocols():
+            assert name in str(excinfo.value)
+
+    def test_unknown_name_suggests_nearest_match(self):
+        with pytest.raises(ProtocolError, match="did you mean"):
+            build_protocol("uniform-k-partitoin")
+        with pytest.raises(ProtocolError, match="leader-election"):
+            build_protocol("leader-elction")
+
     def test_bad_params_rejected(self):
         with pytest.raises(ProtocolError, match="bad parameters"):
             build_protocol("uniform-k-partition", wrong_kw=3)

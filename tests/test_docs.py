@@ -38,7 +38,7 @@ class TestReadme:
 
         text = (ROOT / "README.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign"}, name
 
 
 class TestExperimentsDoc:
@@ -47,7 +47,42 @@ class TestExperimentsDoc:
 
         text = (ROOT / "EXPERIMENTS.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign"}, name
+
+
+class TestCampaignDoc:
+    def test_documented_verbs_match_the_parser(self):
+        """Every verb in docs/campaign.md exists, and vice versa."""
+        from repro.campaign.cli import build_campaign_parser
+
+        parser = build_campaign_parser()
+        sub = next(
+            a for a in parser._actions  # noqa: SLF001 — argparse introspection
+            if a.__class__.__name__ == "_SubParsersAction"
+        )
+        verbs = set(sub.choices)
+        text = (ROOT / "docs" / "campaign.md").read_text()
+        documented = set(re.findall(r"campaign (submit|run|status|gc|serve)", text))
+        assert documented == verbs
+
+    def test_documented_routes_exist(self):
+        """The API table covers exactly the service's GET/POST routes."""
+        source = (ROOT / "src/repro/campaign/service.py").read_text()
+        text = (ROOT / "docs" / "campaign.md").read_text()
+        for route in ("/healthz", "/status", "/jobs", "/result/", "/metrics",
+                      "/submit"):
+            assert route in source and route in text, route
+
+    def test_python_block_names_resolve(self):
+        """The docs' python example only uses real public names."""
+        import repro.campaign as campaign
+
+        for block in python_blocks(ROOT / "docs" / "campaign.md"):
+            for name in re.findall(r"from repro\.campaign import \(([^)]*)\)",
+                                   block):
+                for imported in re.split(r"[,\s]+", name.strip()):
+                    if imported:
+                        assert hasattr(campaign, imported), imported
 
 
 class TestDesignDoc:

@@ -68,6 +68,7 @@ class TestSubpackages:
             "repro.analysis",
             "repro.experiments",
             "repro.io",
+            "repro.campaign",
         ],
     )
     def test_subpackage_all_resolves(self, module):
