@@ -21,6 +21,9 @@ The package contains:
   :mod:`repro.engine`;
 * invariant monitoring, stability theory, and explicit-state model
   checking of Theorem 1 — :mod:`repro.analysis`;
+* an observability layer: run metrics (counters/gauges/histograms),
+  JSONL execution traces with provenance, and rendering tools —
+  :mod:`repro.obs` (CLI: ``repro-experiments obs``);
 * the experiment harness regenerating Figures 3-6 and the state
   complexity table — :mod:`repro.experiments` (CLI:
   ``repro-experiments``).
@@ -55,6 +58,15 @@ from .engine import (
     available_engines,
     build_engine,
     run_trials,
+)
+from .obs import (
+    Telemetry,
+    TraceWriter,
+    get_telemetry,
+    read_trace,
+    set_telemetry,
+    use_telemetry,
+    use_trace_writer,
 )
 from .protocols import (
     approximate_k_partition,
@@ -106,4 +118,12 @@ __all__ = [
     # scheduling
     "UniformScheduler",
     "GraphScheduler",
+    # observability
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "TraceWriter",
+    "use_trace_writer",
+    "read_trace",
 ]

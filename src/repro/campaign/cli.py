@@ -78,6 +78,14 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         help="drain only what is already queued (skip grid submission)",
     )
     p_run.add_argument("--no-progress", action="store_true")
+    p_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append a JSONL trace of every trial set executed",
+    )
+    p_run.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry snapshot after the drain",
+    )
 
     sub.add_parser(
         "status", parents=[common], help="print job counts and recent failures"
@@ -136,13 +144,33 @@ def _cmd_run(store: CampaignStore, args: argparse.Namespace) -> int:
             f"{outcome['created']} new, {hits} cached ({pct:.0f}% cache hits)"
         )
     progress = ProgressPrinter(enabled=not args.no_progress)
-    report = run_campaign(
-        store,
-        workers=args.workers,
-        retries=args.retries,
-        max_jobs=args.max_jobs,
-        progress=progress if not args.no_progress else None,
-    )
+    from contextlib import ExitStack
+
+    telemetry = None
+    with ExitStack() as stack:
+        if args.metrics:
+            from ..obs import Telemetry, use_telemetry
+
+            telemetry = Telemetry()
+            stack.enter_context(use_telemetry(telemetry))
+        if args.trace is not None:
+            from ..obs import TraceWriter, use_trace_writer
+
+            writer = stack.enter_context(
+                TraceWriter(args.trace, meta={"campaign_db": str(store.path)})
+            )
+            stack.enter_context(use_trace_writer(writer))
+        report = run_campaign(
+            store,
+            workers=args.workers,
+            retries=args.retries,
+            max_jobs=args.max_jobs,
+            progress=progress if not args.no_progress else None,
+        )
+    if telemetry is not None:
+        from ..obs.summary import render_metrics
+
+        print(render_metrics(telemetry.snapshot()))
     print(f"campaign run: {report.summary()}")
     if report.interrupted:
         return 130

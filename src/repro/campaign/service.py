@@ -13,7 +13,7 @@ Endpoints
 ``GET /status``             job counts + queue/worker state
 ``GET /jobs?status=S``      digests by status (bounded list)
 ``GET /result/<digest>``    spec, provenance and summary of one job
-``GET /metrics``            cumulative service counters
+``GET /metrics``            service counters + engine/runner telemetry
 ``POST /submit``            body ``{"specs": [...]}`` or
                             ``{"experiment": "fig3", "quick": true}``
 
@@ -30,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from ..core.errors import CampaignError, ReproError
+from ..obs import Telemetry, set_telemetry
 from .executor import execute_spec
 from .grids import experiment_specs
 from .spec import JobSpec
@@ -95,6 +96,10 @@ class CampaignService:
     ) -> None:
         self.store = CampaignStore(store_path)
         self.metrics = _Metrics()
+        #: Live engine/runner telemetry, installed process-wide while the
+        #: service runs and exposed verbatim under ``/metrics``.
+        self.telemetry = Telemetry()
+        self._previous_telemetry = None
         self.poll_interval = poll_interval
         self._want_worker = worker
         self._stop = threading.Event()
@@ -119,6 +124,7 @@ class CampaignService:
 
     def start(self) -> "CampaignService":
         """Serve in background threads; returns self for chaining."""
+        self._previous_telemetry = set_telemetry(self.telemetry)
         self._server_thread = threading.Thread(
             target=self._httpd.serve_forever, name="campaign-http", daemon=True
         )
@@ -149,6 +155,9 @@ class CampaignService:
             self._worker_thread.join(timeout=10)
         if self._server_thread is not None:
             self._server_thread.join(timeout=10)
+        if self._previous_telemetry is not None:
+            set_telemetry(self._previous_telemetry)
+            self._previous_telemetry = None
 
     # ------------------------------------------------------------------
     # Worker
@@ -197,6 +206,7 @@ class CampaignService:
         if path == "/metrics":
             body = self.metrics.snapshot()
             body["jobs"] = self.store.counts()
+            body["telemetry"] = self.telemetry.snapshot()
             return 200, body
         if path == "/jobs":
             status = query.get("status")

@@ -127,6 +127,7 @@ class AgentBasedEngine(Engine):
         milestones: list[int] = []
         high_water = counts[track] if track is not None else 0
 
+        self._callback_prime(on_effective, counts)
         t0 = time.perf_counter()
         converged = is_stable()
         block = self._block_size
@@ -160,9 +161,10 @@ class AgentBasedEngine(Engine):
                     converged = True
                     break
         elapsed = time.perf_counter() - t0
+        self._callback_finalize(on_effective, interactions, counts)
 
         final = np.asarray(counts, dtype=np.int64)
-        return SimulationResult(
+        return self._emit(SimulationResult(
             protocol=protocol.name,
             n=n_total,
             engine=self.name,
@@ -174,4 +176,4 @@ class AgentBasedEngine(Engine):
             group_sizes=self._group_sizes_or_empty(protocol, final),
             tracked_milestones=milestones,
             elapsed=elapsed,
-        )
+        ))

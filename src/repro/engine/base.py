@@ -37,11 +37,21 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.protocol import Protocol
 from ..core.rng import SeedLike
+from ..obs.instruments import record_simulation
 
 __all__ = ["Engine", "SimulationResult", "StepCallback"]
 
 #: Called after every effective interaction with (interactions, counts).
 #: ``counts`` is the live per-state count sequence — treat as read-only.
+#:
+#: Callbacks may additionally expose two optional hooks the engines
+#: invoke outside the hot loop:
+#:
+#: * ``prime(0, counts)`` — once before the first interaction, with the
+#:   initial configuration (recorders use it to capture step 0);
+#: * ``finalize(interactions, counts)`` — once after the loop, with the
+#:   final interaction count and configuration (so stride-sampling
+#:   recorders never miss the converged snapshot).
 StepCallback = Callable[[int, Sequence[int]], None]
 
 
@@ -197,3 +207,32 @@ class Engine(ABC):
         if protocol.num_groups == 0:
             return np.zeros(0, dtype=np.int64)
         return protocol.group_sizes(counts)
+
+    @staticmethod
+    def _callback_prime(
+        on_effective: StepCallback | None, counts: Sequence[int]
+    ) -> None:
+        """Give the callback the initial configuration (see StepCallback)."""
+        if on_effective is None:
+            return
+        prime = getattr(on_effective, "prime", None)
+        if prime is not None:
+            prime(0, counts)
+
+    @staticmethod
+    def _callback_finalize(
+        on_effective: StepCallback | None, interactions: int, counts: Sequence[int]
+    ) -> None:
+        """Give the callback the final configuration (see StepCallback)."""
+        if on_effective is None:
+            return
+        finalize = getattr(on_effective, "finalize", None)
+        if finalize is not None:
+            finalize(interactions, counts)
+
+    @staticmethod
+    def _emit(result: SimulationResult) -> SimulationResult:
+        """Report one finished run to the telemetry registry (no-op when
+        disabled) and return it — engines wrap their return value."""
+        record_simulation(result)
+        return result

@@ -126,6 +126,7 @@ class CountBasedEngine(Engine):
 
         log = math.log
         log1p = math.log1p
+        self._callback_prime(on_effective, counts)
         t0 = time.perf_counter()
         while True:
             if pred is not None:
@@ -189,9 +190,10 @@ class CountBasedEngine(Engine):
             if on_effective is not None:
                 on_effective(interactions, counts)
         elapsed = time.perf_counter() - t0
+        self._callback_finalize(on_effective, interactions, counts)
 
         final = np.asarray(counts, dtype=np.int64)
-        return SimulationResult(
+        return self._emit(SimulationResult(
             protocol=protocol.name,
             n=n_total,
             engine=self.name,
@@ -203,4 +205,4 @@ class CountBasedEngine(Engine):
             group_sizes=self._group_sizes_or_empty(protocol, final),
             tracked_milestones=milestones,
             elapsed=elapsed,
-        )
+        ))

@@ -62,6 +62,7 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.protocol import Protocol
 from ..core.rng import SeedLike, ensure_generator
+from ..obs.instruments import record_ensemble_batch
 from .base import Engine, SimulationResult, StepCallback
 from .count_based import CountBasedEngine
 
@@ -251,6 +252,8 @@ class EnsembleEngine(Engine):
                 crand = crand[keep]
             cols = cols[: ids.size]
 
+        self._callback_prime(on_effective, counts0)
+        vector_steps = 0
         t0 = time.perf_counter()
         while ids.size > finish_cut:
             # --- retire stabilized and silent replicates ----------------
@@ -271,6 +274,8 @@ class EnsembleEngine(Engine):
                 silent_g[done_ids] = sil[done]
                 retire(done, ~done)
                 continue
+
+            vector_steps += 1
 
             # --- refill the shared uniform block ------------------------
             if pos >= width:
@@ -357,6 +362,7 @@ class EnsembleEngine(Engine):
         # --- scalar finisher for the straggler tail ----------------------
         # The count vector is a sufficient statistic, so each survivor
         # continues on the scalar jump chain with its own generator.
+        finisher_replicates = int(ids.size)
         if ids.size:
             tail_engine = CountBasedEngine()
             for i, t in enumerate(ids.tolist()):
@@ -392,6 +398,14 @@ class EnsembleEngine(Engine):
                         base + ni for ni in tail.tracked_milestones[drop:]
                     )
         elapsed = time.perf_counter() - t0
+        self._callback_finalize(
+            on_effective, int(interactions_g[0]), counts_g[0].tolist()
+        )
+        record_ensemble_batch(
+            replicates=B,
+            finisher_replicates=finisher_replicates,
+            vector_steps=vector_steps,
+        )
 
         # Wall time is shared by the whole batch; report the amortized
         # per-replicate cost so throughput statistics stay comparable
@@ -401,7 +415,7 @@ class EnsembleEngine(Engine):
         for t in range(B):
             final = counts_g[t]
             results.append(
-                SimulationResult(
+                self._emit(SimulationResult(
                     protocol=protocol.name,
                     n=n_total,
                     engine=self.name,
@@ -413,6 +427,6 @@ class EnsembleEngine(Engine):
                     group_sizes=self._group_sizes_or_empty(protocol, final),
                     tracked_milestones=milestones[t],
                     elapsed=per_trial_elapsed,
-                )
+                ))
             )
         return results

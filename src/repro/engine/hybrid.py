@@ -114,6 +114,7 @@ class HybridEngine(Engine):
         threshold_weight = self._threshold * T_ordered
         check_every = self._check_every
 
+        self._callback_prime(on_effective, counts)
         t0 = time.perf_counter()
         converged = is_stable()
         switch = not converged and active_weight() < threshold_weight
@@ -159,8 +160,9 @@ class HybridEngine(Engine):
         elapsed1 = time.perf_counter() - t0
 
         if converged or interactions >= budget:
+            self._callback_finalize(on_effective, interactions, counts)
             final = np.asarray(counts, dtype=np.int64)
-            return SimulationResult(
+            return self._emit(SimulationResult(
                 protocol=protocol.name,
                 n=n_total,
                 engine=self.name,
@@ -172,7 +174,7 @@ class HybridEngine(Engine):
                 group_sizes=self._group_sizes_or_empty(protocol, final),
                 tracked_milestones=milestones,
                 elapsed=elapsed1,
-            )
+            ))
 
         # ------------------------------------------------------- phase 2
         # Exchangeability: the count vector fully determines the law of
@@ -199,7 +201,14 @@ class HybridEngine(Engine):
         # Merge phase-2 milestones (offsets are phase-relative).
         for ni in tail.tracked_milestones:
             milestones.append(phase1_interactions + ni)
-        return SimulationResult(
+        # The tail engine saw only the wrapped function, so the original
+        # callback's finalize hook fires here, at whole-run coordinates.
+        self._callback_finalize(
+            on_effective,
+            phase1_interactions + tail.interactions,
+            tail.final_counts.tolist(),
+        )
+        return self._emit(SimulationResult(
             protocol=protocol.name,
             n=n_total,
             engine=self.name,
@@ -211,4 +220,4 @@ class HybridEngine(Engine):
             group_sizes=tail.group_sizes,
             tracked_milestones=milestones,
             elapsed=elapsed1 + tail.elapsed,
-        )
+        ))

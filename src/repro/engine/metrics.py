@@ -10,6 +10,15 @@ The engines expose two lightweight instrumentation channels:
 
 Recorders cost Python-call overhead per effective interaction, so they
 are opt-in.
+
+Sampling semantics: recorders always capture the **endpoints** of a
+run regardless of ``stride`` — the engines invoke the optional
+``prime``/``finalize`` hooks of :data:`~repro.engine.base.StepCallback`
+with the initial configuration (step 0) and the final configuration at
+the final interaction count, so a trajectory plot starts at the true
+initial counts and ends on the converged snapshot even when ``stride``
+would have skipped them.  (Earlier versions dropped both endpoints for
+``stride > 1``.)
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..core.errors import SimulationError
 from ..core.protocol import Protocol
 
 __all__ = [
@@ -33,7 +43,9 @@ class TimeSeriesRecorder:
     """Samples the full count vector every ``stride`` effective steps.
 
     Use as ``engine.run(..., on_effective=rec)``; the recorder is
-    callable with the engine's ``(interactions, counts)`` signature.
+    callable with the engine's ``(interactions, counts)`` signature and
+    additionally records the initial configuration (time 0) and the
+    final configuration via the engines' ``prime``/``finalize`` hooks.
     """
 
     stride: int = 1
@@ -41,11 +53,27 @@ class TimeSeriesRecorder:
     snapshots: list[list[int]] = field(default_factory=list)
     _calls: int = 0
 
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise SimulationError(f"stride must be positive, got {self.stride}")
+
+    def _record(self, interactions: int, counts: Sequence[int]) -> None:
+        self.times.append(int(interactions))
+        self.snapshots.append([int(c) for c in counts])
+
+    def prime(self, interactions: int, counts: Sequence[int]) -> None:
+        """Record the initial configuration (invoked by the engine)."""
+        self._record(interactions, counts)
+
     def __call__(self, interactions: int, counts: Sequence[int]) -> None:
         self._calls += 1
         if self._calls % self.stride == 0:
-            self.times.append(interactions)
-            self.snapshots.append(list(counts))
+            self._record(interactions, counts)
+
+    def finalize(self, interactions: int, counts: Sequence[int]) -> None:
+        """Record the final configuration unless it was just sampled."""
+        if not self.times or self.times[-1] != interactions:
+            self._record(interactions, counts)
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """``(times, snapshots)`` as arrays (snapshots: steps x states)."""
@@ -57,7 +85,11 @@ class TimeSeriesRecorder:
 
 @dataclass(slots=True)
 class GroupSizeRecorder:
-    """Samples per-group sizes every ``stride`` effective steps."""
+    """Samples per-group sizes every ``stride`` effective steps.
+
+    Like :class:`TimeSeriesRecorder`, the initial (time 0) and final
+    configurations are always captured via ``prime``/``finalize``.
+    """
 
     protocol: Protocol
     stride: int = 1
@@ -65,11 +97,27 @@ class GroupSizeRecorder:
     sizes: list[np.ndarray] = field(default_factory=list)
     _calls: int = 0
 
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise SimulationError(f"stride must be positive, got {self.stride}")
+
+    def _record(self, interactions: int, counts: Sequence[int]) -> None:
+        self.times.append(int(interactions))
+        self.sizes.append(self.protocol.group_sizes(np.asarray(counts, dtype=np.int64)))
+
+    def prime(self, interactions: int, counts: Sequence[int]) -> None:
+        """Record the initial group sizes (invoked by the engine)."""
+        self._record(interactions, counts)
+
     def __call__(self, interactions: int, counts: Sequence[int]) -> None:
         self._calls += 1
         if self._calls % self.stride == 0:
-            self.times.append(interactions)
-            self.sizes.append(self.protocol.group_sizes(np.asarray(counts, dtype=np.int64)))
+            self._record(interactions, counts)
+
+    def finalize(self, interactions: int, counts: Sequence[int]) -> None:
+        """Record the final group sizes unless they were just sampled."""
+        if not self.times or self.times[-1] != interactions:
+            self._record(interactions, counts)
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """``(times, sizes)`` as arrays (sizes: steps x groups)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from collections.abc import Callable, Iterator, Sequence
@@ -21,6 +22,12 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.protocol import Protocol
 from ..core.rng import SeedLike, spawn_seed_sequences
+from ..obs.instruments import (
+    record_cache_lookup,
+    record_chunk_seconds,
+    record_trialset,
+)
+from ..obs.trace import active_trace_writer
 from .base import Engine, SimulationResult
 from .registry import resolve_engine
 
@@ -344,6 +351,7 @@ def run_trials(
         raise SimulationError(f"workers must be positive, got {workers}")
     engine = resolve_engine(engine)
     init = None if initial_counts is None else np.asarray(initial_counts, dtype=np.int64)
+    t_start = time.perf_counter()
 
     if cache is None:
         cache = _ACTIVE_CACHE
@@ -361,11 +369,17 @@ def run_trials(
         )
         if key is not None:
             record = cache.get(key)
+            record_cache_lookup(hit=record is not None)
             if record is not None:
                 ts = TrialSet.from_record(record)
+                # Convergence is enforced *before* any completion is
+                # reported: a cached record of a failed point must raise
+                # exactly like re-running it would, without a progress
+                # callback first claiming the point finished cleanly.
+                _enforce_convergence(ts.results, protocol, require_convergence)
                 if progress is not None:
                     progress(trials, trials)
-                _enforce_convergence(ts.results, protocol, require_convergence)
+                _report_trialset(ts, seed=seed, cached=True, elapsed=0.0)
                 return ts
 
     seeds = spawn_seed_sequences(seed, trials)
@@ -403,7 +417,24 @@ def run_trials(
     )
     if cache is not None and key is not None:
         cache.put(key, ts.to_record())
+    _report_trialset(
+        ts, seed=seed, cached=False, elapsed=time.perf_counter() - t_start
+    )
     return ts
+
+
+def _report_trialset(
+    ts: TrialSet, *, seed: SeedLike, cached: bool, elapsed: float
+) -> None:
+    """Emit runner metrics and the trace record for one completed call.
+
+    No-ops entirely when telemetry is disabled and no trace writer is
+    installed — observability never alters results, only reports them.
+    """
+    record_trialset(ts, cached=cached, elapsed=elapsed)
+    writer = active_trace_writer()
+    if writer is not None:
+        writer.write_trial_set(ts, seed=seed, cached=cached, elapsed=elapsed)
 
 
 def _enforce_convergence(
@@ -440,6 +471,7 @@ def _run_chunk(
     cross the pickle boundary); pooled runs report per chunk instead.
     """
     total = total if total is not None else len(seeds)
+    t0 = time.perf_counter()
     run_batch = getattr(engine, "run_batch", None)
     if run_batch is not None:
         results = run_batch(
@@ -450,6 +482,7 @@ def _run_chunk(
             max_interactions=max_interactions,
             track_state=track_state,
         )
+        record_chunk_seconds(time.perf_counter() - t0)
         if progress is not None:
             progress(len(results), total)
         return results
@@ -467,4 +500,5 @@ def _run_chunk(
         )
         if progress is not None:
             progress(len(results), total)
+    record_chunk_seconds(time.perf_counter() - t0)
     return results

@@ -6,6 +6,8 @@ Regenerates every figure and table of the paper's evaluation::
     repro-experiments fig6 --quick      # smoke-scale Figure 6
     repro-experiments all --quick --out results/
     repro-experiments campaign run --quick   # resumable cached sweeps
+    repro-experiments fig3 --quick --trace trace.jsonl --metrics
+    repro-experiments obs summarize trace.jsonl   # render a trace
 
 Full-scale runs use the paper's parameters (100 trials, n up to 960,
 k up to 10) and take minutes; ``--quick`` runs the same code on
@@ -20,6 +22,12 @@ computed the same grid — only simulates the missing points.  Pass
 ``--no-cache`` to force recomputation.  The ``campaign`` subcommand
 (submit/run/status/gc/serve) manages long sweeps as durable job
 queues; see ``docs/campaign.md``.
+
+Observability: ``--trace PATH`` appends one JSONL record per trial set
+and per trial (plus a provenance header) while the sweep runs, and
+``--metrics`` prints the in-process telemetry snapshot at the end.
+The ``obs`` subcommand (summarize/validate) inspects trace files; see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -139,8 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "which figure/table to regenerate ('all' runs everything; "
             "'describe' prints a protocol's states and rules; "
-            "'campaign' manages resumable job queues — "
-            "see 'repro-experiments campaign --help')"
+            "'campaign' manages resumable job queues; "
+            "'obs' inspects JSONL traces — "
+            "see 'repro-experiments campaign --help' / "
+            "'repro-experiments obs --help')"
         ),
     )
     parser.add_argument(
@@ -208,6 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="force recomputation: neither read nor write the point cache",
+    )
+    import os
+
+    parser.add_argument(
+        "--trace",
+        default=os.environ.get("REPRO_TRACE") or None,
+        metavar="PATH",
+        help=(
+            "append a JSONL trace (provenance header + one record per "
+            "trial set and per trial); inspect with 'obs summarize' "
+            "(env: REPRO_TRACE)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        default=bool(os.environ.get("REPRO_METRICS")),
+        help=(
+            "collect run metrics and print the telemetry snapshot at "
+            "the end (env: REPRO_METRICS=1)"
+        ),
     )
     return parser
 
@@ -292,6 +323,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..campaign.cli import campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from ..obs.cli import obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "describe":
         if not args.protocol:
@@ -300,10 +335,26 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     cache, store = _resolve_cache(args)
+    from contextlib import ExitStack
+
     from ..engine.runner import use_trial_cache
 
+    telemetry = None
     try:
-        with use_trial_cache(cache):
+        with ExitStack() as stack:
+            stack.enter_context(use_trial_cache(cache))
+            if args.metrics:
+                from ..obs import Telemetry, use_telemetry
+
+                telemetry = Telemetry()
+                stack.enter_context(use_telemetry(telemetry))
+            if args.trace is not None:
+                from ..obs import TraceWriter, use_trace_writer
+
+                writer = stack.enter_context(
+                    TraceWriter(args.trace, meta={"argv": list(argv)})
+                )
+                stack.enter_context(use_trace_writer(writer))
             for name in names:
                 _, render, _, description = EXPERIMENTS[name]
                 print(f"== {name}: {description} ==")
@@ -318,6 +369,12 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 print(render(table))
                 print()
+        if telemetry is not None:
+            from ..obs.summary import render_metrics
+
+            print(render_metrics(telemetry.snapshot()))
+        if args.trace is not None:
+            print(f"[trace] wrote {args.trace}")
         if cache is not None and (cache.hits or cache.misses):
             total = cache.hits + cache.misses
             print(

@@ -72,13 +72,25 @@ class ProgressPrinter:
         alive; the point's own completion line still comes from the
         experiment loop.  Returns ``None`` when reporting is disabled
         so the runner skips callback dispatch entirely.
+
+        Marks fire on *threshold crossings*, not exact multiples:
+        chunk-reporting callers (the ensemble engine's ``run_batch``,
+        ``workers > 1`` spans) jump ``done`` by whole chunks, so a mark
+        is printed whenever the highest quarter boundary at or below
+        ``done`` advances past the last one reported.
         """
         if not self.enabled:
             return None
+        last_mark = 0
 
         def callback(done: int, total: int) -> None:
+            nonlocal last_mark
+            if total < 8 or done >= total:
+                return
             step = max(1, total // 4)
-            if total >= 8 and done < total and done % step == 0:
+            mark = (done // step) * step
+            if mark > last_mark:
+                last_mark = mark
                 self(f"{label}: trial {done}/{total}")
 
         return callback

@@ -53,6 +53,9 @@ def run_trajectory(
         params={"k": k, "n": n, "seed": seed, "stride": stride,
                 "total_interactions": result.interactions},
     )
+    # The recorder's prime/finalize hooks guarantee the first row is the
+    # initial configuration and the last row the stable one, so the
+    # table needs no manual endpoint patching.
     times, sizes = recorder.as_arrays()
     for t, row in zip(times, sizes):
         for g in range(k):
@@ -61,13 +64,6 @@ def run_trajectory(
                 group=g + 1,
                 size=int(row[g]),
             )
-    # Final stable point.
-    for g in range(k):
-        table.append(
-            interactions=result.interactions,
-            group=g + 1,
-            size=int(result.group_sizes[g]),
-        )
     if progress is not None:
         progress(
             f"trajectory k={k} n={n}: {result.interactions} interactions, "

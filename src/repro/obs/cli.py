@@ -1,0 +1,87 @@
+"""``repro-experiments obs`` — observability CLI verbs.
+
+Verbs::
+
+    obs summarize TRACE.jsonl      # render a trace as a terminal report
+    obs validate  TRACE.jsonl      # parse + schema-check (CI smoke)
+
+``summarize`` renders the per-point table, the interactions-vs-n chart
+and the per-trial distribution of a trace recorded with the
+``--trace PATH`` flag of the experiment or campaign CLIs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["build_obs_parser", "obs_main"]
+
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments obs",
+        description="Inspect observability artifacts (JSONL run traces)",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_sum = sub.add_parser("summarize", help="render a trace file as a report")
+    p_sum.add_argument("trace", help="JSONL trace written with --trace PATH")
+
+    p_val = sub.add_parser(
+        "validate", help="parse a trace and assert its basic invariants"
+    )
+    p_val.add_argument("trace", help="JSONL trace written with --trace PATH")
+    p_val.add_argument(
+        "--min-trials", type=int, default=1,
+        help="fail unless the trace holds at least this many trial records",
+    )
+    return parser
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from .summary import summarize_trace
+
+    print(summarize_trace(args.trace))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .trace import TRACE_SCHEMA, read_trace
+
+    records = read_trace(args.trace)
+    headers = [r for r in records if r["type"] == "header"]
+    trials = [r for r in records if r["type"] == "trial"]
+    problems: list[str] = []
+    if not headers:
+        problems.append("no header record")
+    for h in headers:
+        if h.get("schema") != TRACE_SCHEMA:
+            problems.append(f"unknown schema {h.get('schema')!r}")
+    if len(trials) < args.min_trials:
+        problems.append(f"only {len(trials)} trial record(s), need {args.min_trials}")
+    for t in trials:
+        for field in ("protocol", "n", "engine", "interactions", "converged"):
+            if field not in t:
+                problems.append(f"trial record missing {field!r}")
+                break
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {len(records)} record(s), {len(headers)} session(s), "
+        f"{len(trials)} trial(s)"
+    )
+    return 0
+
+
+def obs_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-experiments obs ...``."""
+    args = build_obs_parser().parse_args(argv)
+    commands = {"summarize": _cmd_summarize, "validate": _cmd_validate}
+    return commands[args.verb](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(obs_main())

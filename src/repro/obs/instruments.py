@@ -1,0 +1,128 @@
+"""Standard metric emission — the shared vocabulary of the repo.
+
+The engines and the trial runner all report through these helpers so
+the metric names stay consistent across call sites (the catalogue is
+documented in ``docs/observability.md``).  Every helper checks
+:attr:`Telemetry.enabled` once and returns immediately when the
+process-wide registry is the null default, so instrumented code pays a
+single function call per *run*, never per interaction.
+
+Naming scheme::
+
+    engine.<name>.runs                  counter, completed executions
+    engine.<name>.interactions          counter, total interactions
+    engine.<name>.effective_interactions counter
+    engine.<name>.converged             counter
+    engine.<name>.interactions_hist     histogram, per-run totals
+    engine.<name>.elapsed_seconds       histogram, per-run wall time
+    engine.ensemble.batches             counter, run_batch calls
+    engine.ensemble.replicates          counter, replicates simulated
+    engine.ensemble.retired_vectorized  counter, finished in the
+                                        vectorized phase
+    engine.ensemble.finisher_replicates counter, handed to the scalar
+                                        finisher
+    engine.ensemble.vector_steps        counter, vectorized loop steps
+    runner.calls / runner.trials        counters
+    runner.interactions / runner.effective_interactions  counters
+    runner.cache.hits / runner.cache.misses              counters
+    runner.trial_interactions           histogram, per-trial totals
+    runner.point_seconds                histogram, per-call wall time
+    runner.chunk_seconds                histogram, per-chunk wall time
+
+The derived *effective ratio* (effective / total interactions) is
+computed by the renderers from the counter pair rather than stored.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .telemetry import get_telemetry
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (engine imports us)
+    from ..engine.base import SimulationResult
+    from ..engine.runner import TrialSet
+
+__all__ = [
+    "record_simulation",
+    "record_ensemble_batch",
+    "record_trialset",
+    "record_cache_lookup",
+    "record_chunk_seconds",
+]
+
+
+def record_simulation(result: "SimulationResult") -> None:
+    """Emit the standard per-run metrics for one finished execution."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    prefix = f"engine.{result.engine}"
+    telemetry.counter(f"{prefix}.runs").inc()
+    telemetry.counter(f"{prefix}.interactions").inc(result.interactions)
+    telemetry.counter(f"{prefix}.effective_interactions").inc(
+        result.effective_interactions
+    )
+    if result.converged:
+        telemetry.counter(f"{prefix}.converged").inc()
+    telemetry.histogram(f"{prefix}.interactions_hist").record(result.interactions)
+    telemetry.histogram(f"{prefix}.elapsed_seconds").record(result.elapsed)
+
+
+def record_ensemble_batch(
+    *,
+    replicates: int,
+    finisher_replicates: int,
+    vector_steps: int,
+) -> None:
+    """Emit the ensemble engine's vectorized/finisher hand-off stats."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.counter("engine.ensemble.batches").inc()
+    telemetry.counter("engine.ensemble.replicates").inc(replicates)
+    telemetry.counter("engine.ensemble.retired_vectorized").inc(
+        replicates - finisher_replicates
+    )
+    telemetry.counter("engine.ensemble.finisher_replicates").inc(finisher_replicates)
+    telemetry.counter("engine.ensemble.vector_steps").inc(vector_steps)
+    telemetry.gauge("engine.ensemble.last_finisher_fraction").set(
+        finisher_replicates / replicates if replicates else 0.0
+    )
+
+
+def record_trialset(ts: "TrialSet", *, cached: bool, elapsed: float) -> None:
+    """Emit the runner-level metrics for one :func:`run_trials` call."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.counter("runner.calls").inc()
+    telemetry.counter("runner.trials").inc(ts.trials)
+    interactions = int(ts.interactions.sum())
+    effective = int(ts.effective_interactions.sum())
+    telemetry.counter("runner.interactions").inc(interactions)
+    telemetry.counter("runner.effective_interactions").inc(effective)
+    telemetry.gauge("runner.last_effective_ratio").set(
+        effective / interactions if interactions else 0.0
+    )
+    hist = telemetry.histogram("runner.trial_interactions")
+    for value in ts.interactions.tolist():
+        hist.record(value)
+    if not cached:
+        telemetry.histogram("runner.point_seconds").record(elapsed)
+
+
+def record_cache_lookup(hit: bool) -> None:
+    """Count one trial-cache consultation by the runner."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.counter("runner.cache.hits" if hit else "runner.cache.misses").inc()
+
+
+def record_chunk_seconds(elapsed: float) -> None:
+    """Record one trial chunk's wall time (serial and pooled paths)."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.histogram("runner.chunk_seconds").record(elapsed)

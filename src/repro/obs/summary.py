@@ -1,0 +1,189 @@
+"""Terminal reports over traces and telemetry snapshots.
+
+Two renderers:
+
+* :func:`summarize_trace` — turn a JSONL trace (see
+  :mod:`repro.obs.trace`) into a human report: provenance, per-point
+  table, an interactions-vs-n chart per protocol (reusing the
+  experiment harness's :mod:`~repro.experiments.ascii_plot`), and a
+  log-bucketed distribution of per-trial interaction counts.
+* :func:`render_metrics` — pretty-print a
+  :meth:`~repro.obs.telemetry.Telemetry.snapshot` (the ``--metrics``
+  flag and the service's ``/metrics`` payload share this shape).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from collections import defaultdict
+
+from .trace import read_trace
+
+__all__ = ["summarize_trace", "render_metrics"]
+
+_BAR = "█"
+_BAR_WIDTH = 40
+
+
+def _fmt_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _hist_from_values(values: list[int]) -> dict[int, int]:
+    """Power-of-two bucket counts (mirrors :class:`~.telemetry.Histogram`)."""
+    buckets: dict[int, int] = defaultdict(int)
+    for v in values:
+        if v <= 0:
+            continue
+        buckets[math.frexp(float(v))[1] - 1] += 1
+    return dict(buckets)
+
+
+def _render_histogram(values: list[int], *, title: str) -> list[str]:
+    buckets = _hist_from_values(values)
+    lines = [title]
+    if not buckets:
+        lines.append("  (no samples)")
+        return lines
+    peak = max(buckets.values())
+    for e in sorted(buckets):
+        count = buckets[e]
+        bar = _BAR * max(1, round(count / peak * _BAR_WIDTH))
+        lines.append(f"  [{2**e:>12,}, {2**(e+1):>12,})  {bar} {count}")
+    return lines
+
+
+def summarize_trace(path: str | Path) -> str:
+    """Render one trace file as a terminal report."""
+    records = read_trace(path)
+    headers = [r for r in records if r.get("type") == "header"]
+    trial_sets = [r for r in records if r.get("type") == "trial_set"]
+    trials = [r for r in records if r.get("type") == "trial"]
+
+    lines: list[str] = [f"trace {path} — {len(records)} record(s)"]
+    for h in headers:
+        rev = h.get("git_rev")
+        lines.append(
+            f"  session: schema={h.get('schema')} "
+            f"version={h.get('package_version')} "
+            f"git={rev[:12] if isinstance(rev, str) else 'n/a'}"
+        )
+    if not trial_sets and not trials:
+        lines.append("(no trial records)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- table
+    lines.append("")
+    lines.append(
+        f"{'protocol':<28} {'engine':<9} {'n':>5} {'trials':>6} "
+        f"{'mean_inter':>12} {'eff_ratio':>9} {'conv':>5} {'cached':>6} {'wall':>8}"
+    )
+    total_interactions = 0
+    total_effective = 0
+    total_trials = 0
+    all_converged = True
+    for ts in trial_sets:
+        mean = float(ts.get("mean_interactions", 0.0))
+        mean_eff = float(ts.get("mean_effective", 0.0))
+        ratio = mean_eff / mean if mean else 0.0
+        converged = bool(ts.get("all_converged", False))
+        all_converged = all_converged and converged
+        count = int(ts.get("trials", 0))
+        total_trials += count
+        total_interactions += int(mean * count)
+        total_effective += int(mean_eff * count)
+        lines.append(
+            f"{str(ts.get('protocol', '?')):<28} {str(ts.get('engine', '?')):<9} "
+            f"{ts.get('n', '?'):>5} {count:>6} {mean:>12.1f} {ratio:>9.3f} "
+            f"{'yes' if converged else 'NO':>5} "
+            f"{'hit' if ts.get('cached') else '-':>6} "
+            f"{_fmt_seconds(ts.get('elapsed_seconds')):>8}"
+        )
+    overall_ratio = total_effective / total_interactions if total_interactions else 0.0
+    lines.append(
+        f"\n{len(trial_sets)} point(s), {total_trials} trial(s), "
+        f"~{total_interactions:,} interactions "
+        f"(effective ratio {overall_ratio:.3f}), "
+        f"{'all converged' if all_converged else 'NOT ALL CONVERGED'}"
+    )
+
+    # ------------------------------------------------------------- chart
+    by_series: dict[str, dict[int, float]] = defaultdict(dict)
+    for ts in trial_sets:
+        key = f"{ts.get('protocol', '?')}"
+        n = ts.get("n")
+        if isinstance(n, int):
+            by_series[key][n] = float(ts.get("mean_interactions", 0.0))
+    plottable = {
+        label: (sorted(points), [points[n] for n in sorted(points)])
+        for label, points in by_series.items()
+        if len(points) >= 2
+    }
+    if plottable:
+        from ..experiments.ascii_plot import line_plot
+
+        lines.append("")
+        lines.append(
+            line_plot(
+                plottable,
+                title="mean interactions to stability vs n",
+                xlabel="n (population size)",
+                ylabel="mean interactions",
+            )
+        )
+
+    # -------------------------------------------------------- distribution
+    if trials:
+        lines.append("")
+        lines.extend(
+            _render_histogram(
+                [int(t.get("interactions", 0)) for t in trials],
+                title=f"per-trial interactions ({len(trials)} trial(s), log2 buckets)",
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Pretty-print a telemetry snapshot as aligned text."""
+    lines: list[str] = []
+    if not snapshot.get("enabled", False):
+        lines.append("telemetry: disabled (null registry)")
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        width = max(map(len, counters))
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]:,}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(map(len, gauges))
+        for name in sorted(gauges):
+            value = gauges[name]
+            text = "-" if value is None else f"{value:.4g}"
+            lines.append(f"  {name:<{width}}  {text}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name}: count={h['count']} mean={h['mean']:.4g} "
+                f"min={h['min'] if h['min'] is not None else '-'} "
+                f"p50={h['p50']:.4g} p90={h['p90']:.4g} "
+                f"max={h['max'] if h['max'] is not None else '-'}"
+            )
+    # Derived: effective ratio from the runner counter pair.
+    total = counters.get("runner.interactions")
+    effective = counters.get("runner.effective_interactions")
+    if total:
+        lines.append(f"derived: runner effective ratio = {effective / total:.4f}")
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,305 @@
+"""Zero-cost-when-disabled instrumentation core.
+
+The simulation stack reports what it does through a process-wide
+:class:`Telemetry` registry of named instruments:
+
+* :class:`Counter` — monotone totals (runs, interactions, cache hits);
+* :class:`Gauge` — last-written values (live replicates, ratios);
+* :class:`Histogram` — log-bucketed distributions, the right shape for
+  interaction counts and wall times, whose dynamic ranges span many
+  orders of magnitude;
+* :meth:`Telemetry.timer` — span-style wall-time measurement that
+  records into a histogram.
+
+The default registry is a **null** instance: every instrument lookup
+returns a shared no-op object and :attr:`Telemetry.enabled` is False.
+Instrumented code guards emission with a single attribute check
+(``if telemetry.enabled:``), so a disabled process pays one branch per
+*run*, never per interaction — the discipline the engines follow (see
+``docs/observability.md`` for the metric catalogue).
+
+Enable telemetry for a scope with :func:`use_telemetry`::
+
+    from repro.obs import Telemetry, use_telemetry
+
+    with use_telemetry(Telemetry()) as tel:
+        run_trials(protocol, 60, trials=20, seed=0)
+    print(tel.snapshot())
+
+or process-wide with :func:`set_telemetry` (the campaign service does
+this so its ``/metrics`` endpoint can report engine activity).
+
+Thread-safety: instrument creation is lock-guarded; updates are plain
+attribute writes, atomic enough under the GIL for the single-writer /
+snapshot-reader pattern used here (handler threads only read).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "NullTelemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float | None:
+        return self.value
+
+
+class Histogram:
+    """Log-bucketed distribution of non-negative samples.
+
+    Bucket ``e`` holds samples in ``[2**e, 2**(e+1))``; exact zeros go
+    to a dedicated underflow bucket.  Power-of-two buckets cover the
+    ten-plus decades between a microsecond timer span and a 10^9
+    interaction count with ~2x resolution at every scale, which is all
+    a terminal report needs.  Exact count/sum/min/max are kept
+    alongside, so means and totals are not quantized.
+    """
+
+    __slots__ = ("name", "buckets", "zeros", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: int | float) -> None:
+        value = float(value)
+        if value < 0 or math.isnan(value):
+            raise ValueError(f"histogram {self.name!r} takes non-negative values, got {value}")
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value == 0.0:
+            self.zeros += 1
+            return
+        e = math.frexp(value)[1] - 1  # floor(log2(value))
+        self.buckets[e] = self.buckets.get(e, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket boundaries.
+
+        Returns the geometric midpoint of the bucket containing the
+        q-th sample — within 2x of the exact order statistic, which is
+        the histogram's resolution by construction.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile wants q in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self.zeros
+        if rank <= seen:
+            return 0.0
+        for e in sorted(self.buckets):
+            seen += self.buckets[e]
+            if rank <= seen:
+                return math.sqrt(2.0**e * 2.0 ** (e + 1))
+        return self.max
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe summary: exact moments plus the bucket counts."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "zeros": self.zeros,
+            "buckets": {str(2.0**e): c for e, c in sorted(self.buckets.items())},
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument of a null registry."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def record(self, value: int | float) -> None:
+        pass
+
+    def snapshot(self) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class Telemetry:
+    """Named-instrument registry; instruments are created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram(name))
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Span: record the enclosed wall time into ``<name>`` (seconds)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).record(time.perf_counter() - t0)
+
+    def reset(self) -> None:
+        """Drop every instrument (mainly for tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe dump of every instrument, sorted by name."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "enabled": self.enabled,
+            "counters": {k: counters[k].snapshot() for k in sorted(counters)},
+            "gauges": {k: gauges[k].snapshot() for k in sorted(gauges)},
+            "histograms": {k: histograms[k].snapshot() for k in sorted(histograms)},
+        }
+
+
+class NullTelemetry(Telemetry):
+    """Disabled registry: lookups return a shared no-op instrument.
+
+    Instrumented code never has to special-case "telemetry off" —
+    calling through is harmless — but hot paths should still guard with
+    ``if telemetry.enabled:`` so the disabled path performs no lookup
+    or call at all.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        yield
+
+
+#: Process-wide registry; null unless an application opts in.
+_ACTIVE: Telemetry = NullTelemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide registry (a :class:`NullTelemetry` by default)."""
+    return _ACTIVE
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` process-wide; returns the previous registry."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Install ``telemetry`` for the duration of a ``with`` block.
+
+    The experiments CLI wraps sweeps in this to honour ``--metrics``
+    without leaking an enabled registry into library callers.
+    """
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)

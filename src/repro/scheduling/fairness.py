@@ -45,13 +45,17 @@ class PairCoverage:
         return self.max_count / mean if mean > 0 else float("inf")
 
 
-def measure_pair_coverage(
-    scheduler: Scheduler,
-    samples: int,
-    *,
-    block: int = 4096,
-) -> PairCoverage:
-    """Drive ``scheduler`` for ``samples`` steps and summarize coverage."""
+def _count_pairs(
+    scheduler: Scheduler, samples: int, block: int
+) -> Counter[tuple[int, int]]:
+    """Tally unordered-pair observations over ``samples`` schedule steps.
+
+    Streams in blocks of at most ``block`` pairs so memory stays O(block
+    + #distinct pairs) however large ``samples`` is — the shared core of
+    both diagnostics below.
+    """
+    if block < 1:
+        raise ValueError(f"block must be positive, got {block}")
     counter: Counter[tuple[int, int]] = Counter()
     remaining = samples
     while remaining > 0:
@@ -61,6 +65,17 @@ def measure_pair_coverage(
         hi = np.maximum(a, b)
         counter.update(zip(lo.tolist(), hi.tolist()))
         remaining -= take
+    return counter
+
+
+def measure_pair_coverage(
+    scheduler: Scheduler,
+    samples: int,
+    *,
+    block: int = 4096,
+) -> PairCoverage:
+    """Drive ``scheduler`` for ``samples`` steps and summarize coverage."""
+    counter = _count_pairs(scheduler, samples, block)
     n = scheduler.n
     total = n * (n - 1) // 2
     counts = list(counter.values())
@@ -77,20 +92,23 @@ def measure_pair_coverage(
 def chi_square_uniformity(
     scheduler: Scheduler,
     samples: int,
+    *,
+    block: int = 4096,
 ) -> float:
     """P-value of a chi-square test that pairs are uniform.
 
     A uniform scheduler should produce large p-values; a heavily biased
     one drives the p-value to ~0.  Requires ``samples`` to be large
     relative to the number of pairs (aim for >= 10 per pair).
+
+    Pairs are streamed in blocks of at most ``block``, like
+    :func:`measure_pair_coverage`, so memory is independent of
+    ``samples`` (an earlier version materialized all ``samples`` pairs
+    in one scheduler call).
     """
     from scipy import stats
 
-    counter: Counter[tuple[int, int]] = Counter()
-    a, b = scheduler.next_block(samples)
-    lo = np.minimum(a, b)
-    hi = np.maximum(a, b)
-    counter.update(zip(lo.tolist(), hi.tolist()))
+    counter = _count_pairs(scheduler, samples, block)
     n = scheduler.n
     total = n * (n - 1) // 2
     observed = np.zeros(total, dtype=np.float64)

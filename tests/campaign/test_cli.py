@@ -73,6 +73,22 @@ class TestCampaignVerbs:
         out = capsys.readouterr().out
         assert f"{grid_size()} done" in out
 
+    def test_run_with_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        db = str(tmp_path / "campaign.db")
+        trace = tmp_path / "trace.jsonl"
+        rc = campaign_main([
+            "run", "--db", db, "--no-progress", *GRID,
+            "--trace", str(trace), "--metrics",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        records = read_trace(trace)
+        assert records[0]["type"] == "header"
+        assert sum(r["type"] == "trial_set" for r in records) == grid_size()
+
     def test_dispatch_through_experiments_entry_point(self, tmp_path, capsys):
         db = str(tmp_path / "campaign.db")
         rc = experiments_main(["campaign", "submit", "--db", db, *GRID])

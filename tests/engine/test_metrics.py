@@ -23,22 +23,54 @@ class TestTimeSeriesRecorder:
     def test_records_every_effective_step(self, proto):
         rec = TimeSeriesRecorder()
         r = AgentBasedEngine().run(proto, 9, seed=0, on_effective=rec)
-        assert len(rec.times) == r.effective_interactions
+        # Every effective step, plus the primed step-0 snapshot.
+        assert len(rec.times) == r.effective_interactions + 1
         times, snaps = rec.as_arrays()
         assert times.shape[0] == snaps.shape[0]
         assert snaps.shape[1] == proto.num_states
         assert (snaps.sum(axis=1) == 9).all()
 
+    def test_initial_configuration_recorded(self, proto):
+        """Regression: stride > 1 used to skip the step-0 snapshot."""
+        rec = TimeSeriesRecorder(stride=7)
+        AgentBasedEngine().run(proto, 9, seed=1, on_effective=rec)
+        assert rec.times[0] == 0
+        initial = proto.initial_counts(9)
+        assert rec.snapshots[0] == [int(c) for c in initial]
+
+    def test_final_configuration_recorded(self, proto):
+        """Regression: stride > 1 used to drop the converged snapshot."""
+        rec = TimeSeriesRecorder(stride=7)
+        r = AgentBasedEngine().run(proto, 9, seed=2, on_effective=rec)
+        assert rec.times[-1] == r.interactions
+        assert rec.snapshots[-1] == [int(c) for c in r.final_counts]
+
     def test_stride(self, proto):
         rec = TimeSeriesRecorder(stride=5)
         r = AgentBasedEngine().run(proto, 9, seed=1, on_effective=rec)
-        assert len(rec.times) == r.effective_interactions // 5
+        # Interior samples every 5 effective steps, plus the primed
+        # step 0 and (unless it coincided) the finalized endpoint.
+        interior = r.effective_interactions // 5
+        assert interior + 1 <= len(rec.times) <= interior + 2
 
-    def test_times_monotone(self, proto):
-        rec = TimeSeriesRecorder()
+    def test_no_duplicate_endpoint(self, proto):
+        """finalize() must not re-record a final step stride=1 sampled."""
+        rec = TimeSeriesRecorder(stride=1)
         AgentBasedEngine().run(proto, 9, seed=2, on_effective=rec)
         times, _ = rec.as_arrays()
         assert (np.diff(times) > 0).all()
+
+    def test_times_monotone(self, proto):
+        rec = TimeSeriesRecorder(stride=4)
+        AgentBasedEngine().run(proto, 9, seed=2, on_effective=rec)
+        times, _ = rec.as_arrays()
+        assert (np.diff(times) > 0).all()
+
+    def test_stride_validation(self):
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            TimeSeriesRecorder(stride=0)
 
 
 class TestGroupSizeRecorder:
@@ -51,10 +83,28 @@ class TestGroupSizeRecorder:
         # The final sample is the uniform partition.
         assert sizes[-1].tolist() == [3, 3, 3]
 
+    def test_endpoints_with_stride(self, proto):
+        """Regression: stride > 1 dropped both the initial and the
+        converged group sizes; both are now always captured."""
+        rec = GroupSizeRecorder(proto, stride=3)
+        r = AgentBasedEngine().run(proto, 9, seed=4, on_effective=rec)
+        times, sizes = rec.as_arrays()
+        assert times[0] == 0
+        assert times[-1] == r.interactions
+        # Converged run ends on the uniform partition even mid-stride.
+        assert sizes[-1].tolist() == [3, 3, 3]
+
     def test_stride(self, proto):
         rec = GroupSizeRecorder(proto, stride=3)
         r = AgentBasedEngine().run(proto, 9, seed=4, on_effective=rec)
-        assert len(rec.times) == r.effective_interactions // 3
+        interior = r.effective_interactions // 3
+        assert interior + 1 <= len(rec.times) <= interior + 2
+
+    def test_stride_validation(self, proto):
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            GroupSizeRecorder(proto, stride=-1)
 
 
 class TestAggregateMilestones:

@@ -203,6 +203,43 @@ class TestTrialCache:
         run_trials(proto, 12, trials=3, seed=33)
         assert cache.hits == 1
 
+    def test_cache_hit_enforces_convergence_before_progress(self, proto):
+        """Regression: a cache hit fired ``progress(trials, trials)``
+        before re-checking convergence, so a caller with
+        ``require_convergence=True`` saw a '100% done' report for a run
+        that then raised."""
+        from repro.core.errors import SimulationError
+        from repro.engine import InMemoryTrialCache
+
+        cache = InMemoryTrialCache()
+        # Seed the cache with a truncated, non-converged trial set.
+        ts = run_trials(
+            proto, 12, trials=3, seed=36, max_interactions=2,
+            require_convergence=False, cache=cache,
+        )
+        assert not ts.all_converged
+        calls: list[tuple[int, int]] = []
+        with pytest.raises(SimulationError):
+            run_trials(
+                proto, 12, trials=3, seed=36, max_interactions=2,
+                require_convergence=True, cache=cache,
+                progress=lambda done, total: calls.append((done, total)),
+            )
+        assert cache.hits == 1
+        assert calls == [], "progress reported completion for a failed run"
+
+    def test_cache_hit_still_reports_progress_on_success(self, proto):
+        from repro.engine import InMemoryTrialCache
+
+        cache = InMemoryTrialCache()
+        run_trials(proto, 12, trials=3, seed=37, cache=cache)
+        calls: list[tuple[int, int]] = []
+        run_trials(
+            proto, 12, trials=3, seed=37, cache=cache,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(3, 3)]
+
     def test_seed_sequence_not_cacheable(self, proto):
         from repro.engine import InMemoryTrialCache
 

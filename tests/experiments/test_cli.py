@@ -81,6 +81,35 @@ class TestMain:
         assert rc == 0
         assert "Figure 6" in capsys.readouterr().out
 
+    def test_main_trace_and_metrics(self, capsys, tmp_path):
+        from repro.obs import get_telemetry, read_trace
+        from repro.obs.trace import active_trace_writer
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main([
+            "fig6", "--quick", "--trials", "2", "--no-progress",
+            "--trace", str(trace), "--metrics",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "engine." in out
+        records = read_trace(trace)
+        assert records[0]["type"] == "header"
+        assert any(r["type"] == "trial" for r in records)
+        # The process-wide hooks are restored after the run.
+        assert get_telemetry().enabled is False
+        assert active_trace_writer() is None
+
+    def test_trace_and_metrics_env_defaults(self, monkeypatch, tmp_path):
+        from repro.experiments.cli import build_parser
+
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "t.jsonl"))
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        args = build_parser().parse_args(["fig6"])
+        assert args.trace == str(tmp_path / "t.jsonl")
+        assert args.metrics is True
+
 
 class TestDescribe:
     def test_describe_prints_protocol(self, capsys):

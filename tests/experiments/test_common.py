@@ -40,6 +40,46 @@ class TestProgressPrinter:
         assert captured.err == ""
 
 
+class TestTrialsCallback:
+    def test_disabled_returns_none(self):
+        assert ProgressPrinter(enabled=False).trials("x") is None
+
+    def test_short_points_stay_quiet(self, capsys):
+        cb = ProgressPrinter(enabled=True).trials("pt")
+        for done in range(1, 8):
+            cb(done, 7)
+        assert capsys.readouterr().err == ""
+
+    def test_exact_quarter_marks(self, capsys):
+        cb = ProgressPrinter(enabled=True).trials("pt")
+        for done in range(1, 101):
+            cb(done, 100)
+        err = capsys.readouterr().err
+        for mark in (25, 50, 75):
+            assert f"trial {mark}/100" in err
+        # Completion (done == total) is the experiment loop's line.
+        assert "trial 100/100" not in err
+
+    def test_chunked_reporting_crosses_marks(self, capsys):
+        """Regression: ``done % step == 0`` skipped every mark when the
+        engine jumps ``done`` by whole chunks that straddle quarter
+        boundaries (ensemble batches, multi-worker spans)."""
+        cb = ProgressPrinter(enabled=True).trials("pt")
+        for done in (33, 66, 99):  # never lands exactly on 25/50/75
+            cb(done, 100)
+        err = capsys.readouterr().err
+        assert "trial 33/100" in err
+        assert "trial 66/100" in err
+        assert "trial 99/100" in err
+
+    def test_marks_fire_once(self, capsys):
+        cb = ProgressPrinter(enabled=True).trials("pt")
+        for done in (25, 26, 27, 49):  # stays within the first quarter
+            cb(done, 100)
+        err = capsys.readouterr().err
+        assert err.count("pt: trial") == 1
+
+
 class TestWriteOutputs:
     def test_none_out_dir_is_noop(self):
         t = ResultTable("x")

@@ -1,0 +1,89 @@
+"""Tests for trace summarization, metric rendering and the obs CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_trials, uniform_k_partition
+from repro.obs import Telemetry, TraceWriter, use_telemetry, use_trace_writer
+from repro.obs.cli import obs_main
+from repro.obs.summary import render_metrics, summarize_trace
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+@pytest.fixture()
+def trace_path(tmp_path, proto):
+    path = tmp_path / "trace.jsonl"
+    with TraceWriter(path, meta={"argv": ["test"]}) as w, use_trace_writer(w):
+        run_trials(proto, 12, trials=4, seed=60)
+        run_trials(proto, 18, trials=4, seed=61)
+    return path
+
+
+class TestSummarizeTrace:
+    def test_report_contents(self, trace_path):
+        text = summarize_trace(trace_path)
+        assert "uniform-3-partition" in text
+        assert "8 trial(s)" in text
+        assert "all converged" in text
+        assert "log2 buckets" in text
+
+    def test_line_plot_needs_two_points(self, trace_path):
+        # Two n values for the same protocol -> the chart appears.
+        assert "mean interactions to stability vs n" in summarize_trace(trace_path)
+
+    def test_single_point_trace_skips_plot(self, tmp_path, proto):
+        path = tmp_path / "one.jsonl"
+        with TraceWriter(path) as w, use_trace_writer(w):
+            run_trials(proto, 12, trials=2, seed=62)
+        text = summarize_trace(path)
+        assert "mean interactions to stability vs n" not in text
+
+
+class TestRenderMetrics:
+    def test_renders_all_instrument_kinds(self, proto):
+        t = Telemetry()
+        with use_telemetry(t):
+            run_trials(proto, 12, trials=3, seed=63)
+        text = render_metrics(t.snapshot())
+        assert "engine.count.runs" in text
+        assert "runner.last_effective_ratio" in text
+        assert "runner.trial_interactions" in text
+        assert "derived: runner effective ratio" in text
+
+    def test_disabled_snapshot(self):
+        from repro.obs import NullTelemetry
+
+        text = render_metrics(NullTelemetry().snapshot())
+        assert "disabled" in text
+
+
+class TestObsCli:
+    def test_summarize_verb(self, trace_path, capsys):
+        assert obs_main(["summarize", str(trace_path)]) == 0
+        assert "uniform-3-partition" in capsys.readouterr().out
+
+    def test_validate_ok(self, trace_path, capsys):
+        assert obs_main(["validate", str(trace_path), "--min-trials", "8"]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_validate_min_trials_fails(self, trace_path, capsys):
+        assert obs_main(["validate", str(trace_path), "--min-trials", "99"]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_validate_missing_header(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "trial", "protocol": "p"}\n')
+        assert obs_main(["validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "no header record" in err
+
+    def test_dispatch_from_experiments_cli(self, trace_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["obs", "validate", str(trace_path)]) == 0
+        assert "ok:" in capsys.readouterr().out

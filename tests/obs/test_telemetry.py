@@ -1,0 +1,190 @@
+"""Tests for the instrumentation core (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+from repro.obs.telemetry import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.snapshot() == 0
+        c.inc()
+        c.inc(5)
+        assert c.snapshot() == 6
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        assert g.snapshot() is None
+        g.set(3)
+        g.set(1.5)
+        assert g.snapshot() == 1.5
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        h = Histogram("x")
+        for v in (1, 2, 3, 100):
+            h.record(v)
+        assert h.count == 4
+        assert h.total == 106
+        assert h.min == 1 and h.max == 100
+        assert h.mean == pytest.approx(26.5)
+
+    def test_log2_bucketing(self):
+        h = Histogram("x")
+        for v in (1, 1.5, 2, 3, 4, 7.9, 8):
+            h.record(v)
+        # [1,2): two, [2,4): two, [4,8): two, [8,16): one
+        assert h.buckets == {0: 2, 1: 2, 2: 2, 3: 1}
+
+    def test_zeros_have_their_own_bucket(self):
+        h = Histogram("x")
+        h.record(0)
+        h.record(0.0)
+        h.record(4)
+        assert h.zeros == 2
+        assert h.buckets == {2: 1}
+
+    def test_rejects_negative_and_nan(self):
+        h = Histogram("x")
+        with pytest.raises(ValueError):
+            h.record(-1)
+        with pytest.raises(ValueError):
+            h.record(float("nan"))
+
+    def test_quantile_within_bucket_resolution(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.record(v)
+        # Approximate quantiles are within 2x of the exact statistic.
+        assert 25 <= h.quantile(0.5) <= 100
+        assert 50 <= h.quantile(1.0) <= 200
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+
+    def test_quantile_validation_and_empty(self):
+        h = Histogram("x")
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_snapshot_is_json_safe(self):
+        h = Histogram("x")
+        h.record(0)
+        h.record(3)
+        json.dumps(h.snapshot())  # must not raise
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert snap["zeros"] == 1
+        assert snap["buckets"] == {"2.0": 1}
+
+    def test_empty_snapshot_has_null_extrema(self):
+        snap = Histogram("x").snapshot()
+        assert snap["min"] is None and snap["max"] is None
+        assert not math.isinf(json.loads(json.dumps(snap))["mean"])
+
+
+class TestTelemetry:
+    def test_instruments_created_on_first_use(self):
+        t = Telemetry()
+        assert t.counter("a") is t.counter("a")
+        assert t.gauge("b") is t.gauge("b")
+        assert t.histogram("c") is t.histogram("c")
+
+    def test_enabled_flag(self):
+        assert Telemetry().enabled is True
+        assert NullTelemetry().enabled is False
+
+    def test_timer_records_span(self):
+        t = Telemetry()
+        with t.timer("span"):
+            pass
+        h = t.histogram("span")
+        assert h.count == 1
+        assert h.min >= 0
+
+    def test_timer_records_on_exception(self):
+        t = Telemetry()
+        with pytest.raises(RuntimeError):
+            with t.timer("span"):
+                raise RuntimeError("boom")
+        assert t.histogram("span").count == 1
+
+    def test_snapshot_round_trips_as_json(self):
+        t = Telemetry()
+        t.counter("c").inc(2)
+        t.gauge("g").set(0.5)
+        t.histogram("h").record(7)
+        snap = json.loads(json.dumps(t.snapshot()))
+        assert snap["enabled"] is True
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 0.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_drops_instruments(self):
+        t = Telemetry()
+        t.counter("c").inc()
+        t.reset()
+        assert t.snapshot()["counters"] == {}
+
+
+class TestNullTelemetry:
+    def test_lookups_share_one_noop(self):
+        t = NullTelemetry()
+        c = t.counter("a")
+        assert c is t.counter("b") is t.gauge("g") is t.histogram("h")
+        c.inc()
+        c.set(1)
+        c.record(1)
+        assert c.snapshot() is None
+
+    def test_timer_is_noop(self):
+        with NullTelemetry().timer("span"):
+            pass
+
+    def test_snapshot_reports_disabled(self):
+        snap = NullTelemetry().snapshot()
+        assert snap["enabled"] is False
+        assert snap["counters"] == {}
+
+
+class TestProcessWideRegistry:
+    def test_default_is_null(self):
+        assert get_telemetry().enabled is False
+
+    def test_use_telemetry_installs_and_restores(self):
+        t = Telemetry()
+        before = get_telemetry()
+        with use_telemetry(t) as installed:
+            assert installed is t
+            assert get_telemetry() is t
+        assert get_telemetry() is before
+
+    def test_use_telemetry_restores_on_exception(self):
+        before = get_telemetry()
+        with pytest.raises(RuntimeError):
+            with use_telemetry(Telemetry()):
+                raise RuntimeError("boom")
+        assert get_telemetry() is before
+
+    def test_set_telemetry_returns_previous(self):
+        t = Telemetry()
+        previous = set_telemetry(t)
+        try:
+            assert get_telemetry() is t
+        finally:
+            assert set_telemetry(previous) is t

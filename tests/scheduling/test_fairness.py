@@ -14,6 +14,22 @@ from repro.scheduling import (
 )
 
 
+class _BlockSpy:
+    """Wraps a scheduler, recording the size of every next_block call."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.block_sizes: list[int] = []
+
+    @property
+    def n(self):
+        return self._inner.n
+
+    def next_block(self, size):
+        self.block_sizes.append(int(size))
+        return self._inner.next_block(size)
+
+
 class TestPairCoverage:
     def test_uniform_covers_everything(self):
         cov = measure_pair_coverage(UniformScheduler(8, seed=0), 20_000)
@@ -60,3 +76,42 @@ class TestChiSquare:
         # Heavy repetition inflates some pair counts.
         p = chi_square_uniformity(StickyScheduler(5, 0.9, seed=6), 40_000)
         assert p < 1e-6
+
+
+class TestBlockedStreaming:
+    """Both diagnostics must stream pairs in bounded blocks.
+
+    Regression: ``chi_square_uniformity`` used to draw all ``samples``
+    pairs in one ``next_block(samples)`` call — O(samples) memory —
+    while ``measure_pair_coverage`` already streamed.
+    """
+
+    def test_chi_square_never_exceeds_block(self):
+        spy = _BlockSpy(UniformScheduler(5, seed=7))
+        chi_square_uniformity(spy, 40_000, block=1024)
+        assert spy.block_sizes, "scheduler was never consulted"
+        assert max(spy.block_sizes) <= 1024
+        assert sum(spy.block_sizes) == 40_000
+
+    def test_coverage_never_exceeds_block(self):
+        spy = _BlockSpy(UniformScheduler(5, seed=8))
+        measure_pair_coverage(spy, 10_000, block=256)
+        assert max(spy.block_sizes) <= 256
+        assert sum(spy.block_sizes) == 10_000
+
+    def test_blocking_preserves_the_verdict(self):
+        # Chunking re-interleaves the RNG draws, so the statistic is not
+        # bit-identical across block sizes — but the verdict must hold.
+        p_small = chi_square_uniformity(UniformScheduler(5, seed=9), 20_000, block=64)
+        p_big = chi_square_uniformity(UniformScheduler(5, seed=9), 20_000, block=20_000)
+        assert p_small > 0.001 and p_big > 0.001
+        p_biased = chi_square_uniformity(
+            WeightedScheduler([1, 1, 1, 1, 20], seed=9), 20_000, block=64
+        )
+        assert p_biased < 1e-6
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(UniformScheduler(5, seed=10), 100, block=0)
+        with pytest.raises(ValueError):
+            measure_pair_coverage(UniformScheduler(5, seed=10), 100, block=-1)

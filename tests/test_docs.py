@@ -38,7 +38,7 @@ class TestReadme:
 
         text = (ROOT / "README.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all", "campaign"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs"}, name
 
 
 class TestExperimentsDoc:
@@ -47,7 +47,7 @@ class TestExperimentsDoc:
 
         text = (ROOT / "EXPERIMENTS.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all", "campaign"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs"}, name
 
 
 class TestCampaignDoc:
@@ -83,6 +83,39 @@ class TestCampaignDoc:
                 for imported in re.split(r"[,\s]+", name.strip()):
                     if imported:
                         assert hasattr(campaign, imported), imported
+
+
+class TestObservabilityDoc:
+    def test_documented_verbs_match_the_parser(self):
+        """Every ``obs`` verb in docs/observability.md exists, and vice versa."""
+        from repro.obs.cli import build_obs_parser
+
+        parser = build_obs_parser()
+        sub = next(
+            a for a in parser._subparsers._group_actions  # noqa: SLF001
+            if hasattr(a, "choices")
+        )
+        verbs = set(sub.choices)
+        text = (ROOT / "docs" / "observability.md").read_text()
+        documented = set(re.findall(r"obs (summarize|validate)", text))
+        assert documented == verbs
+
+    def test_documented_metrics_match_the_emitters(self):
+        """Every metric in the doc's catalogue appears in instruments.py."""
+        source = (ROOT / "src/repro/obs/instruments.py").read_text()
+        text = (ROOT / "docs" / "observability.md").read_text()
+        for name in re.findall(r"`((?:engine|runner)\.[a-z_.<>]+)`", text):
+            tail = name.split(".", 1)[1].replace("<name>.", "")
+            assert tail.split(".")[-1] in source, name
+
+    def test_quickstart_block_runs(self):
+        import repro
+
+        for block in python_blocks(ROOT / "docs" / "observability.md"):
+            if "use_telemetry" in block:
+                for imported in re.findall(r"from repro import (.+)", block):
+                    for name in imported.split(","):
+                        assert hasattr(repro, name.strip()), name
 
 
 class TestDesignDoc:

@@ -47,6 +47,17 @@ class TestTopLevel:
         ):
             assert name in repro.__all__
 
+    def test_observability_exposed(self):
+        for name in (
+            "Telemetry",
+            "get_telemetry",
+            "use_telemetry",
+            "TraceWriter",
+            "use_trace_writer",
+            "read_trace",
+        ):
+            assert name in repro.__all__
+
     def test_docstring_quickstart_runs(self):
         """The package docstring's example must stay true."""
         from repro import run_trials, uniform_k_partition
@@ -69,6 +80,7 @@ class TestSubpackages:
             "repro.experiments",
             "repro.io",
             "repro.campaign",
+            "repro.obs",
         ],
     )
     def test_subpackage_all_resolves(self, module):
