@@ -44,7 +44,11 @@ class InvariantMonitor:
     description:
         Used in the violation message.
     every:
-        Check every ``every``-th effective interaction (1 = all).
+        Check every ``every``-th effective interaction (1 = all).  The
+        terminal configuration is always checked regardless: engines
+        invoke the :meth:`finalize` hook after their loop, and a
+        violation in the configuration an execution *ends* in must
+        never slip through the sampling stride.
     """
 
     def __init__(
@@ -67,6 +71,21 @@ class InvariantMonitor:
         self._calls += 1
         if self._calls % self._every:
             return
+        self._evaluate(interactions, counts)
+
+    def finalize(self, interactions: int, counts: Sequence[int]) -> None:
+        """Engine end-of-run hook: always evaluate on the final configuration.
+
+        With ``every > 1`` the stride can land just past the last
+        effective interaction, silently skipping the terminal
+        configuration; this hook closes that gap.  Skipped only when
+        the last ``__call__`` already checked this very configuration.
+        """
+        if self.checks_performed and self._calls % self._every == 0:
+            return
+        self._evaluate(interactions, counts)
+
+    def _evaluate(self, interactions: int, counts: Sequence[int]) -> None:
         self.checks_performed += 1
         if not self._check(counts):
             raise InvariantViolation(

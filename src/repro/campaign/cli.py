@@ -86,6 +86,13 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the telemetry snapshot after the drain",
     )
+    p_run.add_argument(
+        "--conform", action="store_true",
+        help=(
+            "debug: check every trial's final configuration against the "
+            "protocol's invariant pack while draining (see docs/conformance.md)"
+        ),
+    )
 
     sub.add_parser(
         "status", parents=[common], help="print job counts and recent failures"
@@ -147,7 +154,12 @@ def _cmd_run(store: CampaignStore, args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
     telemetry = None
+    conformance = None
     with ExitStack() as stack:
+        if args.conform:
+            from ..conform.runtime import use_conformance
+
+            conformance = stack.enter_context(use_conformance(strict=True))
         if args.metrics:
             from ..obs import Telemetry, use_telemetry
 
@@ -171,6 +183,11 @@ def _cmd_run(store: CampaignStore, args: argparse.Namespace) -> int:
         from ..obs.summary import render_metrics
 
         print(render_metrics(telemetry.snapshot()))
+    if conformance is not None:
+        print(
+            f"[conform] {conformance.results_checked} final "
+            "configuration(s) checked, no violations"
+        )
     print(f"campaign run: {report.summary()}")
     if report.interrupted:
         return 130

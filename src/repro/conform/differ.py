@@ -1,0 +1,671 @@
+"""Lockstep differential execution of one schedule through every engine.
+
+The five engines agree *in law* but not bit-for-bit: the count, hybrid
+and ensemble engines consume randomness as a jump chain, so seeding
+them identically to the agent engines cannot line trajectories up.
+What they all share is the transition-application data path — scalar
+``delta_list`` lookups (agent), ``delta_flat`` with incremental active
+weights (batch), interaction classes with Fenwick-indexed weights
+(count), the batch-to-count hand-off (hybrid), and the vectorized
+class/weight matrices (ensemble).  The differ replays one recorded
+:class:`~repro.conform.schedule.InteractionSchedule` through a
+*replica* of each path and diffs the count vectors against the
+compilation-free name-level oracle after every step.
+
+Any disagreement — a pair one path thinks is null and another thinks
+is effective, a drifting count vector, or broken internal weight
+bookkeeping — is reported as a :class:`Divergence`, and a minimal
+reproducer (the schedule prefix up to the divergent step) is dumped
+through :class:`~repro.obs.trace.TraceWriter` so the failure can be
+replayed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.compiler import CompiledProtocol
+from ..core.protocol import Protocol
+from ..core.rng import SeedLike
+from ..engine.sampling import FenwickWeights
+from ..obs.trace import TraceWriter
+from .invariants import Invariant, check_counts, invariant_pack
+from .schedule import InteractionSchedule, record_schedule
+
+__all__ = ["Divergence", "DiffReport", "run_differential", "ENGINE_PATHS"]
+
+#: Engine data paths the differ can replicate, in canonical order.
+ENGINE_PATHS = ("agent", "batch", "count", "hybrid", "ensemble")
+
+
+# ----------------------------------------------------------------------
+# Per-engine appliers: one replica of each engine's transition data path
+# ----------------------------------------------------------------------
+class _AgentApplier:
+    """AgentBasedEngine path: per-agent states + scalar delta_list."""
+
+    name = "agent"
+
+    def __init__(self, compiled: CompiledProtocol, counts0: Sequence[int]) -> None:
+        self._S = compiled.num_states
+        self._dflat = compiled.delta_list
+        self.counts: list[int] = list(counts0)
+        self._states: list[int] = []
+        for idx, c in enumerate(self.counts):
+            self._states.extend([idx] * c)
+
+    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
+        S = self._S
+        states = self._states
+        pq = states[a] * S + states[b]
+        out = self._dflat[pq]
+        if out == pq:
+            return False
+        p2, q2 = divmod(out, S)
+        counts = self.counts
+        counts[states[a]] -= 1
+        counts[states[b]] -= 1
+        counts[p2] += 1
+        counts[q2] += 1
+        states[a] = p2
+        states[b] = q2
+        return True
+
+    def check(self) -> str | None:
+        return None
+
+
+class _BatchApplier:
+    """BatchEngine path: delta_flat plus incremental active weight."""
+
+    name = "batch"
+
+    def __init__(self, compiled: CompiledProtocol, counts0: Sequence[int]) -> None:
+        self._S = compiled.num_states
+        self._dflat = compiled.delta_list
+        self._compiled = compiled
+        self._classes = compiled.classes
+        self._state_classes = compiled.state_classes
+        self.counts: list[int] = list(counts0)
+        self._states: list[int] = []
+        for idx, c in enumerate(self.counts):
+            self._states.extend([idx] * c)
+        self._weights = [cls.weight(np.asarray(self.counts)) for cls in self._classes]
+        self._W = sum(self._weights)
+        self._dirty_by_pq: dict[int, list[int]] = {}
+
+    @property
+    def active_weight(self) -> int:
+        return self._W
+
+    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
+        S = self._S
+        states = self._states
+        p_own = states[a]
+        q_own = states[b]
+        pq = p_own * S + q_own
+        out = self._dflat[pq]
+        if out == pq:
+            return False
+        p2, q2 = divmod(out, S)
+        counts = self.counts
+        counts[p_own] -= 1
+        counts[q_own] -= 1
+        counts[p2] += 1
+        counts[q2] += 1
+        states[a] = p2
+        states[b] = q2
+        dirty = self._dirty_by_pq.get(pq)
+        if dirty is None:
+            touched: set[int] = set()
+            for s in (p_own, q_own, p2, q2):
+                touched.update(self._state_classes[s])
+            dirty = sorted(touched)
+            self._dirty_by_pq[pq] = dirty
+        vec = np.asarray(counts)
+        for j in dirty:
+            w = self._classes[j].weight(vec)
+            self._W += w - self._weights[j]
+            self._weights[j] = w
+        return True
+
+    def check(self) -> str | None:
+        true_w = self._compiled.total_active_weight(
+            np.asarray(self.counts, dtype=np.int64)
+        )
+        if self._W != true_w:
+            return (
+                f"incremental active weight {self._W} != recomputed {true_w}"
+            )
+        return None
+
+
+class _CountApplier:
+    """CountBasedEngine path: interaction classes + Fenwick weights.
+
+    The jump chain never sees agent identities, so the differ feeds it
+    the oracle's ordered state pair; what this replica tests is the
+    class tables (including mirror folding) and the incremental
+    Fenwick-tree weight maintenance.
+    """
+
+    name = "count"
+
+    def __init__(self, compiled: CompiledProtocol, counts0: Sequence[int]) -> None:
+        self._compiled = compiled
+        classes = compiled.classes
+        self._in1 = [c.in1 for c in classes]
+        self._in2 = [c.in2 for c in classes]
+        self._out1 = [c.out1 for c in classes]
+        self._out2 = [c.out2 for c in classes]
+        self._same = [c.same for c in classes]
+        self._mult = [c.multiplier for c in classes]
+        self._pair_class: dict[tuple[int, int], int] = {}
+        for r, c in enumerate(classes):
+            self._pair_class[(c.in1, c.in2)] = r
+            if not c.same and c.multiplier == 2:
+                self._pair_class[(c.in2, c.in1)] = r
+        affected: list[list[int]] = []
+        for c in classes:
+            dirty: set[int] = set()
+            for s in {c.in1, c.in2, c.out1, c.out2}:
+                dirty.update(compiled.state_classes[s])
+            affected.append(sorted(dirty))
+        self._affected = affected
+        self.counts: list[int] = list(counts0)
+        self._weights = FenwickWeights(
+            c.weight(np.asarray(self.counts)) for c in classes
+        )
+
+    @property
+    def active_weight(self) -> int:
+        return self._weights.total
+
+    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
+        r = self._pair_class.get((p, q))
+        if r is None:
+            return False
+        counts = self.counts
+        counts[self._in1[r]] -= 1
+        counts[self._in2[r]] -= 1
+        counts[self._out1[r]] += 1
+        counts[self._out2[r]] += 1
+        fen_set = self._weights.set
+        for j in self._affected[r]:
+            if self._same[j]:
+                c = counts[self._in1[j]]
+                fen_set(j, c * (c - 1))
+            else:
+                fen_set(j, self._mult[j] * counts[self._in1[j]] * counts[self._in2[j]])
+        return True
+
+    def check(self) -> str | None:
+        true_w = self._compiled.total_active_weight(
+            np.asarray(self.counts, dtype=np.int64)
+        )
+        if self._weights.total != true_w:
+            return (
+                f"Fenwick active weight {self._weights.total} != "
+                f"recomputed {true_w}"
+            )
+        return None
+
+
+class _HybridApplier:
+    """HybridEngine path: batch replica, then a count replica hand-off.
+
+    The hand-off point is the moment the hybrid engine would switch —
+    here fixed at half the schedule so every differential run exercises
+    both phases *and* the state transfer between them.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        compiled: CompiledProtocol,
+        counts0: Sequence[int],
+        *,
+        switch_at: int,
+    ) -> None:
+        self._compiled = compiled
+        self._switch_at = switch_at
+        self._batch = _BatchApplier(compiled, counts0)
+        self._count: _CountApplier | None = None
+
+    @property
+    def counts(self) -> list[int]:
+        phase = self._count if self._count is not None else self._batch
+        return phase.counts
+
+    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
+        if self._count is None and index >= self._switch_at:
+            self._count = _CountApplier(self._compiled, self._batch.counts)
+        if self._count is not None:
+            return self._count.step(index, a, b, p, q)
+        return self._batch.step(index, a, b, p, q)
+
+    def check(self) -> str | None:
+        phase = self._count if self._count is not None else self._batch
+        return phase.check()
+
+
+class _EnsembleApplier:
+    """EnsembleEngine path: vectorized class arrays on a count column."""
+
+    name = "ensemble"
+
+    def __init__(self, compiled: CompiledProtocol, counts0: Sequence[int]) -> None:
+        self._compiled = compiled
+        classes = compiled.classes
+        self._in1 = np.asarray([c.in1 for c in classes], dtype=np.int64)
+        self._in2 = np.asarray([c.in2 for c in classes], dtype=np.int64)
+        self._out1 = np.asarray([c.out1 for c in classes], dtype=np.int64)
+        self._out2 = np.asarray([c.out2 for c in classes], dtype=np.int64)
+        self._same = np.asarray([c.same for c in classes], dtype=bool)
+        self._mult = np.asarray([c.multiplier for c in classes], dtype=np.int64)
+        self._pair_class: dict[tuple[int, int], int] = {}
+        for r, c in enumerate(classes):
+            self._pair_class[(c.in1, c.in2)] = r
+            if not c.same and c.multiplier == 2:
+                self._pair_class[(c.in2, c.in1)] = r
+        self._vec = np.asarray(counts0, dtype=np.int64).copy()
+        self._refresh_weights()
+
+    def _refresh_weights(self) -> None:
+        d1 = self._vec[self._in1]
+        d2 = self._vec[self._in2]
+        w = np.where(self._same, d1 * (d1 - 1), self._mult * d1 * d2)
+        self._W = int(w.sum())
+
+    @property
+    def counts(self) -> list[int]:
+        return self._vec.tolist()
+
+    @property
+    def active_weight(self) -> int:
+        return self._W
+
+    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
+        r = self._pair_class.get((p, q))
+        if r is None:
+            return False
+        delta = np.zeros_like(self._vec)
+        np.add.at(
+            delta,
+            np.asarray(
+                [self._in1[r], self._in2[r], self._out1[r], self._out2[r]]
+            ),
+            np.asarray([-1, -1, 1, 1]),
+        )
+        self._vec += delta
+        self._refresh_weights()
+        return True
+
+    def check(self) -> str | None:
+        true_w = self._compiled.total_active_weight(self._vec)
+        if self._W != true_w:
+            return f"vectorized active weight {self._W} != recomputed {true_w}"
+        return None
+
+
+_APPLIER_BUILDERS = {
+    "agent": _AgentApplier,
+    "batch": _BatchApplier,
+    "count": _CountApplier,
+    "ensemble": _EnsembleApplier,
+}
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """First observed disagreement between an engine path and the oracle."""
+
+    engine: str
+    #: 0-based index into the schedule's pair list.
+    step: int
+    pair: tuple[int, int]
+    #: "effectiveness" | "counts" | "consistency" | "invariant"
+    kind: str
+    detail: str
+    reference_counts: list[int]
+    engine_counts: list[int] | None
+
+    def to_record(self) -> dict:
+        return {
+            "engine": self.engine,
+            "step": int(self.step),
+            "pair": [int(self.pair[0]), int(self.pair[1])],
+            "kind": self.kind,
+            "detail": self.detail,
+            "reference_counts": [int(c) for c in self.reference_counts],
+            "engine_counts": (
+                None
+                if self.engine_counts is None
+                else [int(c) for c in self.engine_counts]
+            ),
+        }
+
+
+@dataclass(slots=True)
+class DiffReport:
+    """Outcome of one differential run."""
+
+    protocol: str
+    n: int
+    engines: list[str]
+    steps_replayed: int
+    effective_steps: int
+    divergence: Divergence | None = None
+    invariant_violations: list[str] = field(default_factory=list)
+    reproducer_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and not self.invariant_violations
+
+    def summary(self) -> str:
+        head = (
+            f"{self.protocol} n={self.n}: replayed {self.steps_replayed} "
+            f"interactions ({self.effective_steps} effective) through "
+            f"{len(self.engines)} engine path(s)"
+        )
+        if self.ok:
+            return head + " — no divergence"
+        lines = [head]
+        if self.divergence is not None:
+            d = self.divergence
+            lines.append(
+                f"  DIVERGENCE [{d.kind}] engine={d.engine} step={d.step} "
+                f"pair={d.pair}: {d.detail}"
+            )
+        for v in self.invariant_violations:
+            lines.append(f"  INVARIANT: {v}")
+        if self.reproducer_path:
+            lines.append(f"  reproducer: {self.reproducer_path}")
+        return "\n".join(lines)
+
+
+def _dump_reproducer(
+    directory: str | Path,
+    schedule: InteractionSchedule,
+    divergence: Divergence,
+) -> str:
+    """Write the minimal reproducer trace for a divergence."""
+    directory = Path(directory)
+    path = directory / (
+        f"diverge-{schedule.protocol}-n{schedule.n}-step{divergence.step}.jsonl"
+    )
+    with TraceWriter(
+        path,
+        meta={
+            "kind": "conform-reproducer",
+            "engine": divergence.engine,
+            "divergence_kind": divergence.kind,
+        },
+    ) as writer:
+        writer.write(
+            {
+                "type": "conform_divergence",
+                **divergence.to_record(),
+            }
+        )
+        writer.write(
+            {
+                "type": "conform_schedule",
+                **schedule.prefix(divergence.step + 1).to_record(),
+            }
+        )
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# The differential executor
+# ----------------------------------------------------------------------
+def run_differential(
+    protocol: Protocol,
+    n: int | None = None,
+    *,
+    seed: SeedLike = None,
+    schedule: InteractionSchedule | None = None,
+    engines: Sequence[str] | None = None,
+    max_interactions: int = 200_000,
+    check_invariants: bool = True,
+    invariants: Sequence[Invariant] | None = None,
+    reference_protocol: Protocol | None = None,
+    reproducer_dir: str | Path | None = None,
+    stride: int = 1,
+) -> DiffReport:
+    """Replay one schedule through every engine data path and diff.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol whose *compiled* tables the engine replicas use.
+    schedule:
+        A recorded schedule to replay; when omitted, one is recorded
+        from ``reference_protocol`` (default: ``protocol``) with
+        ``record_schedule(n=n, seed=seed, max_interactions=...)``.
+    engines:
+        Engine paths to replicate, default all of :data:`ENGINE_PATHS`.
+    check_invariants:
+        Also enforce the protocol's invariant pack on the oracle
+        trajectory (every effective step plus the endpoints).
+    invariants:
+        Explicit pack to enforce instead of
+        :func:`~repro.conform.invariants.invariant_pack`.
+    reference_protocol:
+        Protocol driving the name-level oracle.  Passing a pristine
+        protocol here while ``protocol`` is a mutated copy is how the
+        mutation self-test proves the differ catches planted bugs.
+    reproducer_dir:
+        Directory for the divergence reproducer trace; None disables
+        the dump.
+    stride:
+        Compare full count vectors on every ``stride``-th effective
+        step (effectiveness verdicts are compared on *every* step, and
+        the terminal configuration is always compared).
+    """
+    if stride < 1:
+        raise SimulationError(f"stride must be positive, got {stride}")
+    reference = reference_protocol if reference_protocol is not None else protocol
+    if reference.num_states != protocol.num_states:
+        raise SimulationError(
+            "reference protocol and protocol under test have different "
+            f"state counts ({reference.num_states} vs {protocol.num_states})"
+        )
+    if schedule is None:
+        schedule = record_schedule(
+            reference, n, seed=seed, max_interactions=max_interactions
+        )
+    if len(schedule.initial_counts) != protocol.num_states:
+        raise SimulationError(
+            f"schedule has {len(schedule.initial_counts)} states, protocol "
+            f"under test has {protocol.num_states}"
+        )
+
+    names = engines if engines is not None else list(ENGINE_PATHS)
+    unknown = [e for e in names if e not in ENGINE_PATHS]
+    if unknown:
+        raise SimulationError(
+            f"unknown engine path(s) {unknown}; choose from {list(ENGINE_PATHS)}"
+        )
+
+    compiled = protocol.compiled
+    counts0 = schedule.initial_counts
+    appliers = []
+    for name in names:
+        if name == "hybrid":
+            appliers.append(
+                _HybridApplier(
+                    compiled, counts0, switch_at=max(1, len(schedule.pairs) // 2)
+                )
+            )
+        else:
+            appliers.append(_APPLIER_BUILDERS[name](compiled, counts0))
+
+    # Name-level oracle state (the same layout record_schedule used).
+    space = reference.space
+    table = reference.transitions
+    ref_states: list[str] = []
+    for idx, c in enumerate(counts0):
+        ref_states.extend([space.names[idx]] * c)
+    ref_counts: list[int] = list(counts0)
+
+    pack: list[Invariant] = []
+    if check_invariants:
+        pack = (
+            list(invariants)
+            if invariants is not None
+            else invariant_pack(reference, schedule.n)
+        )
+
+    report = DiffReport(
+        protocol=schedule.protocol,
+        n=schedule.n,
+        engines=list(names),
+        steps_replayed=0,
+        effective_steps=0,
+    )
+
+    def finish(divergence: Divergence | None) -> DiffReport:
+        report.divergence = divergence
+        if divergence is not None and reproducer_dir is not None:
+            report.reproducer_path = _dump_reproducer(
+                reproducer_dir, schedule, divergence
+            )
+        return report
+
+    if pack:
+        problems = check_counts(pack, ref_counts)
+        if problems:
+            report.invariant_violations.extend(problems)
+            return finish(
+                Divergence(
+                    engine="reference",
+                    step=-1,
+                    pair=(-1, -1),
+                    kind="invariant",
+                    detail="; ".join(problems),
+                    reference_counts=list(ref_counts),
+                    engine_counts=None,
+                )
+            )
+
+    effective_since_compare = 0
+    for step, (a, b) in enumerate(schedule.pairs):
+        report.steps_replayed = step + 1
+        p_name, q_name = ref_states[a], ref_states[b]
+        p_idx, q_idx = space.index(p_name), space.index(q_name)
+        p2_name, q2_name = table.apply(p_name, q_name)
+        ref_effective = (p2_name, q2_name) != (p_name, q_name)
+        if ref_effective:
+            ref_states[a] = p2_name
+            ref_states[b] = q2_name
+            ref_counts[space.index(p_name)] -= 1
+            ref_counts[space.index(q_name)] -= 1
+            ref_counts[space.index(p2_name)] += 1
+            ref_counts[space.index(q2_name)] += 1
+            report.effective_steps += 1
+            effective_since_compare += 1
+
+        for applier in appliers:
+            eff = applier.step(step, a, b, p_idx, q_idx)
+            if eff != ref_effective:
+                return finish(
+                    Divergence(
+                        engine=applier.name,
+                        step=step,
+                        pair=(a, b),
+                        kind="effectiveness",
+                        detail=(
+                            f"pair ({p_name}, {q_name}) is "
+                            f"{'effective' if ref_effective else 'null'} "
+                            f"under the rule listing but "
+                            f"{'effective' if eff else 'null'} in the "
+                            f"{applier.name} path"
+                        ),
+                        reference_counts=list(ref_counts),
+                        engine_counts=list(applier.counts),
+                    )
+                )
+
+        compare_now = ref_effective and effective_since_compare >= stride
+        if compare_now:
+            effective_since_compare = 0
+        if compare_now or step == len(schedule.pairs) - 1:
+            for applier in appliers:
+                have = list(applier.counts)
+                if have != ref_counts:
+                    return finish(
+                        Divergence(
+                            engine=applier.name,
+                            step=step,
+                            pair=(a, b),
+                            kind="counts",
+                            detail=(
+                                f"count vector drifted from the oracle "
+                                f"after {report.effective_steps} effective "
+                                f"interactions"
+                            ),
+                            reference_counts=list(ref_counts),
+                            engine_counts=have,
+                        )
+                    )
+            if pack and ref_effective:
+                problems = check_counts(pack, ref_counts)
+                if problems:
+                    report.invariant_violations.extend(problems)
+                    return finish(
+                        Divergence(
+                            engine="reference",
+                            step=step,
+                            pair=(a, b),
+                            kind="invariant",
+                            detail="; ".join(problems),
+                            reference_counts=list(ref_counts),
+                            engine_counts=None,
+                        )
+                    )
+
+    # Terminal cross-checks: internal bookkeeping and, when the schedule
+    # was recorded rather than hand-built, agreement with its own record.
+    for applier in appliers:
+        problem = applier.check()
+        if problem is not None:
+            return finish(
+                Divergence(
+                    engine=applier.name,
+                    step=len(schedule.pairs) - 1,
+                    pair=schedule.pairs[-1] if schedule.pairs else (-1, -1),
+                    kind="consistency",
+                    detail=problem,
+                    reference_counts=list(ref_counts),
+                    engine_counts=list(applier.counts),
+                )
+            )
+    if (
+        reference_protocol is None
+        and schedule.final_counts
+        and ref_counts != list(schedule.final_counts)
+    ):
+        return finish(
+            Divergence(
+                engine="reference",
+                step=len(schedule.pairs) - 1,
+                pair=schedule.pairs[-1] if schedule.pairs else (-1, -1),
+                kind="counts",
+                detail="oracle replay disagrees with the schedule's own record",
+                reference_counts=list(ref_counts),
+                engine_counts=list(schedule.final_counts),
+            )
+        )
+    return finish(None)

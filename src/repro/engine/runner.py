@@ -377,6 +377,7 @@ def run_trials(
                 # exactly like re-running it would, without a progress
                 # callback first claiming the point finished cleanly.
                 _enforce_convergence(ts.results, protocol, require_convergence)
+                _conformance_check(protocol, ts.results)
                 if progress is not None:
                     progress(trials, trials)
                 _report_trialset(ts, seed=seed, cached=True, elapsed=0.0)
@@ -409,6 +410,7 @@ def run_trials(
                     progress(hi, trials)
 
     _enforce_convergence(results, protocol, require_convergence)
+    _conformance_check(protocol, results)
     ts = TrialSet(
         protocol=protocol.name,
         n=results[0].n,
@@ -435,6 +437,25 @@ def _report_trialset(
     writer = active_trace_writer()
     if writer is not None:
         writer.write_trial_set(ts, seed=seed, cached=cached, elapsed=elapsed)
+
+
+def _conformance_check(
+    protocol: Protocol, results: Sequence[SimulationResult]
+) -> None:
+    """Check final configurations when a conformance runtime is installed.
+
+    The import is deferred so the runner (which every engine path pulls
+    in) does not import the conformance subsystem — and through it the
+    protocol registry — unless :func:`~repro.conform.runtime.use_conformance`
+    is actually in play somewhere in the process.
+    """
+    import sys
+
+    runtime_mod = sys.modules.get("repro.conform.runtime")
+    if runtime_mod is None or runtime_mod.active_conformance() is None:
+        return
+    for result in results:
+        runtime_mod.check_result(protocol, result)
 
 
 def _enforce_convergence(

@@ -8,6 +8,8 @@ Regenerates every figure and table of the paper's evaluation::
     repro-experiments campaign run --quick   # resumable cached sweeps
     repro-experiments fig3 --quick --trace trace.jsonl --metrics
     repro-experiments obs summarize trace.jsonl   # render a trace
+    repro-experiments conform diff              # cross-engine lockstep diff
+    repro-experiments fig3 --quick --conform    # invariant-check every trial
 
 Full-scale runs use the paper's parameters (100 trials, n up to 960,
 k up to 10) and take minutes; ``--quick`` runs the same code on
@@ -148,9 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
             "which figure/table to regenerate ('all' runs everything; "
             "'describe' prints a protocol's states and rules; "
             "'campaign' manages resumable job queues; "
-            "'obs' inspects JSONL traces — "
+            "'obs' inspects JSONL traces; "
+            "'conform' runs differential/invariant checks — "
             "see 'repro-experiments campaign --help' / "
-            "'repro-experiments obs --help')"
+            "'repro-experiments obs --help' / "
+            "'repro-experiments conform --help')"
         ),
     )
     parser.add_argument(
@@ -240,6 +244,16 @@ def build_parser() -> argparse.ArgumentParser:
             "the end (env: REPRO_METRICS=1)"
         ),
     )
+    parser.add_argument(
+        "--conform",
+        action="store_true",
+        default=bool(os.environ.get("REPRO_CONFORM")),
+        help=(
+            "debug: check every trial's final configuration against the "
+            "protocol's invariant pack and abort on a violation "
+            "(env: REPRO_CONFORM=1; see docs/conformance.md)"
+        ),
+    )
     return parser
 
 
@@ -327,6 +341,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..obs.cli import obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "conform":
+        from ..conform.cli import conform_main
+
+        return conform_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "describe":
         if not args.protocol:
@@ -340,9 +358,14 @@ def main(argv: list[str] | None = None) -> int:
     from ..engine.runner import use_trial_cache
 
     telemetry = None
+    conformance = None
     try:
         with ExitStack() as stack:
             stack.enter_context(use_trial_cache(cache))
+            if args.conform:
+                from ..conform.runtime import use_conformance
+
+                conformance = stack.enter_context(use_conformance(strict=True))
             if args.metrics:
                 from ..obs import Telemetry, use_telemetry
 
@@ -375,6 +398,11 @@ def main(argv: list[str] | None = None) -> int:
             print(render_metrics(telemetry.snapshot()))
         if args.trace is not None:
             print(f"[trace] wrote {args.trace}")
+        if conformance is not None:
+            print(
+                f"[conform] {conformance.results_checked} final "
+                "configuration(s) checked, no violations"
+            )
         if cache is not None and (cache.hits or cache.misses):
             total = cache.hits + cache.misses
             print(

@@ -338,21 +338,48 @@ class UniformKPartitionProtocol(Protocol):
 
     def stable(self, counts: Sequence[int] | np.ndarray, n: int | None = None) -> bool:
         """True when ``counts`` is the stable signature for ``n`` agents."""
+        counts = self._validated_counts(counts)
         if n is None:
-            n = int(np.asarray(counts).sum())
+            n = int(counts.sum())
+        if n < 1:
+            raise ProtocolError(f"population size must be positive, got {n}")
         return self._make_stability_predicate(n)(counts)
 
     # ------------------------------------------------------------------
     # Lemma 1
     # ------------------------------------------------------------------
+    def _validated_counts(self, counts: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Normalize a count vector, rejecting malformed input clearly.
+
+        The Lemma-1 and stability checks are invoked from invariant
+        monitors on live engine state; a shape or sign error must name
+        the problem instead of surfacing as a bare ``IndexError`` deep
+        in an index block (which for ``k = 2``, where ``M`` and ``D``
+        are empty, used to point at the wrong sum entirely).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.num_states,):
+            raise ProtocolError(
+                f"counts vector has shape {counts.shape}, expected "
+                f"({self.num_states},) for {self.name}"
+            )
+        if (counts < 0).any():
+            raise ProtocolError(
+                f"counts must be non-negative, got {counts.tolist()}"
+            )
+        return counts
+
     def lemma1_residuals(self, counts: Sequence[int] | np.ndarray) -> np.ndarray:
         """Residuals of the Lemma-1 invariant, one per ``x`` in 1..k.
 
         Lemma 1:  ``#g_x = sum_{p > x} #m_p + sum_{q >= x} #d_q + #g_k``
         for every reachable configuration.  Returns the vector of
         left-minus-right differences; all-zero iff the invariant holds.
+        For ``k = 2`` (and the ``D`` block for ``k = 3``) the ``M``/``D``
+        index blocks are empty and the corresponding sums are zero, so
+        the invariant degenerates to ``#g_1 = #g_2``.
         """
-        counts = np.asarray(counts, dtype=np.int64)
+        counts = self._validated_counts(counts)
         k = self._k
         g = counts[list(self._g_idx)]
         m = counts[list(self._m_idx)] if self._m_idx else np.zeros(0, dtype=np.int64)
@@ -361,7 +388,7 @@ class UniformKPartitionProtocol(Protocol):
         res = np.empty(k, dtype=np.int64)
         for x in range(1, k + 1):
             # m indices cover m_2..m_{k-1}: entries with p > x are m[x-1:].
-            m_tail = int(m[max(x - 1, 0):].sum()) if m.size else 0
+            m_tail = int(m[x - 1:].sum()) if m.size else 0
             # d indices cover d_1..d_{k-2}: entries with q >= x are d[x-1:].
             d_tail = int(d[x - 1:].sum()) if d.size else 0
             res[x - 1] = int(g[x - 1]) - (m_tail + d_tail + int(gk))

@@ -21,7 +21,14 @@ __all__ = ["PairCoverage", "measure_pair_coverage", "chi_square_uniformity"]
 
 @dataclass(frozen=True, slots=True)
 class PairCoverage:
-    """Summary of how a finite schedule covered the unordered pairs."""
+    """Summary of how a finite schedule covered the unordered pairs.
+
+    Both derived statistics are ratios over ``samples`` and
+    ``total_pairs``; a summary of zero samples (or of a population with
+    no pairs, ``n < 2``) has no meaningful coverage or imbalance, so
+    construction rejects those inputs outright rather than letting the
+    properties return ``inf`` or divide by zero.
+    """
 
     n: int
     samples: int
@@ -33,6 +40,20 @@ class PairCoverage:
     min_count: int
     max_count: int
 
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(
+                f"pair coverage needs at least two agents, got n = {self.n}"
+            )
+        if self.samples < 1:
+            raise ValueError(
+                f"pair coverage needs at least one sample, got {self.samples}"
+            )
+        if self.total_pairs < 1:
+            raise ValueError(
+                f"total_pairs must be positive, got {self.total_pairs}"
+            )
+
     @property
     def coverage(self) -> float:
         """Fraction of unordered pairs seen at least once."""
@@ -41,8 +62,7 @@ class PairCoverage:
     @property
     def imbalance(self) -> float:
         """``max_count / mean_count`` — 1.0 is perfectly even."""
-        mean = self.samples / self.total_pairs
-        return self.max_count / mean if mean > 0 else float("inf")
+        return self.max_count / (self.samples / self.total_pairs)
 
 
 def _count_pairs(
@@ -56,6 +76,14 @@ def _count_pairs(
     """
     if block < 1:
         raise ValueError(f"block must be positive, got {block}")
+    if samples < 1:
+        raise ValueError(
+            f"fairness diagnostics need at least one sample, got {samples}"
+        )
+    if scheduler.n < 2:
+        raise ValueError(
+            f"fairness diagnostics need at least two agents, got n = {scheduler.n}"
+        )
     counter: Counter[tuple[int, int]] = Counter()
     remaining = samples
     while remaining > 0:

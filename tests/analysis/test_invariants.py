@@ -69,6 +69,50 @@ class TestMonitor:
             monitor(1, bad)
 
 
+class TestFinalizeHook:
+    """Regression: with ``every > 1`` the stride could land just past
+    the last effective interaction, so the terminal configuration was
+    never checked at all (``checks_performed == 0`` for large strides).
+    The ``finalize`` hook closes that gap."""
+
+    def test_huge_stride_still_checks_terminal(self, proto):
+        monitor = InvariantMonitor.lemma1(proto, every=10**9)
+        r = AgentBasedEngine().run(proto, 20, seed=0, on_effective=monitor)
+        assert r.converged
+        # Nothing matched the stride, yet the terminal configuration
+        # must have been evaluated exactly once (via finalize).
+        assert monitor.checks_performed == 1
+
+    def test_terminal_violation_not_missed_by_stride(self):
+        monitor = InvariantMonitor(lambda counts: False, "bad-end", every=10)
+        monitor(1, [0])  # stride not reached: silently skipped
+        with pytest.raises(InvariantViolation, match="bad-end"):
+            monitor.finalize(2, [0])
+
+    def test_finalize_skips_when_last_call_checked(self):
+        seen = []
+        monitor = InvariantMonitor(
+            lambda counts: (seen.append(list(counts)) or True), "ok", every=2
+        )
+        monitor(1, [0])
+        monitor(2, [1])  # stride hit: evaluated
+        monitor.finalize(2, [1])
+        assert monitor.checks_performed == 1  # finalize was a no-op
+
+    def test_finalize_checks_on_zero_calls(self):
+        # A run with no effective interactions still checks its (only)
+        # configuration.
+        monitor = InvariantMonitor(lambda counts: True, "ok", every=5)
+        monitor.finalize(0, [3])
+        assert monitor.checks_performed == 1
+
+    def test_count_engine_invokes_finalize(self, proto):
+        monitor = InvariantMonitor.lemma1(proto, every=10**9)
+        r = CountBasedEngine().run(proto, 20, seed=3, on_effective=monitor)
+        assert r.converged
+        assert monitor.checks_performed == 1
+
+
 class TestHoldsAlong:
     def test_on_recorded_trace(self, proto):
         from repro.core import Population, record_script

@@ -1,0 +1,87 @@
+"""Tests for the conform CLI verbs and their experiments-CLI wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conform.cli import conform_main
+from repro.experiments.cli import main as experiments_main
+
+
+class TestDiff:
+    def test_default_protocol_small_n(self, capsys):
+        rc = conform_main(["diff", "--n", "40", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no divergence" in out
+
+    def test_engine_subset(self, capsys):
+        rc = conform_main(
+            ["diff", "--n", "20", "--engines", "agent,count", "--seed", "1"]
+        )
+        assert rc == 0
+        assert "2 engine path(s)" in capsys.readouterr().out
+
+    def test_explicit_params(self, capsys):
+        rc = conform_main(
+            ["diff", "--protocol", "uniform-k-partition", "--param", "k=4",
+             "--n", "21", "--seed", "2"]
+        )
+        assert rc == 0
+        assert "uniform-4-partition" in capsys.readouterr().out
+
+    def test_stride_and_no_invariants(self):
+        rc = conform_main(
+            ["diff", "--n", "20", "--stride", "8", "--no-invariants"]
+        )
+        assert rc == 0
+
+    def test_bad_param_syntax(self):
+        with pytest.raises(SystemExit):
+            conform_main(["diff", "--param", "k3"])
+
+
+class TestFuzz:
+    def test_clean_corpus_exits_zero(self, capsys):
+        rc = conform_main(["fuzz", "--quiet"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "no findings" in captured.out
+
+    def test_progress_log_on_stderr(self, capsys):
+        rc = conform_main(["fuzz"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "uniform-k-partition" in captured.err
+
+
+class TestCheck:
+    def test_self_test_passes(self, capsys):
+        rc = conform_main(["check", "--self-test"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "self-test passed" in out
+
+    def test_trial_check(self, capsys):
+        rc = conform_main(
+            ["check", "--n", "24", "--trials", "4", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 final configuration(s) checked" in out
+
+
+class TestExperimentsWiring:
+    def test_conform_subcommand_dispatch(self, capsys):
+        rc = experiments_main(["conform", "diff", "--n", "20", "--seed", "0"])
+        assert rc == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_conform_flag_on_experiment(self, capsys, tmp_path):
+        rc = experiments_main(
+            ["fig3", "--quick", "--conform", "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[conform]" in out
+        assert "no violations" in out

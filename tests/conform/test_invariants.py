@@ -1,0 +1,147 @@
+"""Tests for the pluggable invariant pack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import InvariantViolation
+from repro.conform import ConformanceMonitor, check_counts, invariant_pack
+from repro.engine import AgentBasedEngine, CountBasedEngine
+from repro.protocols import (
+    leader_election,
+    r_generalized_partition,
+    uniform_k_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+def _names(pack):
+    return [inv.name for inv in pack]
+
+
+class TestPackAssembly:
+    def test_kpartition_gets_full_pack(self, proto):
+        names = _names(invariant_pack(proto, 10))
+        assert "population-conserved" in names
+        assert "non-negative" in names
+        assert "group-map-total" in names
+        assert "lemma1" in names
+        assert "staircase" in names
+        assert "cardinality" in names
+        assert "stable-signature" in names
+
+    def test_rgeneralized_delegates_to_inner(self):
+        pack = invariant_pack(r_generalized_partition((1, 2)), 9)
+        assert "lemma1" in _names(pack)
+
+    def test_leader_election_pack(self):
+        pack = invariant_pack(leader_election(), 8)
+        assert "leader-survives" in _names(pack)
+        assert "leaders-monotone" in _names(pack)
+
+    def test_stateless_pack_drops_monotone(self):
+        pack = invariant_pack(leader_election(), 8, include_stateful=False)
+        assert "leader-survives" in _names(pack)
+        assert "leaders-monotone" not in _names(pack)
+
+
+class TestChecks:
+    def test_initial_configuration_clean(self, proto):
+        pack = invariant_pack(proto, 12)
+        assert check_counts(pack, proto.initial_counts(12)) == []
+
+    def test_population_drift_detected(self, proto):
+        pack = invariant_pack(proto, 12)
+        bad = proto.initial_counts(12)
+        bad[0] += 1
+        assert any("population-conserved" in p for p in check_counts(pack, bad))
+
+    def test_negative_count_detected(self, proto):
+        pack = invariant_pack(proto, 3)
+        bad = proto.initial_counts(3)
+        bad[0] = -1
+        bad[1] = 4
+        assert any("non-negative" in p for p in check_counts(pack, bad))
+
+    def test_lemma1_violation_detected(self, proto):
+        pack = invariant_pack(proto, 5)
+        bad = np.zeros(proto.num_states, dtype=np.int64)
+        bad[proto.space.index("g2")] = 1
+        bad[proto.space.index("initial")] = 4
+        problems = check_counts(pack, bad)
+        assert any("lemma1" in p for p in problems)
+        # g2 > g1 also breaks the staircase.
+        assert any("staircase" in p for p in problems)
+
+    def test_cardinality_bound_detected(self, proto):
+        # All agents in M would need |M| matched by |G| agents it can't have.
+        bad = np.zeros(proto.num_states, dtype=np.int64)
+        bad[proto.space.index("m2")] = 6
+        pack = invariant_pack(proto, 6)
+        assert any("cardinality" in p for p in check_counts(pack, bad))
+
+    def test_stable_signature_enforced(self, proto):
+        # A configuration that *claims* stability must be the unique
+        # Lemmas 4-6 signature; here g3 matches but g1/g2 are swapped
+        # with other mass, so the predicate itself rejects it and the
+        # invariant stays quiet — build the real signature and corrupt
+        # a non-predicate aspect instead: stable() is exact, so any
+        # predicate-accepted configuration IS the signature.  The
+        # invariant therefore only fires when predicate and signature
+        # disagree, which a healthy protocol never exhibits.
+        n = 9
+        expected = proto.expected_stable_counts(n)
+        vec = np.zeros(proto.num_states, dtype=np.int64)
+        for name, c in expected.items():
+            vec[proto.space.index(name)] = c
+        pack = invariant_pack(proto, n)
+        assert check_counts(pack, vec) == []
+
+
+class TestConformanceMonitor:
+    def test_clean_run_passes(self, proto):
+        monitor = ConformanceMonitor(invariant_pack(proto, 15))
+        r = AgentBasedEngine().run(proto, 15, seed=0, on_effective=monitor)
+        assert r.converged
+        # prime + every effective step + (finalize skipped: last call checked)
+        assert monitor.checks_performed == r.effective_interactions + 1
+
+    def test_count_engine_run_passes(self, proto):
+        monitor = ConformanceMonitor(invariant_pack(proto, 15))
+        r = CountBasedEngine().run(proto, 15, seed=4, on_effective=monitor)
+        assert r.converged
+        assert monitor.checks_performed > 0
+
+    def test_violation_raises_with_names(self, proto):
+        monitor = ConformanceMonitor(invariant_pack(proto, 4))
+        bad = np.zeros(proto.num_states, dtype=np.int64)
+        bad[proto.space.index("g2")] = 4
+        with pytest.raises(InvariantViolation, match="staircase"):
+            monitor(1, bad)
+
+    def test_prime_checks_initial_configuration(self, proto):
+        monitor = ConformanceMonitor(invariant_pack(proto, 4))
+        bad = np.zeros(proto.num_states, dtype=np.int64)
+        bad[proto.space.index("g2")] = 4
+        with pytest.raises(InvariantViolation):
+            monitor.prime(0, bad)
+
+    def test_stride_still_checks_terminal(self, proto):
+        monitor = ConformanceMonitor(invariant_pack(proto, 15), every=10**9)
+        r = AgentBasedEngine().run(proto, 15, seed=0, on_effective=monitor)
+        assert r.converged
+        # prime + finalize, nothing in between.
+        assert monitor.checks_performed == 2
+
+    def test_rejects_empty_pack(self):
+        with pytest.raises(ValueError):
+            ConformanceMonitor([])
+
+    def test_rejects_bad_stride(self, proto):
+        with pytest.raises(ValueError):
+            ConformanceMonitor(invariant_pack(proto, 4), every=0)

@@ -1,0 +1,70 @@
+"""Tests for transition-table mutation and the harness self-test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conform import mutate_protocol, self_test
+from repro.core import ProtocolError
+from repro.protocols import leader_election, uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+class TestMutateProtocol:
+    def test_changes_exactly_one_canonical_rule(self, proto):
+        mutated = mutate_protocol(proto, ("initial", "initial'"))
+        assert mutated.name == f"{proto.name}-mutated"
+        assert "mutation" in mutated.metadata
+        # Rule 5 (initial, initial') -> (g1, m2) becomes (g1, g1).
+        t = mutated.transitions.lookup("initial", "initial'")
+        assert t is not None
+        assert (t.p2, t.q2) == ("g1", "g1")
+        # The pristine protocol is untouched.
+        orig = proto.transitions.lookup("initial", "initial'")
+        assert (orig.p2, orig.q2) == ("g1", "m2")
+
+    def test_mutation_preserves_mirror_folding(self, proto):
+        mutated = mutate_protocol(proto, ("initial", "initial'"))
+        rev = mutated.transitions.lookup("initial'", "initial")
+        assert rev is not None
+        assert (rev.p2, rev.q2) == ("g1", "g1")
+
+    def test_shares_space_and_stability(self, proto):
+        mutated = mutate_protocol(proto, 0)
+        assert mutated.space is proto.space
+        assert mutated.num_states == proto.num_states
+        assert mutated.initial_state == proto.initial_state
+
+    def test_index_selection(self, proto):
+        # Index 0 must be a real table rule with changed semantics.
+        mutated = mutate_protocol(proto, 0)
+        diffs = [
+            t
+            for t in proto.transitions
+            if mutated.transitions.lookup(t.p, t.q) != t
+        ]
+        assert diffs
+
+    def test_rejects_out_of_range_index(self, proto):
+        with pytest.raises(ProtocolError, match="out of range"):
+            mutate_protocol(proto, 10**6)
+
+    def test_rejects_null_pair(self, proto):
+        with pytest.raises(ProtocolError, match="no non-null rule"):
+            mutate_protocol(proto, ("g1", "g1"))
+
+    def test_other_protocols_mutable(self):
+        mutated = mutate_protocol(leader_election(), 0)
+        assert mutated.name.endswith("-mutated")
+
+
+class TestSelfTest:
+    def test_harness_catches_planted_bug(self):
+        assert self_test() == []
+
+    def test_small_population_still_passes(self):
+        assert self_test(n=24, seed=5) == []

@@ -195,3 +195,67 @@ class TestLemma1Residuals:
     def test_residual_vector_length_k(self):
         p = uniform_k_partition(5)
         assert p.lemma1_residuals(p.initial_counts(7)).shape == (5,)
+
+
+class TestMalformedCountVectors:
+    """Regression: ``lemma1_residuals`` and ``stable`` used to crash
+    with a bare ``IndexError`` (or silently mis-sum, for ``k = 2``
+    where the M/D blocks are empty) on wrong-shape or negative count
+    vectors.  They must reject malformed input with a named
+    :class:`ProtocolError` instead."""
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_wrong_shape_rejected(self, k):
+        p = uniform_k_partition(k)
+        with pytest.raises(ProtocolError, match="shape"):
+            p.lemma1_residuals([1, 2, 3] if p.num_states != 3 else [1, 2])
+        with pytest.raises(ProtocolError, match="shape"):
+            p.stable(np.zeros(p.num_states + 1, dtype=np.int64))
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_negative_counts_rejected(self, k):
+        p = uniform_k_partition(k)
+        bad = np.zeros(p.num_states, dtype=np.int64)
+        bad[0] = -1
+        with pytest.raises(ProtocolError, match="non-negative"):
+            p.lemma1_residuals(bad)
+        with pytest.raises(ProtocolError, match="non-negative"):
+            p.stable(bad)
+
+    def test_stable_rejects_nonpositive_population(self):
+        p = uniform_k_partition(3)
+        with pytest.raises(ProtocolError, match="positive"):
+            p.stable(np.zeros(p.num_states, dtype=np.int64), 0)
+
+    def test_matrix_input_rejected(self):
+        p = uniform_k_partition(3)
+        with pytest.raises(ProtocolError, match="shape"):
+            p.lemma1_residuals(np.zeros((2, p.num_states), dtype=np.int64))
+
+
+class TestEdgeRegimeExecutions:
+    """End-to-end runs over the edge regimes of Lemmas 4-6: the
+    bipartition base case ``k = 2``, mid-range ``k``, and the extreme
+    ``k = n - 1`` / ``k = n`` points where every group is (nearly) a
+    singleton."""
+
+    @pytest.mark.parametrize(
+        ("k", "n"),
+        [(2, 9), (3, 9), (8, 9), (9, 9), (2, 10), (3, 10), (9, 10), (10, 10)],
+    )
+    def test_converges_to_signature_with_lemma1_held(self, k, n):
+        from repro.analysis import InvariantMonitor
+        from repro.engine import AgentBasedEngine
+
+        p = uniform_k_partition(k)
+        monitor = InvariantMonitor.lemma1(p)
+        r = AgentBasedEngine().run(
+            p, n, seed=k * 1000 + n, max_interactions=500_000,
+            on_effective=monitor,
+        )
+        assert r.converged
+        assert p.stable(r.final_counts, n)
+        assert monitor.checks_performed > 0
+        q, rem = divmod(n, k)
+        sizes = sorted(int(g) for g in r.group_sizes)
+        assert sizes == sorted([q + 1] * rem + [q] * (k - rem))

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.scheduling import (
+    PairCoverage,
     RoundRobinScheduler,
     StickyScheduler,
     UniformScheduler,
@@ -115,3 +116,55 @@ class TestBlockedStreaming:
             chi_square_uniformity(UniformScheduler(5, seed=10), 100, block=0)
         with pytest.raises(ValueError):
             measure_pair_coverage(UniformScheduler(5, seed=10), 100, block=-1)
+
+
+class TestDegenerateInputs:
+    """Regression: degenerate inputs used to slip through and surface
+    downstream as ``inf`` imbalance (zero samples) or a zero-division
+    inside the ``imbalance`` property (``n < 2`` gives zero total
+    pairs).  All of them must fail fast with a named ``ValueError``."""
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            measure_pair_coverage(UniformScheduler(5, seed=0), 0)
+        with pytest.raises(ValueError, match="at least one sample"):
+            chi_square_uniformity(UniformScheduler(5, seed=0), 0)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            measure_pair_coverage(UniformScheduler(5, seed=0), -10)
+
+    def test_single_agent_scheduler_rejected(self):
+        class _OneAgent:
+            n = 1
+
+            def next_block(self, size):  # pragma: no cover — never reached
+                raise AssertionError("should fail before sampling")
+
+        with pytest.raises(ValueError, match="at least two agents"):
+            measure_pair_coverage(_OneAgent(), 100)
+        with pytest.raises(ValueError, match="at least two agents"):
+            chi_square_uniformity(_OneAgent(), 100)
+
+    def test_pair_coverage_construction_guards(self):
+        with pytest.raises(ValueError, match="two agents"):
+            PairCoverage(
+                n=1, samples=10, distinct_pairs=0, total_pairs=1,
+                min_count=0, max_count=0,
+            )
+        with pytest.raises(ValueError, match="one sample"):
+            PairCoverage(
+                n=5, samples=0, distinct_pairs=0, total_pairs=10,
+                min_count=0, max_count=0,
+            )
+        with pytest.raises(ValueError, match="total_pairs"):
+            PairCoverage(
+                n=5, samples=10, distinct_pairs=0, total_pairs=0,
+                min_count=0, max_count=0,
+            )
+
+    def test_valid_summary_has_finite_statistics(self):
+        cov = measure_pair_coverage(UniformScheduler(4, seed=1), 600)
+        assert 0.0 < cov.coverage <= 1.0
+        assert cov.imbalance >= 1.0
+        assert cov.imbalance != float("inf")

@@ -38,7 +38,7 @@ class TestReadme:
 
         text = (ROOT / "README.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform"}, name
 
 
 class TestExperimentsDoc:
@@ -47,7 +47,7 @@ class TestExperimentsDoc:
 
         text = (ROOT / "EXPERIMENTS.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform"}, name
 
 
 class TestCampaignDoc:
@@ -149,3 +149,55 @@ class TestTutorial:
         text = (ROOT / "docs" / "tutorial.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
             assert name in set(EXPERIMENTS) | {"all", "describe"}, name
+
+
+class TestConformanceDoc:
+    def test_documented_verbs_match_the_parser(self):
+        """Every verb in docs/conformance.md exists, and vice versa."""
+        from repro.conform.cli import build_conform_parser
+
+        parser = build_conform_parser()
+        sub = next(
+            a for a in parser._actions  # noqa: SLF001 — argparse introspection
+            if a.__class__.__name__ == "_SubParsersAction"
+        )
+        verbs = set(sub.choices)
+        text = (ROOT / "docs" / "conformance.md").read_text()
+        documented = set(re.findall(r"conform (diff|fuzz|check)", text))
+        assert documented == verbs
+
+    def test_first_code_block_runs(self):
+        blocks = python_blocks(ROOT / "docs" / "conformance.md")
+        assert blocks, "docs/conformance.md should contain python examples"
+        namespace: dict = {}
+        exec(
+            compile(blocks[0], "conformance.md[schedule]", "exec"), namespace
+        )
+        sched = namespace["sched"]
+        assert sched.converged
+
+    def test_differ_block_runs(self):
+        blocks = python_blocks(ROOT / "docs" / "conformance.md")
+        assert len(blocks) >= 2
+        namespace: dict = {}
+        exec(compile(blocks[0], "conformance.md[schedule]", "exec"), namespace)
+        # The differ example uses n = 300; shrink it for the test by
+        # executing with the same protocol but a smaller population.
+        from repro.conform import run_differential
+
+        report = run_differential(namespace["proto"], 40, seed=0)
+        assert report.ok
+
+    def test_invariant_table_matches_the_pack(self):
+        """Every invariant named in the docs table exists in a real pack."""
+        from repro.conform import invariant_pack
+        from repro.protocols import leader_election, uniform_k_partition
+
+        text = (ROOT / "docs" / "conformance.md").read_text()
+        documented = set(re.findall(r"^\| `([a-z0-9-]+)`", text, re.M))
+        built = {
+            inv.name
+            for proto in (uniform_k_partition(3), leader_election())
+            for inv in invariant_pack(proto, 10)
+        }
+        assert documented == built
