@@ -10,7 +10,13 @@ submit/status/result/metrics for detached operation
 (:class:`CampaignService`).  See ``docs/campaign.md``.
 """
 
-from .executor import CampaignReport, execute_spec, fetch_trial_set, run_campaign
+from .executor import (
+    CampaignReport,
+    execute_spec,
+    execute_spec_resumable,
+    fetch_trial_set,
+    run_campaign,
+)
 from .grids import GRID_EXPERIMENTS, experiment_specs
 from .service import CampaignService
 from .spec import JobSpec
@@ -24,6 +30,7 @@ __all__ = [
     "CampaignReport",
     "CampaignService",
     "execute_spec",
+    "execute_spec_resumable",
     "fetch_trial_set",
     "run_campaign",
     "experiment_specs",

@@ -10,7 +10,10 @@ Verbs::
 
 ``run`` is idempotent and interruption-safe: Ctrl-C checkpoints
 in-flight jobs back to the queue, and a re-run only computes what is
-missing — already-done digests are reported as cache hits.
+missing — already-done digests are reported as cache hits.  Serial
+drains additionally persist mid-trial session snapshots (see
+``--checkpoint-interactions``), so a resumed job continues from inside
+the interrupted trial rather than restarting it.
 """
 
 from __future__ import annotations
@@ -72,6 +75,13 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--max-jobs", type=int, default=None, help="stop after N completions"
+    )
+    p_run.add_argument(
+        "--checkpoint-interactions", type=int, default=None, metavar="N",
+        help=(
+            "serial-drain slice size: persist a mid-trial session "
+            "snapshot every N scheduler interactions (default 1000000)"
+        ),
     )
     p_run.add_argument(
         "--no-submit", action="store_true",
@@ -172,12 +182,16 @@ def _cmd_run(store: CampaignStore, args: argparse.Namespace) -> int:
                 TraceWriter(args.trace, meta={"campaign_db": str(store.path)})
             )
             stack.enter_context(use_trace_writer(writer))
+        extra = {}
+        if args.checkpoint_interactions is not None:
+            extra["checkpoint_interactions"] = args.checkpoint_interactions
         report = run_campaign(
             store,
             workers=args.workers,
             retries=args.retries,
             max_jobs=args.max_jobs,
             progress=progress if not args.no_progress else None,
+            **extra,
         )
     if telemetry is not None:
         from ..obs.summary import render_metrics

@@ -8,11 +8,15 @@ jobs return to ``pending`` on the next start via
 polite version of the same thing — in-flight jobs are checkpointed
 back to ``pending`` synchronously before the executor returns.
 
-Workers: ``workers=1`` executes in-process (and therefore also
-populates the store's trial cache through the runner hook);
-``workers>1`` fans jobs out over a ``ProcessPoolExecutor``, one job
-per submission, with the parent committing results — worker processes
-never touch SQLite.
+Workers: ``workers=1`` executes in-process through the resumable
+session path — each trial runs as an
+:class:`~repro.engine.session.EngineSession` advanced in bounded
+slices, with completed trials and the in-flight trial's snapshot
+checkpointed to the store between slices, so a killed executor resumes
+*mid-trial* and still produces bit-identical results.  ``workers>1``
+fans jobs out over a ``ProcessPoolExecutor``, one job per submission,
+with the parent committing results — worker processes never touch
+SQLite, so pooled jobs checkpoint only at job granularity.
 """
 
 from __future__ import annotations
@@ -22,11 +26,29 @@ import traceback
 from dataclasses import dataclass, field
 from collections.abc import Callable
 
-from ..engine.runner import TrialSet, trial_fingerprint
+from ..core.rng import spawn_seed_sequences
+from ..engine.base import SimulationResult
+from ..engine.registry import resolve_engine
+from ..engine.runner import TrialSet, finalize_trials, trial_fingerprint
+from ..engine.session import SessionState
 from .spec import JobSpec
 from .store import CampaignStore, JobRecord
 
-__all__ = ["CampaignReport", "execute_spec", "fetch_trial_set", "run_campaign"]
+__all__ = [
+    "CampaignReport",
+    "execute_spec",
+    "execute_spec_resumable",
+    "fetch_trial_set",
+    "run_campaign",
+    "DEFAULT_CHECKPOINT_INTERACTIONS",
+]
+
+#: Default per-slice interaction budget of the resumable path.  Small
+#: enough that even a jump-chain engine (which covers millions of
+#: scheduler interactions per second by skipping nulls) checkpoints
+#: several times a second on big populations; large enough that the
+#: snapshot + SQLite write is noise for quick jobs.
+DEFAULT_CHECKPOINT_INTERACTIONS = 1_000_000
 
 
 def execute_spec(spec_dict: dict) -> dict:
@@ -53,6 +75,10 @@ def execute_spec(spec_dict: dict) -> dict:
         cache=_NO_CACHE,
     )
     wall = time.perf_counter() - t0
+    return _payload(spec, protocol, ts, wall)
+
+
+def _payload(spec: JobSpec, protocol, ts: TrialSet, wall: float) -> dict:
     key = trial_fingerprint(
         protocol,
         spec.n,
@@ -68,6 +94,102 @@ def execute_spec(spec_dict: dict) -> dict:
         "trial_key": key,
         "wall_time": wall,
     }
+
+
+def execute_spec_resumable(
+    spec_dict: dict,
+    store: CampaignStore,
+    *,
+    digest: str,
+    checkpoint_interactions: int = DEFAULT_CHECKPOINT_INTERACTIONS,
+    on_slice: Callable[[int, int], None] | None = None,
+) -> dict:
+    """Run one job spec with mid-trial checkpointing; resume if possible.
+
+    The session-based twin of :func:`execute_spec`: each trial is an
+    :class:`~repro.engine.session.EngineSession` advanced in slices of
+    ``checkpoint_interactions`` scheduler interactions.  After every
+    slice (and at every trial boundary) the job's progress — the
+    records of completed trials plus the in-flight session's snapshot —
+    is written to the store's ``checkpoints`` table.  When a checkpoint
+    for ``digest`` already exists, execution picks up exactly where it
+    stopped: completed trials are not re-run and the interrupted trial
+    restarts *mid-flight* from its snapshot.  Because sliced session
+    execution is bit-identical to straight execution, the payload is
+    byte-for-byte the one an uninterrupted :func:`execute_spec` run
+    would have produced.
+
+    ``on_slice(trial_index, interactions)`` fires after each mid-trial
+    checkpoint — the deterministic interruption hook the kill/resume
+    tests use.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    protocol = spec.build_protocol()
+    engine = resolve_engine(spec.engine)
+    t0 = time.perf_counter()
+
+    ckpt = store.load_checkpoint(digest)
+    completed: list[dict] = list(ckpt["completed"]) if ckpt else []
+    resume_index = ckpt["trial_index"] if ckpt else 0
+    session_bytes: bytes | None = ckpt["session"] if ckpt else None
+
+    seeds = spawn_seed_sequences(spec.seed, spec.trials)
+    kwargs = dict(
+        max_interactions=spec.max_interactions,
+        track_state=spec.track_state,
+    )
+
+    start_batch = getattr(engine, "start_batch", None)
+    if start_batch is not None:
+        # Vectorized engines simulate every trial in one batch session;
+        # the whole batch is the checkpoint unit (trial_index stays 0).
+        session = start_batch(protocol, spec.n, seeds=list(seeds), **kwargs)
+        if session_bytes is not None:
+            session.restore(SessionState.from_bytes(session_bytes))
+        while not session.advance(checkpoint_interactions).terminal:
+            store.save_checkpoint(
+                digest,
+                trial_index=0,
+                completed=[],
+                session=session.snapshot().to_bytes(),
+            )
+            if on_slice is not None:
+                on_slice(0, session.interactions)
+        results = session.results()
+    else:
+        results = [SimulationResult.from_record(r) for r in completed]
+        for t in range(len(results), spec.trials):
+            session = engine.start(protocol, spec.n, seed=seeds[t], **kwargs)
+            if session_bytes is not None and t == resume_index:
+                session.restore(SessionState.from_bytes(session_bytes))
+            session_bytes = None
+            while not session.advance(checkpoint_interactions).terminal:
+                store.save_checkpoint(
+                    digest,
+                    trial_index=t,
+                    completed=completed,
+                    session=session.snapshot().to_bytes(),
+                )
+                if on_slice is not None:
+                    on_slice(t, session.interactions)
+            result = session.result()
+            results.append(result)
+            completed.append(result.to_record())
+            store.save_checkpoint(
+                digest, trial_index=t + 1, completed=completed, session=None
+            )
+
+    ts = finalize_trials(
+        protocol,
+        engine.name,
+        results,
+        seed=spec.seed,
+        require_convergence=spec.max_interactions is None,
+        elapsed=time.perf_counter() - t0,
+    )
+    payload = _payload(spec, protocol, ts, time.perf_counter() - t0)
+    payload["resumed"] = ckpt is not None
+    return payload
 
 
 class _NullCache:
@@ -96,6 +218,7 @@ class CampaignReport:
     failed: int = 0
     retried: int = 0
     recovered: int = 0
+    resumed: int = 0
     cache_hits: int = 0
     interrupted: bool = False
     wall_time: float = 0.0
@@ -111,6 +234,8 @@ class CampaignReport:
             parts.append(f"retried={self.retried}")
         if self.recovered:
             parts.append(f"recovered={self.recovered}")
+        if self.resumed:
+            parts.append(f"resumed={self.resumed}")
         if self.interrupted:
             parts.append("INTERRUPTED (checkpointed; re-run to resume)")
         parts.append(f"wall={self.wall_time:.2f}s")
@@ -156,13 +281,15 @@ def run_campaign(
     retries: int = 1,
     max_jobs: int | None = None,
     progress: Callable[[str], None] | None = None,
+    checkpoint_interactions: int = DEFAULT_CHECKPOINT_INTERACTIONS,
 ) -> CampaignReport:
     """Drain the store's pending queue; returns a :class:`CampaignReport`.
 
     Parameters
     ----------
     workers:
-        Process-pool width; ``1`` runs in-process.
+        Process-pool width; ``1`` runs in-process through the resumable
+        session path (mid-trial checkpoints).
     retries:
         Extra attempts before a job is marked ``failed`` (a job runs at
         most ``retries + 1`` times across all invocations).
@@ -170,6 +297,10 @@ def run_campaign(
         Stop after this many completions (None = drain everything).
     progress:
         Optional ``callable(message)`` for per-job reporting.
+    checkpoint_interactions:
+        Per-slice interaction budget of the serial path: each in-flight
+        trial's snapshot is persisted every this-many scheduler
+        interactions.  Ignored when ``workers > 1``.
     """
     report = CampaignReport()
     report.recovered = store.recover_running()
@@ -177,7 +308,10 @@ def run_campaign(
     t0 = time.perf_counter()
     try:
         if workers <= 1:
-            _drain_serial(store, retries, max_jobs, progress, report)
+            _drain_serial(
+                store, retries, max_jobs, progress, report,
+                checkpoint_interactions,
+            )
         else:
             _drain_pool(store, workers, retries, max_jobs, progress, report)
     except KeyboardInterrupt:
@@ -194,14 +328,22 @@ def _drain_serial(
     max_jobs: int | None,
     progress: Callable[[str], None] | None,
     report: CampaignReport,
+    checkpoint_interactions: int = DEFAULT_CHECKPOINT_INTERACTIONS,
 ) -> None:
     while max_jobs is None or report.executed < max_jobs:
         job = store.claim_next()
         if job is None:
             return
         try:
-            payload = execute_spec(job.spec.canonical())
+            payload = execute_spec_resumable(
+                job.spec.canonical(),
+                store,
+                digest=job.digest,
+                checkpoint_interactions=checkpoint_interactions,
+            )
         except KeyboardInterrupt:
+            # The job goes back to pending; its checkpoint row survives,
+            # so the next drain resumes it mid-trial.
             store.reset_to_pending(job.digest)
             raise
         except Exception as exc:  # noqa: BLE001 — any job error is recorded
@@ -211,8 +353,13 @@ def _drain_serial(
             continue
         _commit_success(store, job.digest, payload)
         report.executed += 1
+        if payload.get("resumed"):
+            report.resumed += 1
         if progress is not None:
-            progress(f"done {job.spec.label()} in {payload['wall_time']:.2f}s")
+            tag = " (resumed)" if payload.get("resumed") else ""
+            progress(
+                f"done {job.spec.label()} in {payload['wall_time']:.2f}s{tag}"
+            )
 
 
 def _drain_pool(

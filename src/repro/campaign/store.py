@@ -13,7 +13,11 @@ with ``BEGIN IMMEDIATE`` so two executors never run the same job.
 A second table, ``trial_cache``, memoizes raw ``run_trials`` calls by
 their :func:`~repro.engine.runner.trial_fingerprint` — the hook that
 makes plain ``repro-experiments`` sweeps incremental even when they
-were never submitted as campaign jobs.
+were never submitted as campaign jobs.  A third, ``checkpoints``,
+holds each running job's partial progress — completed-trial records
+plus the in-flight trial's serialized
+:class:`~repro.engine.session.SessionState` — so a killed executor
+resumes mid-trial instead of restarting the job from scratch.
 """
 
 from __future__ import annotations
@@ -58,6 +62,13 @@ CREATE TABLE IF NOT EXISTS trial_cache (
     key        TEXT PRIMARY KEY,
     record     TEXT NOT NULL,
     created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    digest      TEXT PRIMARY KEY,
+    trial_index INTEGER NOT NULL,
+    completed   TEXT NOT NULL,
+    session     BLOB,
+    updated_at  REAL NOT NULL
 );
 """
 
@@ -282,6 +293,7 @@ class CampaignStore:
                     digest,
                 ),
             )
+            conn.execute("DELETE FROM checkpoints WHERE digest = ?", (digest,))
 
     def mark_failed(self, digest: str, error: str) -> None:
         with self._write() as conn:
@@ -290,6 +302,7 @@ class CampaignStore:
                 "WHERE digest = ?",
                 (error, time.time(), digest),
             )
+            conn.execute("DELETE FROM checkpoints WHERE digest = ?", (digest,))
 
     def reset_to_pending(self, digest: str) -> None:
         """Checkpoint one job back to the queue (Ctrl-C, retry)."""
@@ -313,6 +326,60 @@ class CampaignStore:
                 "WHERE status = 'running'"
             )
         return cur.rowcount
+
+    # ------------------------------------------------------------------
+    # Mid-trial checkpoints
+    # ------------------------------------------------------------------
+    def save_checkpoint(
+        self,
+        digest: str,
+        *,
+        trial_index: int,
+        completed: list[dict],
+        session: bytes | None,
+    ) -> None:
+        """Persist a job's partial progress (idempotent per digest).
+
+        ``completed`` holds :meth:`SimulationResult.to_record` dicts of
+        finished trials; ``session`` is the in-flight trial's
+        ``SessionState.to_bytes()`` snapshot (None at a trial boundary).
+        One row per job — each save replaces the previous one, so a
+        resume always picks up the latest durable state.
+        """
+        with self._write() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO checkpoints "
+                "(digest, trial_index, completed, session, updated_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (digest, trial_index, json.dumps(completed), session, time.time()),
+            )
+
+    def load_checkpoint(self, digest: str) -> dict | None:
+        """The saved progress of a job, or None when it never checkpointed.
+
+        Returns ``{"trial_index": int, "completed": list[dict],
+        "session": bytes | None}``.
+        """
+        row = self._query(
+            "SELECT trial_index, completed, session FROM checkpoints "
+            "WHERE digest = ?",
+            (digest,),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "trial_index": row["trial_index"],
+            "completed": json.loads(row["completed"]),
+            "session": row["session"],
+        }
+
+    def clear_checkpoint(self, digest: str) -> None:
+        with self._write() as conn:
+            conn.execute("DELETE FROM checkpoints WHERE digest = ?", (digest,))
+
+    def checkpoint_count(self) -> int:
+        row = self._query("SELECT COUNT(*) AS c FROM checkpoints").fetchone()
+        return row["c"]
 
     # ------------------------------------------------------------------
     # Queries
@@ -371,11 +438,16 @@ class CampaignStore:
         ``finished_at``; trial-cache entries older than the same
         threshold are pruned too.  Returns per-category deletion counts.
         """
-        removed = {"failed": 0, "done": 0, "trial_cache": 0}
+        removed = {"failed": 0, "done": 0, "trial_cache": 0, "checkpoints": 0}
         with self._write() as conn:
             if failed:
                 cur = conn.execute("DELETE FROM jobs WHERE status = 'failed'")
                 removed["failed"] = cur.rowcount
+            cur = conn.execute(
+                "DELETE FROM checkpoints WHERE digest NOT IN "
+                "(SELECT digest FROM jobs)"
+            )
+            removed["checkpoints"] = cur.rowcount
             if done_older_than is not None:
                 cutoff = time.time() - done_older_than
                 cur = conn.execute(

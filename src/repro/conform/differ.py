@@ -8,16 +8,23 @@ What they all share is the transition-application data path — scalar
 weights (batch), interaction classes with Fenwick-indexed weights
 (count), the batch-to-count hand-off (hybrid), and the vectorized
 class/weight matrices (ensemble).  The differ replays one recorded
-:class:`~repro.conform.schedule.InteractionSchedule` through a
-*replica* of each path and diffs the count vectors against the
-compilation-free name-level oracle after every step.
+:class:`~repro.conform.schedule.InteractionSchedule` through the
+**real engine sessions** — every engine's
+:meth:`~repro.engine.session.EngineSession.apply_scheduled` pushes one
+externally chosen interaction through the engine's actual state and
+weight bookkeeping — and diffs the count vectors against the
+compilation-free name-level oracle after every step.  (Earlier
+revisions maintained a hand-written replica of each data path here;
+those replicas could drift from the engines they imitated, which is
+exactly the class of bug a differ exists to catch.)
 
 Any disagreement — a pair one path thinks is null and another thinks
 is effective, a drifting count vector, or broken internal weight
-bookkeeping — is reported as a :class:`Divergence`, and a minimal
-reproducer (the schedule prefix up to the divergent step) is dumped
-through :class:`~repro.obs.trace.TraceWriter` so the failure can be
-replayed exactly.
+bookkeeping (:meth:`~repro.engine.session.EngineSession.audit`) — is
+reported as a :class:`Divergence`, and a minimal reproducer (the
+schedule prefix up to the divergent step) is dumped through
+:class:`~repro.obs.trace.TraceWriter` so the failure can be replayed
+exactly.
 """
 
 from __future__ import annotations
@@ -26,300 +33,75 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Sequence
 
-import numpy as np
-
 from ..core.errors import SimulationError
-from ..core.compiler import CompiledProtocol
 from ..core.protocol import Protocol
 from ..core.rng import SeedLike
-from ..engine.sampling import FenwickWeights
+from ..engine.agent_based import AgentBasedEngine
+from ..engine.batch import BatchEngine
+from ..engine.count_based import CountBasedEngine
+from ..engine.ensemble import EnsembleEngine
+from ..engine.hybrid import HybridEngine
 from ..obs.trace import TraceWriter
 from .invariants import Invariant, check_counts, invariant_pack
 from .schedule import InteractionSchedule, record_schedule
 
 __all__ = ["Divergence", "DiffReport", "run_differential", "ENGINE_PATHS"]
 
-#: Engine data paths the differ can replicate, in canonical order.
+#: Engine data paths the differ can drive, in canonical order.
 ENGINE_PATHS = ("agent", "batch", "count", "hybrid", "ensemble")
 
-
-# ----------------------------------------------------------------------
-# Per-engine appliers: one replica of each engine's transition data path
-# ----------------------------------------------------------------------
-class _AgentApplier:
-    """AgentBasedEngine path: per-agent states + scalar delta_list."""
-
-    name = "agent"
-
-    def __init__(self, compiled: CompiledProtocol, counts0: Sequence[int]) -> None:
-        self._S = compiled.num_states
-        self._dflat = compiled.delta_list
-        self.counts: list[int] = list(counts0)
-        self._states: list[int] = []
-        for idx, c in enumerate(self.counts):
-            self._states.extend([idx] * c)
-
-    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
-        S = self._S
-        states = self._states
-        pq = states[a] * S + states[b]
-        out = self._dflat[pq]
-        if out == pq:
-            return False
-        p2, q2 = divmod(out, S)
-        counts = self.counts
-        counts[states[a]] -= 1
-        counts[states[b]] -= 1
-        counts[p2] += 1
-        counts[q2] += 1
-        states[a] = p2
-        states[b] = q2
-        return True
-
-    def check(self) -> str | None:
-        return None
+#: Constructors yielding an engine whose session supports driven
+#: execution.  The ensemble engine is pinned to its pure vectorized
+#: path (finish_threshold=0) so the drive exercises the matrix
+#: machinery rather than a scalar-finisher hand-off.
+_ENGINE_BUILDERS = {
+    "agent": AgentBasedEngine,
+    "batch": BatchEngine,
+    "count": CountBasedEngine,
+    "hybrid": HybridEngine,
+    "ensemble": lambda: EnsembleEngine(finish_threshold=0),
+}
 
 
-class _BatchApplier:
-    """BatchEngine path: delta_flat plus incremental active weight."""
+class _DrivenEngine:
+    """One engine path, driven through its real session.
 
-    name = "batch"
-
-    def __init__(self, compiled: CompiledProtocol, counts0: Sequence[int]) -> None:
-        self._S = compiled.num_states
-        self._dflat = compiled.delta_list
-        self._compiled = compiled
-        self._classes = compiled.classes
-        self._state_classes = compiled.state_classes
-        self.counts: list[int] = list(counts0)
-        self._states: list[int] = []
-        for idx, c in enumerate(self.counts):
-            self._states.extend([idx] * c)
-        self._weights = [cls.weight(np.asarray(self.counts)) for cls in self._classes]
-        self._W = sum(self._weights)
-        self._dirty_by_pq: dict[int, list[int]] = {}
-
-    @property
-    def active_weight(self) -> int:
-        return self._W
-
-    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
-        S = self._S
-        states = self._states
-        p_own = states[a]
-        q_own = states[b]
-        pq = p_own * S + q_own
-        out = self._dflat[pq]
-        if out == pq:
-            return False
-        p2, q2 = divmod(out, S)
-        counts = self.counts
-        counts[p_own] -= 1
-        counts[q_own] -= 1
-        counts[p2] += 1
-        counts[q2] += 1
-        states[a] = p2
-        states[b] = q2
-        dirty = self._dirty_by_pq.get(pq)
-        if dirty is None:
-            touched: set[int] = set()
-            for s in (p_own, q_own, p2, q2):
-                touched.update(self._state_classes[s])
-            dirty = sorted(touched)
-            self._dirty_by_pq[pq] = dirty
-        vec = np.asarray(counts)
-        for j in dirty:
-            w = self._classes[j].weight(vec)
-            self._W += w - self._weights[j]
-            self._weights[j] = w
-        return True
-
-    def check(self) -> str | None:
-        true_w = self._compiled.total_active_weight(
-            np.asarray(self.counts, dtype=np.int64)
-        )
-        if self._W != true_w:
-            return (
-                f"incremental active weight {self._W} != recomputed {true_w}"
-            )
-        return None
-
-
-class _CountApplier:
-    """CountBasedEngine path: interaction classes + Fenwick weights.
-
-    The jump chain never sees agent identities, so the differ feeds it
-    the oracle's ordered state pair; what this replica tests is the
-    class tables (including mirror folding) and the incremental
-    Fenwick-tree weight maintenance.
+    ``apply_scheduled`` feeds the oracle's chosen interaction through
+    the engine's genuine data structures (agent arrays, incremental
+    weights, Fenwick trees, vector matrices); ``audit`` asks the
+    session to re-derive its own bookkeeping from first principles.
+    For the hybrid path, the batch-to-count hand-off is forced at
+    ``switch_at`` so every differential run exercises both phases and
+    the state transfer between them.
     """
-
-    name = "count"
-
-    def __init__(self, compiled: CompiledProtocol, counts0: Sequence[int]) -> None:
-        self._compiled = compiled
-        classes = compiled.classes
-        self._in1 = [c.in1 for c in classes]
-        self._in2 = [c.in2 for c in classes]
-        self._out1 = [c.out1 for c in classes]
-        self._out2 = [c.out2 for c in classes]
-        self._same = [c.same for c in classes]
-        self._mult = [c.multiplier for c in classes]
-        self._pair_class: dict[tuple[int, int], int] = {}
-        for r, c in enumerate(classes):
-            self._pair_class[(c.in1, c.in2)] = r
-            if not c.same and c.multiplier == 2:
-                self._pair_class[(c.in2, c.in1)] = r
-        affected: list[list[int]] = []
-        for c in classes:
-            dirty: set[int] = set()
-            for s in {c.in1, c.in2, c.out1, c.out2}:
-                dirty.update(compiled.state_classes[s])
-            affected.append(sorted(dirty))
-        self._affected = affected
-        self.counts: list[int] = list(counts0)
-        self._weights = FenwickWeights(
-            c.weight(np.asarray(self.counts)) for c in classes
-        )
-
-    @property
-    def active_weight(self) -> int:
-        return self._weights.total
-
-    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
-        r = self._pair_class.get((p, q))
-        if r is None:
-            return False
-        counts = self.counts
-        counts[self._in1[r]] -= 1
-        counts[self._in2[r]] -= 1
-        counts[self._out1[r]] += 1
-        counts[self._out2[r]] += 1
-        fen_set = self._weights.set
-        for j in self._affected[r]:
-            if self._same[j]:
-                c = counts[self._in1[j]]
-                fen_set(j, c * (c - 1))
-            else:
-                fen_set(j, self._mult[j] * counts[self._in1[j]] * counts[self._in2[j]])
-        return True
-
-    def check(self) -> str | None:
-        true_w = self._compiled.total_active_weight(
-            np.asarray(self.counts, dtype=np.int64)
-        )
-        if self._weights.total != true_w:
-            return (
-                f"Fenwick active weight {self._weights.total} != "
-                f"recomputed {true_w}"
-            )
-        return None
-
-
-class _HybridApplier:
-    """HybridEngine path: batch replica, then a count replica hand-off.
-
-    The hand-off point is the moment the hybrid engine would switch —
-    here fixed at half the schedule so every differential run exercises
-    both phases *and* the state transfer between them.
-    """
-
-    name = "hybrid"
 
     def __init__(
         self,
-        compiled: CompiledProtocol,
+        name: str,
+        protocol: Protocol,
         counts0: Sequence[int],
         *,
-        switch_at: int,
+        switch_at: int | None = None,
     ) -> None:
-        self._compiled = compiled
+        self.name = name
         self._switch_at = switch_at
-        self._batch = _BatchApplier(compiled, counts0)
-        self._count: _CountApplier | None = None
-
-    @property
-    def counts(self) -> list[int]:
-        phase = self._count if self._count is not None else self._batch
-        return phase.counts
-
-    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
-        if self._count is None and index >= self._switch_at:
-            self._count = _CountApplier(self._compiled, self._batch.counts)
-        if self._count is not None:
-            return self._count.step(index, a, b, p, q)
-        return self._batch.step(index, a, b, p, q)
-
-    def check(self) -> str | None:
-        phase = self._count if self._count is not None else self._batch
-        return phase.check()
-
-
-class _EnsembleApplier:
-    """EnsembleEngine path: vectorized class arrays on a count column."""
-
-    name = "ensemble"
-
-    def __init__(self, compiled: CompiledProtocol, counts0: Sequence[int]) -> None:
-        self._compiled = compiled
-        classes = compiled.classes
-        self._in1 = np.asarray([c.in1 for c in classes], dtype=np.int64)
-        self._in2 = np.asarray([c.in2 for c in classes], dtype=np.int64)
-        self._out1 = np.asarray([c.out1 for c in classes], dtype=np.int64)
-        self._out2 = np.asarray([c.out2 for c in classes], dtype=np.int64)
-        self._same = np.asarray([c.same for c in classes], dtype=bool)
-        self._mult = np.asarray([c.multiplier for c in classes], dtype=np.int64)
-        self._pair_class: dict[tuple[int, int], int] = {}
-        for r, c in enumerate(classes):
-            self._pair_class[(c.in1, c.in2)] = r
-            if not c.same and c.multiplier == 2:
-                self._pair_class[(c.in2, c.in1)] = r
-        self._vec = np.asarray(counts0, dtype=np.int64).copy()
-        self._refresh_weights()
-
-    def _refresh_weights(self) -> None:
-        d1 = self._vec[self._in1]
-        d2 = self._vec[self._in2]
-        w = np.where(self._same, d1 * (d1 - 1), self._mult * d1 * d2)
-        self._W = int(w.sum())
-
-    @property
-    def counts(self) -> list[int]:
-        return self._vec.tolist()
-
-    @property
-    def active_weight(self) -> int:
-        return self._W
-
-    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
-        r = self._pair_class.get((p, q))
-        if r is None:
-            return False
-        delta = np.zeros_like(self._vec)
-        np.add.at(
-            delta,
-            np.asarray(
-                [self._in1[r], self._in2[r], self._out1[r], self._out2[r]]
-            ),
-            np.asarray([-1, -1, 1, 1]),
+        # The session is never advance()d, only driven, so the seed is
+        # irrelevant — driven application consumes no engine randomness.
+        self._session = _ENGINE_BUILDERS[name]().start(
+            protocol, initial_counts=list(counts0), seed=0
         )
-        self._vec += delta
-        self._refresh_weights()
-        return True
+
+    @property
+    def counts(self) -> list[int]:
+        return list(self._session.counts)
+
+    def step(self, index: int, a: int, b: int, p: int, q: int) -> bool:
+        if self._switch_at is not None and index >= self._switch_at:
+            self._session.switch_now()
+        return self._session.apply_scheduled(a, b, p, q)
 
     def check(self) -> str | None:
-        true_w = self._compiled.total_active_weight(self._vec)
-        if self._W != true_w:
-            return f"vectorized active weight {self._W} != recomputed {true_w}"
-        return None
-
-
-_APPLIER_BUILDERS = {
-    "agent": _AgentApplier,
-    "batch": _BatchApplier,
-    "count": _CountApplier,
-    "ensemble": _EnsembleApplier,
-}
+        return self._session.audit()
 
 
 # ----------------------------------------------------------------------
@@ -499,18 +281,20 @@ def run_differential(
             f"unknown engine path(s) {unknown}; choose from {list(ENGINE_PATHS)}"
         )
 
-    compiled = protocol.compiled
     counts0 = schedule.initial_counts
     appliers = []
     for name in names:
         if name == "hybrid":
             appliers.append(
-                _HybridApplier(
-                    compiled, counts0, switch_at=max(1, len(schedule.pairs) // 2)
+                _DrivenEngine(
+                    name,
+                    protocol,
+                    counts0,
+                    switch_at=max(1, len(schedule.pairs) // 2),
                 )
             )
         else:
-            appliers.append(_APPLIER_BUILDERS[name](compiled, counts0))
+            appliers.append(_DrivenEngine(name, protocol, counts0))
 
     # Name-level oracle state (the same layout record_schedule used).
     space = reference.space

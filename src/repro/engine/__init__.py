@@ -1,6 +1,10 @@
 """Simulation engines: reference agent-based, batched uniform, the
 count-based jump-chain engine with null-interaction skipping, and the
-ensemble engine that vectorizes the jump chain across replicates."""
+ensemble engine that vectorizes the jump chain across replicates.
+
+Each engine is a stepper factory: ``Engine.start`` returns a resumable
+:class:`EngineSession` (advance/snapshot/restore/result) and
+``Engine.run`` drives a fresh session to completion in one call."""
 
 from .agent_based import AgentBasedEngine
 from .base import Engine, SimulationResult, StepCallback
@@ -10,6 +14,7 @@ from .ensemble import EnsembleEngine
 from .hybrid import HybridEngine
 from .metrics import GroupSizeRecorder, TimeSeriesRecorder, aggregate_milestones
 from .registry import available_engines, build_engine, register_engine, resolve_engine
+from .session import EngineSession, SessionState, SessionStatus
 from .runner import (
     InMemoryTrialCache,
     TrialCache,
@@ -24,6 +29,9 @@ __all__ = [
     "Engine",
     "SimulationResult",
     "StepCallback",
+    "EngineSession",
+    "SessionState",
+    "SessionStatus",
     "AgentBasedEngine",
     "BatchEngine",
     "CountBasedEngine",

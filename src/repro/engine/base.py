@@ -31,13 +31,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.errors import SimulationError
 from ..core.protocol import Protocol
 from ..core.rng import SeedLike
-from ..obs.instruments import record_simulation
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids an import cycle
+    from .session import EngineSession
 
 __all__ = ["Engine", "SimulationResult", "StepCallback"]
 
@@ -111,15 +114,58 @@ class SimulationResult:
             f"groups={self.group_sizes.tolist()}"
         )
 
+    def to_record(self) -> dict:
+        """Lossless JSON-safe serialization (inverse of :meth:`from_record`).
+
+        The per-trial unit of :meth:`TrialSet.to_record` and of the
+        campaign store's mid-trial checkpoints.
+        """
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "engine": self.engine,
+            "interactions": self.interactions,
+            "effective_interactions": self.effective_interactions,
+            "converged": self.converged,
+            "silent": self.silent,
+            "final_counts": [int(c) for c in self.final_counts],
+            "group_sizes": [int(g) for g in self.group_sizes],
+            "tracked_milestones": list(self.tracked_milestones),
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            protocol=record["protocol"],
+            n=record["n"],
+            engine=record["engine"],
+            interactions=record["interactions"],
+            effective_interactions=record["effective_interactions"],
+            converged=record["converged"],
+            silent=record["silent"],
+            final_counts=np.asarray(record["final_counts"], dtype=np.int64),
+            group_sizes=np.asarray(record["group_sizes"], dtype=np.int64),
+            tracked_milestones=list(record["tracked_milestones"]),
+            elapsed=record["elapsed"],
+        )
+
 
 class Engine(ABC):
-    """Common surface of the three simulation engines."""
+    """Common surface of the five simulation engines.
+
+    An engine is a *stepper factory*: :meth:`start` builds a resumable
+    :class:`~repro.engine.session.EngineSession` holding the run's
+    complete state, and :meth:`run` is the compatibility shim that
+    drives a fresh session to completion in one call.
+    """
 
     #: Short identifier used in results and registries.
     name: str = "abstract"
 
     @abstractmethod
-    def run(
+    def start(
         self,
         protocol: Protocol,
         n: int | None = None,
@@ -129,8 +175,8 @@ class Engine(ABC):
         max_interactions: int | None = None,
         track_state: str | int | None = None,
         on_effective: StepCallback | None = None,
-    ) -> SimulationResult:
-        """Simulate one execution until stability.
+    ) -> "EngineSession":
+        """Begin one execution and return its session (no work yet).
 
         Parameters
         ----------
@@ -154,12 +200,40 @@ class Engine(ABC):
             Callback invoked after every effective interaction; used by
             invariant monitors and time-series recorders.  Slows the
             loop, so ``None`` disables it entirely.
-
-        Returns
-        -------
-        SimulationResult
-            With ``converged=False`` when the budget ran out first.
         """
+
+    def run(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seed: SeedLike = None,
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+        **kwargs,
+    ) -> SimulationResult:
+        """Simulate one execution until stability (or budget exhaustion).
+
+        Equivalent to :meth:`start` + ``advance()`` + ``result()``;
+        extra keyword arguments are forwarded to :meth:`start` (the
+        agent engine accepts ``initial_states``).  Returns a
+        :class:`SimulationResult` with ``converged=False`` when the
+        budget ran out first.
+        """
+        session = self.start(
+            protocol,
+            n,
+            seed=seed,
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+            **kwargs,
+        )
+        session.advance()
+        return session.result()
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -229,10 +303,3 @@ class Engine(ABC):
         finalize = getattr(on_effective, "finalize", None)
         if finalize is not None:
             finalize(interactions, counts)
-
-    @staticmethod
-    def _emit(result: SimulationResult) -> SimulationResult:
-        """Report one finished run to the telemetry registry (no-op when
-        disabled) and return it — engines wrap their return value."""
-        record_simulation(result)
-        return result

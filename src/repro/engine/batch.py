@@ -11,89 +11,129 @@ suite uses that for cross-validation.
 Use this engine for moderate workloads where per-interaction fidelity
 matters (e.g. recording callbacks at exact interaction indices); use
 the count-based engine when only counts and totals matter.
+
+The loop lives in :class:`BatchSession`; snapshots carry the RNG state
+and the unconsumed tail of the current pair block (see
+:mod:`repro.engine.session` for the bit-identity discipline).
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 
 import numpy as np
 
 from ..core.protocol import Protocol
-from ..core.rng import SeedLike, ensure_generator
-from .base import Engine, SimulationResult, StepCallback
+from ..core.rng import SeedLike
+from .base import Engine, StepCallback
+from .session import EngineSession
 
-__all__ = ["BatchEngine"]
+__all__ = ["BatchEngine", "BatchSession"]
 
 
-class BatchEngine(Engine):
-    """Tight-loop uniform-scheduler engine with block pair sampling."""
+class BatchSession(EngineSession):
+    """Stepper for :class:`BatchEngine`: inlined uniform pair sampling
+    plus incrementally maintained total active weight."""
 
-    name = "batch"
-
-    def __init__(self, block_size: int = 4096) -> None:
-        if block_size < 1:
-            raise ValueError(f"block_size must be positive, got {block_size}")
-        self._block_size = block_size
-
-    def run(
+    def __init__(
         self,
+        engine: "BatchEngine",
         protocol: Protocol,
-        n: int | None = None,
+        n: int | None,
         *,
-        seed: SeedLike = None,
-        initial_counts: Sequence[int] | np.ndarray | None = None,
-        max_interactions: int | None = None,
-        track_state: str | int | None = None,
-        on_effective: StepCallback | None = None,
-    ) -> SimulationResult:
-        counts0 = self._resolve_initial(protocol, n, initial_counts)
-        n_total = int(counts0.sum())
-        track = self._resolve_track_state(protocol, track_state)
-        rng = ensure_generator(seed)
-
+        seed: SeedLike,
+        initial_counts: Sequence[int] | np.ndarray | None,
+        max_interactions: int | None,
+        track_state: str | int | None,
+        on_effective: StepCallback | None,
+    ) -> None:
+        super().__init__(
+            engine.name,
+            protocol,
+            n,
+            seed=seed,
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+        )
         compiled = protocol.compiled
-        S = compiled.num_states
-        dflat = compiled.delta_list
-        counts: list[int] = counts0.tolist()
+        self._S = compiled.num_states
+        self._dflat = compiled.delta_list
+        self._classes = compiled.classes
+        self._state_classes = compiled.state_classes
+        self._pred = protocol.stability_predicate(self._n)
+        self._block = engine._block_size
         states: list[int] = []
-        for idx, c in enumerate(counts):
+        for idx, c in enumerate(self.counts):
             states.extend([idx] * c)
+        self._states = states
+        self._init_weights()
+        # Unconsumed tail of the current pre-sampled pair block.
+        self._buf_a: list[int] = []
+        self._buf_b: list[int] = []
+        self._pos = 0
 
-        pred = protocol.stability_predicate(n_total)
-        classes = compiled.classes
-        state_classes = compiled.state_classes
-
+    def _init_weights(self) -> None:
         # Total active weight, maintained incrementally: after each
         # effective interaction only the classes sharing a touched state
         # are refreshed, so the silence test is an O(1) comparison
         # instead of a rescan of every class.
-        weights = [cls.weight(counts) for cls in classes]
-        W_active = sum(weights)
+        self._weights = [cls.weight(self.counts) for cls in self._classes]
+        self._W = sum(self._weights)
         # pq rule key -> indices of classes whose weight the rule can
         # change (lazily cached; the reachable rule set is small).
-        dirty_by_pq: dict[int, list[int]] = {}
+        self._dirty_by_pq: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Stepper
+    # ------------------------------------------------------------------
+    def _silent_now(self) -> bool:
+        return self._W == 0
+
+    def _advance_inner(self, target: int) -> None:
+        counts = self.counts
+        states = self._states
+        S = self._S
+        dflat = self._dflat
+        pred = self._pred
+        classes = self._classes
+        state_classes = self._state_classes
+        weights = self._weights
+        W_active = self._W
+        dirty_by_pq = self._dirty_by_pq
+        rng = self._rng
+        n_total = self._n
+        track = self._track
+        on_effective = self._on_effective
+        budget = self._budget
+        block = self._block
+        interactions = self.interactions
+        effective = self.effective
+        milestones = self.milestones
+        high_water = self._high_water
+        buf_a = self._buf_a
+        buf_b = self._buf_b
+        pos = self._pos
 
         def is_stable() -> bool:
             return pred(counts) if pred is not None else W_active == 0
 
-        budget = max_interactions if max_interactions is not None else 2**62
-        interactions = 0
-        effective = 0
-        milestones: list[int] = []
-        high_water = counts[track] if track is not None else 0
-
-        self._callback_prime(on_effective, counts)
-        t0 = time.perf_counter()
         converged = is_stable()
-        block = self._block_size
-        while not converged and interactions < budget:
-            take = min(block, budget - interactions)
-            a_arr = rng.integers(0, n_total, size=take)
-            b_arr = rng.integers(0, n_total - 1, size=take)
-            b_arr += b_arr >= a_arr
-            for a, b in zip(a_arr.tolist(), b_arr.tolist()):
+        while not converged and interactions < target:
+            if pos >= len(buf_a):
+                take = min(block, budget - interactions)
+                a_arr = rng.integers(0, n_total, size=take)
+                b_arr = rng.integers(0, n_total - 1, size=take)
+                b_arr += b_arr >= a_arr
+                buf_a = a_arr.tolist()
+                buf_b = b_arr.tolist()
+                pos = 0
+            end = min(len(buf_a), pos + (target - interactions))
+            seg_a = buf_a[pos:end]
+            seg_b = buf_b[pos:end]
+            before = interactions
+            for a, b in zip(seg_a, seg_b):
                 interactions += 1
                 p = states[a]
                 q = states[b]
@@ -130,20 +170,110 @@ class BatchEngine(Engine):
                 if is_stable():
                     converged = True
                     break
-        elapsed = time.perf_counter() - t0
-        self._callback_finalize(on_effective, interactions, counts)
+            pos += interactions - before
 
-        final = np.asarray(counts, dtype=np.int64)
-        return self._emit(SimulationResult(
-            protocol=protocol.name,
-            n=n_total,
-            engine=self.name,
-            interactions=interactions,
-            effective_interactions=effective,
-            converged=converged,
-            silent=W_active == 0,
-            final_counts=final,
-            group_sizes=self._group_sizes_or_empty(protocol, final),
-            tracked_milestones=milestones,
-            elapsed=elapsed,
-        ))
+        self._buf_a = buf_a
+        self._buf_b = buf_b
+        self._pos = pos
+        self._W = W_active
+        self.interactions = interactions
+        self.effective = effective
+        self._high_water = high_water
+        self._converged = converged
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _capture(self) -> dict:
+        return {
+            "counts": list(self.counts),
+            "states": list(self._states),
+            "rng": self._rng_state(self._rng),
+            "buf_a": self._buf_a[self._pos:],
+            "buf_b": self._buf_b[self._pos:],
+        }
+
+    def _restore(self, extra: dict) -> None:
+        self.counts = list(extra["counts"])
+        self._states = list(extra["states"])
+        self._rng = self._rng_from_state(extra["rng"])
+        self._buf_a = list(extra["buf_a"])
+        self._buf_b = list(extra["buf_b"])
+        self._pos = 0
+        # Weights are a pure function of the counts: recompute instead
+        # of shipping them (integer arithmetic, so exactly identical).
+        self._init_weights()
+
+    # ------------------------------------------------------------------
+    # Driven execution
+    # ------------------------------------------------------------------
+    def apply_scheduled(self, a: int, b: int, p: int, q: int) -> bool:
+        states = self._states
+        S = self._S
+        p_own = states[a]
+        q_own = states[b]
+        pq = p_own * S + q_own
+        out = self._dflat[pq]
+        if out == pq:
+            return False
+        p2, q2 = divmod(out, S)
+        counts = self.counts
+        counts[p_own] -= 1
+        counts[q_own] -= 1
+        counts[p2] += 1
+        counts[q2] += 1
+        states[a] = p2
+        states[b] = q2
+        dirty = self._dirty_by_pq.get(pq)
+        if dirty is None:
+            touched: set[int] = set()
+            for s in (p_own, q_own, p2, q2):
+                touched.update(self._state_classes[s])
+            dirty = sorted(touched)
+            self._dirty_by_pq[pq] = dirty
+        for j in dirty:
+            w = self._classes[j].weight(counts)
+            self._W += w - self._weights[j]
+            self._weights[j] = w
+        return True
+
+    def audit(self) -> str | None:
+        true_w = self._protocol.compiled.total_active_weight(
+            np.asarray(self.counts, dtype=np.int64)
+        )
+        if self._W != true_w:
+            return f"incremental active weight {self._W} != recomputed {true_w}"
+        return None
+
+
+class BatchEngine(Engine):
+    """Tight-loop uniform-scheduler engine with block pair sampling."""
+
+    name = "batch"
+
+    def __init__(self, block_size: int = 4096) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self._block_size = block_size
+
+    def start(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seed: SeedLike = None,
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+    ) -> BatchSession:
+        return BatchSession(
+            self,
+            protocol,
+            n,
+            seed=seed,
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+        )

@@ -32,6 +32,16 @@ count (Figure 4), almost all interactions are null, and this engine is
 orders of magnitude faster than agent-level simulation — it is what
 makes the exponential-in-k sweep of Figure 6 feasible in pure Python.
 
+The resumable core is :class:`JumpChain`: one instance owns the class
+tables, Fenwick weights, pre-drawn uniform block, and generator of a
+single jump-chain execution, and advances an external counter context
+(an :class:`~repro.engine.session.EngineSession` or a per-replicate
+proxy).  Three steppers share it: :class:`CountBasedSession`, the
+hybrid engine's phase-2 tail, and the ensemble engine's scalar
+finisher — which is also what guarantees a run's telemetry is emitted
+once, by the owning engine, instead of the internal tail double
+counting as a ``count`` run.
+
 Limitation: the derivation requires the uniform scheduler (the one the
 paper simulates); for other schedulers use the agent-based engine.
 """
@@ -39,52 +49,56 @@ paper simulates); for other schedulers use the agent-based engine.
 from __future__ import annotations
 
 import math
-import time
 from collections.abc import Sequence
 
 import numpy as np
 
 from ..core.protocol import Protocol
-from ..core.rng import SeedLike, ensure_generator
-from .base import Engine, SimulationResult, StepCallback
+from ..core.rng import SeedLike
+from .base import Engine, StepCallback
 from .sampling import FenwickWeights
+from .session import EngineSession
 
-__all__ = ["CountBasedEngine"]
+__all__ = ["CountBasedEngine", "CountBasedSession", "JumpChain"]
 
 _RAND_BLOCK = 4096
 
 
-class CountBasedEngine(Engine):
-    """Jump-chain engine: O(log #rules) per effective interaction."""
+class JumpChain:
+    """Resumable jump-chain core of one execution.
 
-    name = "count"
+    Mutates ``counts`` (a shared plain-int list) in place and advances
+    the counters of a context object exposing ``interactions``,
+    ``effective``, ``milestones``, ``_high_water``, ``_track``,
+    ``_on_effective`` and ``_budget`` — the session attribute protocol.
 
-    def run(
+    The first uniform block is drawn eagerly at construction, exactly
+    like the monolithic engine drew it before entering its loop; pass
+    ``draw=False`` only when restoring a snapshot that already carries
+    a block.
+    """
+
+    def __init__(
         self,
         protocol: Protocol,
-        n: int | None = None,
+        counts: list[int],
+        rng: np.random.Generator,
+        n_total: int,
         *,
-        seed: SeedLike = None,
-        initial_counts: Sequence[int] | np.ndarray | None = None,
-        max_interactions: int | None = None,
-        track_state: str | int | None = None,
-        on_effective: StepCallback | None = None,
-    ) -> SimulationResult:
-        counts0 = self._resolve_initial(protocol, n, initial_counts)
-        n_total = int(counts0.sum())
-        track = self._resolve_track_state(protocol, track_state)
-        rng = ensure_generator(seed)
-
+        draw: bool = True,
+    ) -> None:
         compiled = protocol.compiled
         classes = compiled.classes
         state_classes = compiled.state_classes
         R = len(classes)
-        in1 = [c.in1 for c in classes]
-        in2 = [c.in2 for c in classes]
-        out1 = [c.out1 for c in classes]
-        out2 = [c.out2 for c in classes]
-        same = [c.same for c in classes]
-        mult = [c.multiplier for c in classes]
+        self._compiled = compiled
+        self.classes = classes
+        self.in1 = [c.in1 for c in classes]
+        self.in2 = [c.in2 for c in classes]
+        self.out1 = [c.out1 for c in classes]
+        self.out2 = [c.out2 for c in classes]
+        self.same = [c.same for c in classes]
+        self.mult = [c.multiplier for c in classes]
 
         # Precompute, per class, which classes' weights can change when
         # it fires (classes sharing any of its four touched states).
@@ -95,8 +109,31 @@ class CountBasedEngine(Engine):
             for s in {c.in1, c.in2, c.out1, c.out2}:
                 dirty.update(state_classes[s])
             affected.append(sorted(dirty))
+        self.affected = affected
 
-        counts: list[int] = counts0.tolist()
+        self.counts = counts
+        self.rng = rng
+        # Ordered distinct pairs: the scheduler's sample space.
+        self.T = n_total * (n_total - 1)
+        self.pred = protocol.stability_predicate(n_total)
+        self.rebuild_weights()
+
+        # Pre-drawn uniforms; two per effective interaction.
+        if draw:
+            self.rand = rng.random(_RAND_BLOCK)
+            self.rand_pos = 0
+        else:
+            self.rand = None
+            self.rand_pos = 0
+        self.converged = False
+        self.silent = False
+        self.exhausted = False
+        self._pair_class: dict[tuple[int, int], int] | None = None
+
+    def rebuild_weights(self) -> None:
+        """(Re)derive the Fenwick weights from the current counts."""
+        counts = self.counts
+        in1, in2, same, mult = self.in1, self.in2, self.same, self.mult
 
         def class_weight(r: int) -> int:
             if same[r]:
@@ -104,30 +141,42 @@ class CountBasedEngine(Engine):
                 return c * (c - 1)
             return mult[r] * counts[in1[r]] * counts[in2[r]]
 
-        weights = FenwickWeights(class_weight(r) for r in range(R))
+        self.weights = FenwickWeights(class_weight(r) for r in range(len(in1)))
+
+    # ------------------------------------------------------------------
+    # The jump-chain loop
+    # ------------------------------------------------------------------
+    def advance(self, ctx, target: int) -> None:
+        """Advance until ``ctx.interactions`` reaches ``target``, the
+        configuration stabilizes or goes silent, or the run budget is
+        exhausted.  Terminal flags land on ``self``; counters on ``ctx``."""
+        counts = self.counts
+        weights = self.weights
         fen_set = weights.set
         fen_find = weights.find
         W = weights.total
-        # Ordered distinct pairs: the scheduler's sample space.
-        T = n_total * (n_total - 1)
-
-        pred = protocol.stability_predicate(n_total)
-        budget = max_interactions if max_interactions is not None else 2**62
-        interactions = 0
-        effective = 0
-        milestones: list[int] = []
-        high_water = counts[track] if track is not None else 0
-        converged = False
-        silent = False
-
-        # Pre-drawn uniforms; two per effective interaction.
-        rand = rng.random(_RAND_BLOCK)
-        rand_pos = 0
-
+        T = self.T
+        pred = self.pred
+        in1, in2 = self.in1, self.in2
+        out1, out2 = self.out1, self.out2
+        same, mult = self.same, self.mult
+        affected = self.affected
+        rng = self.rng
+        rand = self.rand
+        rand_pos = self.rand_pos
+        budget = ctx._budget
+        track = ctx._track
+        on_effective = ctx._on_effective
+        interactions = ctx.interactions
+        effective = ctx.effective
+        milestones = ctx.milestones
+        high_water = ctx._high_water
         log = math.log
         log1p = math.log1p
-        self._callback_prime(on_effective, counts)
-        t0 = time.perf_counter()
+
+        converged = False
+        silent = False
+        exhausted = False
         while True:
             if pred is not None:
                 if pred(counts):
@@ -139,6 +188,10 @@ class CountBasedEngine(Engine):
                 # explicit predicate this is the stability criterion.
                 silent = True
                 converged = pred is None
+                break
+            if interactions >= target:
+                # Slice boundary (or exact budget hit): pause without
+                # consuming any randomness.
                 break
 
             # --- geometric null skip ------------------------------------
@@ -153,6 +206,7 @@ class CountBasedEngine(Engine):
                 nulls = int(log(u) / log1p(-W / T))
             if interactions + nulls + 1 > budget:
                 interactions = budget
+                exhausted = True
                 break
             interactions += nulls + 1
 
@@ -189,20 +243,166 @@ class CountBasedEngine(Engine):
                     milestones.append(interactions)
             if on_effective is not None:
                 on_effective(interactions, counts)
-        elapsed = time.perf_counter() - t0
-        self._callback_finalize(on_effective, interactions, counts)
 
-        final = np.asarray(counts, dtype=np.int64)
-        return self._emit(SimulationResult(
-            protocol=protocol.name,
-            n=n_total,
-            engine=self.name,
-            interactions=interactions,
-            effective_interactions=effective,
-            converged=converged,
-            silent=silent,
-            final_counts=final,
-            group_sizes=self._group_sizes_or_empty(protocol, final),
-            tracked_milestones=milestones,
-            elapsed=elapsed,
-        ))
+        self.rand = rand
+        self.rand_pos = rand_pos
+        self.converged = converged
+        self.silent = silent
+        self.exhausted = exhausted
+        ctx.interactions = interactions
+        ctx.effective = effective
+        ctx._high_water = high_water
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def capture(self) -> dict:
+        """Chain-private snapshot payload (counts are captured by the
+        owner; Fenwick weights are rederived from them on restore)."""
+        return {
+            "rand": None if self.rand is None else self.rand.copy(),
+            "rand_pos": self.rand_pos,
+            "rng": EngineSession._rng_state(self.rng),
+            "converged": self.converged,
+            "silent": self.silent,
+            "exhausted": self.exhausted,
+        }
+
+    def apply_capture(self, payload: dict) -> np.random.Generator:
+        """Adopt a :meth:`capture` payload; returns the restored RNG."""
+        rand = payload["rand"]
+        self.rand = None if rand is None else np.asarray(rand, dtype=np.float64)
+        self.rand_pos = payload["rand_pos"]
+        self.rng = EngineSession._rng_from_state(payload["rng"])
+        self.converged = payload["converged"]
+        self.silent = payload["silent"]
+        self.exhausted = payload["exhausted"]
+        return self.rng
+
+    # ------------------------------------------------------------------
+    # Driven execution
+    # ------------------------------------------------------------------
+    def pair_class(self, p: int, q: int) -> int | None:
+        """Class index realized by the ordered state pair, None if null."""
+        pc = self._pair_class
+        if pc is None:
+            pc = {}
+            for r, c in enumerate(self.classes):
+                pc[(c.in1, c.in2)] = r
+                if not c.same and c.multiplier == 2:
+                    pc[(c.in2, c.in1)] = r
+            self._pair_class = pc
+        return pc.get((p, q))
+
+    def apply_pair(self, p: int, q: int) -> bool:
+        """Apply one externally scheduled ordered state pair (the jump
+        chain never sees agent identities); True when effective."""
+        r = self.pair_class(p, q)
+        if r is None:
+            return False
+        counts = self.counts
+        counts[self.in1[r]] -= 1
+        counts[self.in2[r]] -= 1
+        counts[self.out1[r]] += 1
+        counts[self.out2[r]] += 1
+        fen_set = self.weights.set
+        in1, in2, same, mult = self.in1, self.in2, self.same, self.mult
+        for j in self.affected[r]:
+            if same[j]:
+                c = counts[in1[j]]
+                fen_set(j, c * (c - 1))
+            else:
+                fen_set(j, mult[j] * counts[in1[j]] * counts[in2[j]])
+        return True
+
+    def audit(self) -> str | None:
+        true_w = self._compiled.total_active_weight(
+            np.asarray(self.counts, dtype=np.int64)
+        )
+        if self.weights.total != true_w:
+            return (
+                f"Fenwick active weight {self.weights.total} != "
+                f"recomputed {true_w}"
+            )
+        return None
+
+
+class CountBasedSession(EngineSession):
+    """Stepper for :class:`CountBasedEngine`: one :class:`JumpChain`."""
+
+    def __init__(
+        self,
+        engine: "CountBasedEngine",
+        protocol: Protocol,
+        n: int | None,
+        *,
+        seed: SeedLike,
+        initial_counts: Sequence[int] | np.ndarray | None,
+        max_interactions: int | None,
+        track_state: str | int | None,
+        on_effective: StepCallback | None,
+    ) -> None:
+        super().__init__(
+            engine.name,
+            protocol,
+            n,
+            seed=seed,
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+        )
+        self._chain = JumpChain(protocol, self.counts, self._rng, self._n)
+
+    def _advance_inner(self, target: int) -> None:
+        chain = self._chain
+        chain.advance(self, target)
+        self._converged = chain.converged
+        self._halted = chain.silent and not chain.converged
+
+    def _silent_now(self) -> bool:
+        return self._chain.silent
+
+    def _capture(self) -> dict:
+        return {"counts": list(self.counts), "chain": self._chain.capture()}
+
+    def _restore(self, extra: dict) -> None:
+        self.counts = list(extra["counts"])
+        self._chain = JumpChain(
+            self._protocol, self.counts, self._rng, self._n, draw=False
+        )
+        self._rng = self._chain.apply_capture(extra["chain"])
+
+    def apply_scheduled(self, a: int, b: int, p: int, q: int) -> bool:
+        return self._chain.apply_pair(p, q)
+
+    def audit(self) -> str | None:
+        return self._chain.audit()
+
+
+class CountBasedEngine(Engine):
+    """Jump-chain engine: O(log #rules) per effective interaction."""
+
+    name = "count"
+
+    def start(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seed: SeedLike = None,
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+    ) -> CountBasedSession:
+        return CountBasedSession(
+            self,
+            protocol,
+            n,
+            seed=seed,
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+        )

@@ -50,11 +50,18 @@ equivalence tests check.)
 
 Like the count engine, the derivation requires the uniform scheduler
 (the one the paper simulates).
+
+Both phases live in :class:`EnsembleSession`: the vectorized sweep and
+a per-survivor scalar finisher built on the count engine's resumable
+:class:`~repro.engine.count_based.JumpChain` — so finisher tails no
+longer pass through ``CountBasedEngine.run()`` and no longer emit
+spurious ``count`` telemetry alongside the ensemble records.
+:meth:`EnsembleEngine.start_batch` exposes the whole batch as one
+resumable session (used for campaign checkpoint/resume).
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -62,11 +69,12 @@ import numpy as np
 from ..core.errors import SimulationError
 from ..core.protocol import Protocol
 from ..core.rng import SeedLike, ensure_generator
-from ..obs.instruments import record_ensemble_batch
+from ..obs.instruments import record_ensemble_batch, record_simulation
 from .base import Engine, SimulationResult, StepCallback
-from .count_based import CountBasedEngine
+from .count_based import JumpChain
+from .session import EngineSession, SessionStatus
 
-__all__ = ["EnsembleEngine"]
+__all__ = ["EnsembleEngine", "EnsembleSession"]
 
 #: Effective interactions' worth of uniforms pre-drawn per replicate.
 _EVENT_BLOCK = 1024
@@ -76,6 +84,693 @@ _EVENT_BLOCK = 1024
 #: For small R the fused full recomputation is ~8 NumPy dispatches,
 #: fewer than the gather/scatter traffic of a sparse update.
 _FULL_REFRESH_MAX_R = 48
+
+
+class _ReplicateCtx:
+    """Counter context handed to a finisher :class:`JumpChain`.
+
+    Exposes the same attribute protocol as an
+    :class:`~repro.engine.session.EngineSession`, with all counters in
+    whole-run (absolute) coordinates for its replicate.
+    """
+
+    __slots__ = (
+        "interactions",
+        "effective",
+        "milestones",
+        "_high_water",
+        "_track",
+        "_on_effective",
+        "_budget",
+    )
+
+    def __init__(
+        self,
+        *,
+        interactions: int,
+        effective: int,
+        milestones: list[int],
+        high_water: int,
+        track: int | None,
+        on_effective: StepCallback | None,
+        budget: int,
+    ) -> None:
+        self.interactions = interactions
+        self.effective = effective
+        self.milestones = milestones
+        self._high_water = high_water
+        self._track = track
+        self._on_effective = on_effective
+        self._budget = budget
+
+
+class _FinisherEntry:
+    """One straggler replicate in the scalar-finisher phase."""
+
+    __slots__ = ("t", "counts", "ctx", "chain", "done")
+
+    def __init__(self, t: int, counts: list[int], ctx: _ReplicateCtx, chain: JumpChain):
+        self.t = t
+        self.counts = counts
+        self.ctx = ctx
+        self.chain = chain
+        self.done = False
+
+
+class EnsembleSession(EngineSession):
+    """Resumable execution of a whole replicate batch.
+
+    Single-replicate sessions (from :meth:`EnsembleEngine.start`)
+    satisfy the ordinary session contract — ``advance``/``snapshot``/
+    ``result``.  Batch sessions (from :meth:`EnsembleEngine.start_batch`)
+    additionally expose :meth:`results`; their ``advance`` budget is
+    measured from the least-advanced unfinished replicate.
+
+    The high-water milestone hand-off into the finisher keeps the
+    continuous whole-run mark (each finisher chain starts at the
+    replicate's running maximum), which reproduces the historical
+    drop-the-redip-milestones behaviour bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        engine: "EnsembleEngine",
+        protocol: Protocol,
+        n: int | None,
+        *,
+        gens: list[np.random.Generator],
+        initial_counts: Sequence[int] | np.ndarray | None,
+        max_interactions: int | None,
+        track_state: str | int | None,
+        on_effective: StepCallback | None,
+    ) -> None:
+        if on_effective is not None and len(gens) != 1:
+            raise SimulationError(
+                "on_effective callbacks are only supported for single runs"
+            )
+        self._gens = gens
+        self._B = len(gens)
+        ft = engine._finish_threshold
+        self._finish_cut = max(1, self._B // 8) if ft is None else ft
+        super().__init__(
+            engine.name,
+            protocol,
+            n,
+            seed=gens[0],
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch state
+    # ------------------------------------------------------------------
+    def _init_counters(self, counts0: np.ndarray) -> None:
+        B = self._B
+        track = self._track
+        compiled = self._protocol.compiled
+        classes = compiled.classes
+        state_classes = compiled.state_classes
+        R = len(classes)
+        self._classes = classes
+        self._vin1 = np.fromiter((c.in1 for c in classes), dtype=np.intp, count=R)
+        self._vin2 = np.fromiter((c.in2 for c in classes), dtype=np.intp, count=R)
+        self._vout1 = np.fromiter((c.out1 for c in classes), dtype=np.intp, count=R)
+        self._vout2 = np.fromiter((c.out2 for c in classes), dtype=np.intp, count=R)
+        self._same_col = np.fromiter(
+            (c.same for c in classes), dtype=bool, count=R
+        )[:, None]
+        self._mult_col = np.fromiter(
+            (c.multiplier for c in classes), dtype=np.int64, count=R
+        )[:, None]
+        self._R = R
+        self._full_refresh = R <= _FULL_REFRESH_MAX_R
+        if not self._full_refresh:
+            # affects_t[j, r]: firing class r can change class j's weight
+            # (they share a touched state) — the incremental-update mask,
+            # stored as float so one mat-vec per step flags dirty classes.
+            affects_t = np.zeros((R, R), dtype=np.float64)
+            for r, c in enumerate(classes):
+                for s in {c.in1, c.in2, c.out1, c.out2}:
+                    affects_t[state_classes[s], r] = 1.0
+            self._affects_t = affects_t
+        else:
+            self._affects_t = None
+
+        # Compacted live state: column i belongs to original replicate
+        # ids[i].  State-major layout keeps the replicate axis contiguous.
+        self._ids = np.arange(B, dtype=np.intp)
+        self._ccounts = np.repeat(counts0[:, None], B, axis=1)  # (S, live)
+        d1 = self._ccounts[self._vin1]
+        d2 = self._ccounts[self._vin2]
+        self._cweights = np.where(
+            self._same_col, d1 * (d1 - 1), self._mult_col * d1 * d2
+        )  # (R, live)
+        self._cW = self._cweights.sum(axis=0)  # (live,) total active weight
+        self._cinter = np.zeros(B, dtype=np.int64)
+        self._ceff = np.zeros(B, dtype=np.int64)
+        self._chw = self._ccounts[track].copy() if track is not None else None
+        self._batch_pred = self._protocol.batch_stability_predicate(self._n)
+
+        # Pre-drawn uniforms, two per effective interaction per replicate,
+        # allocated lazily so batches that go straight to the scalar
+        # finisher never touch their generators here.
+        self._crand: np.ndarray | None = None
+        self._crand_pos = 2 * _EVENT_BLOCK
+
+        # Global results, written back as replicates retire.
+        self._counts_g = np.tile(counts0, (B, 1))
+        self._interactions_g = np.zeros(B, dtype=np.int64)
+        self._effective_g = np.zeros(B, dtype=np.int64)
+        self._converged_g = np.zeros(B, dtype=bool)
+        self._silent_g = np.zeros(B, dtype=bool)
+        self._done_g = np.zeros(B, dtype=bool)
+        self._milestones: list[list[int]] = [[] for _ in range(B)]
+
+        self._phase = "vector"
+        self._finish_entries: list[_FinisherEntry] = []
+        self._finisher_replicates = 0
+        self._vector_steps = 0
+        self._batch_results: list[SimulationResult] | None = None
+        self._pair_class: dict[tuple[int, int], int] | None = None
+
+    # ------------------------------------------------------------------
+    # Shared-counter views (replicate 0 — the only one for B=1 sessions)
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> list[int]:
+        if self._phase == "vector" and self._ids.size and self._ids[0] == 0:
+            return self._ccounts[:, 0].tolist()
+        for e in self._finish_entries:
+            if e.t == 0:
+                return list(e.counts)
+        return self._counts_g[0].tolist()
+
+    @property
+    def interactions(self) -> int:
+        return int(self._interactions_g[0])
+
+    @property
+    def effective(self) -> int:
+        return int(self._effective_g[0])
+
+    @property
+    def milestones(self) -> list[int]:
+        return self._milestones[0]
+
+    def _silent_now(self) -> bool:
+        return bool(self._silent_g[0])
+
+    # ------------------------------------------------------------------
+    # Advance
+    # ------------------------------------------------------------------
+    def _advance_anchor(self) -> int:
+        if self._phase == "vector":
+            if self._cinter.size:
+                return int(self._cinter.min())
+            return 0
+        pending = [e.ctx.interactions for e in self._finish_entries if not e.done]
+        if pending:
+            return min(pending)
+        return int(self._interactions_g.max()) if self._B else 0
+
+    def _status_after_advance(self) -> SessionStatus:
+        if not self._done_g.all():
+            return SessionStatus.RUNNING
+        if self._converged_g.all():
+            return SessionStatus.CONVERGED
+        exhausted = ~self._converged_g & (self._interactions_g >= self._budget)
+        if exhausted.any():
+            return SessionStatus.EXHAUSTED
+        return SessionStatus.HALTED
+
+    def _advance_inner(self, target: int) -> None:
+        # A pause below the run budget is a slice boundary; the full-run
+        # target must never pause the vector loop (replicates can sit at
+        # exactly the budget while still live for one more retire pass).
+        pause = target if target < self._budget else None
+        if self._phase == "vector":
+            self._advance_vector(pause)
+            if self._phase == "vector":
+                return
+        self._advance_finish(target)
+
+    def _advance_vector(self, pause: int | None) -> None:
+        vin1, vin2 = self._vin1, self._vin2
+        vout1, vout2 = self._vout1, self._vout2
+        same_col, mult_col = self._same_col, self._mult_col
+        R = self._R
+        full_refresh = self._full_refresh
+        affects_t = self._affects_t
+        batch_pred = self._batch_pred
+        track = self._track
+        on_effective = self._on_effective
+        budget = self._budget
+        bounded = self._max_interactions is not None
+        gens = self._gens
+        T = self._n * (self._n - 1)  # ordered distinct pairs
+        inv_T = 1.0 / T
+        width = 2 * _EVENT_BLOCK
+
+        ids = self._ids
+        ccounts = self._ccounts
+        cweights = self._cweights
+        cW = self._cW
+        cinter = self._cinter
+        ceff = self._ceff
+        chw = self._chw
+        crand = self._crand
+        pos = self._crand_pos
+        cols = np.arange(ids.size, dtype=np.intp)
+        counts_g = self._counts_g
+        interactions_g = self._interactions_g
+        effective_g = self._effective_g
+        converged_g = self._converged_g
+        silent_g = self._silent_g
+        done_g = self._done_g
+        milestones = self._milestones
+
+        def retire(done: np.ndarray, keep: np.ndarray) -> None:
+            """Write back finished columns, then compact the live state."""
+            nonlocal ids, ccounts, cweights, cW, cinter, ceff, chw, crand, cols
+            done_ids = ids[done]
+            counts_g[done_ids] = ccounts[:, done].T
+            interactions_g[done_ids] = cinter[done]
+            effective_g[done_ids] = ceff[done]
+            done_g[done_ids] = True
+            ids = ids[keep]
+            ccounts = ccounts[:, keep]
+            cweights = cweights[:, keep]
+            cW = cW[keep]
+            cinter = cinter[keep]
+            ceff = ceff[keep]
+            if chw is not None:
+                chw = chw[keep]
+            if crand is not None:
+                crand = crand[keep]
+            cols = cols[: ids.size]
+
+        def persist() -> None:
+            self._ids = ids
+            self._ccounts = ccounts
+            self._cweights = cweights
+            self._cW = cW
+            self._cinter = cinter
+            self._ceff = ceff
+            self._chw = chw
+            self._crand = crand
+            self._crand_pos = pos
+
+        while ids.size > self._finish_cut:
+            if pause is not None and int(cinter.min()) >= pause:
+                persist()
+                return
+            # --- retire stabilized and silent replicates ----------------
+            sil = cW == 0
+            if batch_pred is not None:
+                stable = batch_pred(ccounts.T)
+                done = stable | sil
+            else:
+                stable = None
+                done = sil
+            if done.any():
+                done_ids = ids[done]
+                if stable is not None:
+                    converged_g[done_ids] = stable[done]
+                else:
+                    # Silence without a predicate *is* stability.
+                    converged_g[done_ids] = True
+                silent_g[done_ids] = sil[done]
+                retire(done, ~done)
+                continue
+
+            self._vector_steps += 1
+
+            # --- refill the shared uniform block ------------------------
+            if pos >= width:
+                if crand is None:
+                    crand = np.empty((ids.size, width), dtype=np.float64)
+                for i, t in enumerate(ids.tolist()):
+                    crand[i] = gens[t].random(width)
+                pos = 0
+            u_null = crand[:, pos]
+            u_class = crand[:, pos + 1]
+            pos += 2
+
+            # --- vectorized geometric null skip -------------------------
+            p_eff = cW * inv_T
+            if (p_eff >= 1.0).any():
+                p_safe = np.where(p_eff >= 1.0, 0.5, p_eff)
+                nulls = np.where(
+                    p_eff >= 1.0, 0.0, np.log1p(-u_null) / np.log1p(-p_safe)
+                ).astype(np.int64)
+            else:
+                nulls = (np.log1p(-u_null) / np.log1p(-p_eff)).astype(np.int64)
+            if not bounded:
+                cinter += nulls
+                cinter += 1
+            else:
+                totals = cinter + nulls + 1
+                over = totals > budget
+                if over.any():
+                    keep = ~over
+                    cinter[over] = budget
+                    retire(over, keep)
+                    if ids.size == 0:
+                        break
+                    totals = totals[keep]
+                    u_class = u_class[keep]
+                cinter = totals
+
+            # --- per-replicate cumulative-weight inverse sampling --------
+            cum = cweights.cumsum(axis=0)
+            fired = (cum <= u_class * cW).sum(axis=0)
+            np.minimum(fired, R - 1, out=fired)  # floating-point edge
+
+            # --- apply one effective interaction everywhere --------------
+            # Column indices are unique within each scatter, so plain
+            # fancy indexing is exact even when a class reads or writes
+            # the same state twice (separate statements accumulate).
+            ccounts[vin1[fired], cols] -= 1
+            ccounts[vin2[fired], cols] -= 1
+            ccounts[vout1[fired], cols] += 1
+            ccounts[vout2[fired], cols] += 1
+            ceff += 1
+
+            # --- weight maintenance --------------------------------------
+            if full_refresh:
+                d1 = ccounts[vin1]
+                d2 = ccounts[vin2]
+                cweights = np.where(same_col, d1 * (d1 - 1), mult_col * d1 * d2)
+                cW = cweights.sum(axis=0)
+            else:
+                hist = np.bincount(fired, minlength=R)
+                dirty = np.flatnonzero(affects_t @ hist)
+                d1 = ccounts[vin1[dirty]]
+                d2 = ccounts[vin2[dirty]]
+                fresh = np.where(
+                    same_col[dirty], d1 * (d1 - 1), mult_col[dirty] * d1 * d2
+                )
+                cW = cW + (fresh - cweights[dirty]).sum(axis=0)
+                cweights[dirty] = fresh
+
+            if chw is not None:
+                cur = ccounts[track]
+                rose = cur > chw
+                if rose.any():
+                    for i in rose.nonzero()[0].tolist():
+                        ms = milestones[ids[i]]
+                        ni = int(cinter[i])
+                        level = int(cur[i])
+                        while chw[i] < level:
+                            chw[i] += 1
+                            ms.append(ni)
+            if on_effective is not None:
+                on_effective(int(cinter[0]), ccounts[:, 0])
+
+        persist()
+        self._enter_finish()
+
+    def _enter_finish(self) -> None:
+        """Hand each straggler to its own scalar jump chain.
+
+        The count vector is a sufficient statistic, so each survivor
+        continues on the scalar chain with its own generator; their
+        generators are independent, so per-replicate slicing keeps the
+        batch bit-identical to a straight-through run.
+        """
+        self._phase = "finish"
+        self._finisher_replicates = int(self._ids.size)
+        entries: list[_FinisherEntry] = []
+        for i, t in enumerate(self._ids.tolist()):
+            counts = self._ccounts[:, i].tolist()
+            ctx = _ReplicateCtx(
+                interactions=int(self._cinter[i]),
+                effective=int(self._ceff[i]),
+                milestones=self._milestones[t],
+                high_water=int(self._chw[i]) if self._track is not None else 0,
+                track=self._track,
+                on_effective=self._on_effective,
+                budget=self._budget,
+            )
+            chain = JumpChain(self._protocol, counts, self._gens[t], self._n)
+            entries.append(_FinisherEntry(t, counts, ctx, chain))
+        self._finish_entries = entries
+        # The vector arrays are dead weight from here on.
+        self._ids = np.zeros(0, dtype=np.intp)
+        self._cinter = np.zeros(0, dtype=np.int64)
+        self._crand = None
+
+    def _advance_finish(self, target: int) -> None:
+        for e in self._finish_entries:
+            if e.done:
+                continue
+            chain = e.chain
+            chain.advance(e.ctx, target)
+            t = e.t
+            self._interactions_g[t] = e.ctx.interactions
+            if (
+                chain.converged
+                or chain.silent
+                or chain.exhausted
+                or e.ctx.interactions >= self._budget
+            ):
+                e.done = True
+                self._done_g[t] = True
+                self._counts_g[t] = e.counts
+                self._effective_g[t] = e.ctx.effective
+                self._converged_g[t] = chain.converged
+                self._silent_g[t] = chain.silent
+
+    def _finish(self, status: SessionStatus) -> None:
+        super()._finish(status)
+        record_ensemble_batch(
+            replicates=self._B,
+            finisher_replicates=self._finisher_replicates,
+            vector_steps=self._vector_steps,
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _result_for(self, t: int) -> SimulationResult:
+        final = self._counts_g[t]
+        # Wall time is shared by the whole batch; report the amortized
+        # per-replicate cost so throughput statistics stay comparable
+        # with the scalar engines.
+        return SimulationResult(
+            protocol=self._protocol.name,
+            n=self._n,
+            engine=self._engine_name,
+            interactions=int(self._interactions_g[t]),
+            effective_interactions=int(self._effective_g[t]),
+            converged=bool(self._converged_g[t]),
+            silent=bool(self._silent_g[t]),
+            final_counts=final,
+            group_sizes=Engine._group_sizes_or_empty(self._protocol, final),
+            tracked_milestones=self._milestones[t],
+            elapsed=self._elapsed / self._B,
+        )
+
+    def _assemble_result(self) -> SimulationResult:
+        return self._result_for(0)
+
+    def results(self) -> list[SimulationResult]:
+        """Per-replicate results in seed order (batch sessions).
+
+        Like :meth:`result`, assembles and emits telemetry exactly once
+        per replicate, on first call.
+        """
+        if not self._status.terminal:
+            raise SimulationError(
+                "session is still running; advance() it to completion first"
+            )
+        if self._batch_results is None:
+            self._batch_results = [self._result_for(t) for t in range(self._B)]
+            for r in self._batch_results:
+                record_simulation(r)
+        return list(self._batch_results)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _capture_shared(self) -> dict:
+        return {
+            "status": self._status.value,
+            "primed": self._primed,
+            "elapsed": self._elapsed,
+        }
+
+    def _restore_shared(self, shared: dict) -> None:
+        self._status = SessionStatus(shared["status"])
+        self._primed = shared["primed"]
+        self._elapsed = shared["elapsed"]
+
+    def _capture(self) -> dict:
+        extra = {
+            "replicates": self._B,
+            "phase": self._phase,
+            "counts_g": self._counts_g.copy(),
+            "interactions_g": self._interactions_g.copy(),
+            "effective_g": self._effective_g.copy(),
+            "converged_g": self._converged_g.copy(),
+            "silent_g": self._silent_g.copy(),
+            "done_g": self._done_g.copy(),
+            "milestones": [list(m) for m in self._milestones],
+            "vector_steps": self._vector_steps,
+            "finisher_replicates": self._finisher_replicates,
+        }
+        if self._phase == "vector":
+            extra["vector"] = {
+                "ids": self._ids.copy(),
+                "ccounts": self._ccounts.copy(),
+                "cweights": self._cweights.copy(),
+                "cW": self._cW.copy(),
+                "cinter": self._cinter.copy(),
+                "ceff": self._ceff.copy(),
+                "chw": None if self._chw is None else self._chw.copy(),
+                "crand": None if self._crand is None else self._crand.copy(),
+                "pos": self._crand_pos,
+                "gens": {
+                    int(t): self._rng_state(self._gens[t])
+                    for t in self._ids.tolist()
+                },
+            }
+        else:
+            extra["finish"] = [
+                {
+                    "t": e.t,
+                    "done": e.done,
+                    "counts": list(e.counts),
+                    "interactions": e.ctx.interactions,
+                    "effective": e.ctx.effective,
+                    "high_water": e.ctx._high_water,
+                    "chain": None if e.done else e.chain.capture(),
+                }
+                for e in self._finish_entries
+            ]
+        return extra
+
+    def _restore(self, extra: dict) -> None:
+        if extra["replicates"] != self._B:
+            raise SimulationError(
+                f"snapshot holds {extra['replicates']} replicates, "
+                f"this session has {self._B}"
+            )
+        self._counts_g = np.asarray(extra["counts_g"], dtype=np.int64)
+        self._interactions_g = np.asarray(extra["interactions_g"], dtype=np.int64)
+        self._effective_g = np.asarray(extra["effective_g"], dtype=np.int64)
+        self._converged_g = np.asarray(extra["converged_g"], dtype=bool)
+        self._silent_g = np.asarray(extra["silent_g"], dtype=bool)
+        self._done_g = np.asarray(extra["done_g"], dtype=bool)
+        self._milestones = [list(m) for m in extra["milestones"]]
+        self._vector_steps = extra["vector_steps"]
+        self._finisher_replicates = extra["finisher_replicates"]
+        self._batch_results = None
+        self._phase = extra["phase"]
+        if self._phase == "vector":
+            vec = extra["vector"]
+            self._ids = np.asarray(vec["ids"], dtype=np.intp)
+            self._ccounts = np.asarray(vec["ccounts"], dtype=np.int64)
+            self._cweights = np.asarray(vec["cweights"], dtype=np.int64)
+            self._cW = np.asarray(vec["cW"], dtype=np.int64)
+            self._cinter = np.asarray(vec["cinter"], dtype=np.int64)
+            self._ceff = np.asarray(vec["ceff"], dtype=np.int64)
+            self._chw = None if vec["chw"] is None else np.asarray(vec["chw"])
+            self._crand = None if vec["crand"] is None else np.asarray(vec["crand"])
+            self._crand_pos = vec["pos"]
+            for t, state in vec["gens"].items():
+                self._gens[t] = self._rng_from_state(state)
+            self._finish_entries = []
+        else:
+            self._ids = np.zeros(0, dtype=np.intp)
+            self._cinter = np.zeros(0, dtype=np.int64)
+            self._crand = None
+            entries = []
+            for rec in extra["finish"]:
+                t = rec["t"]
+                counts = list(rec["counts"])
+                ctx = _ReplicateCtx(
+                    interactions=rec["interactions"],
+                    effective=rec["effective"],
+                    milestones=self._milestones[t],
+                    high_water=rec["high_water"],
+                    track=self._track,
+                    on_effective=self._on_effective,
+                    budget=self._budget,
+                )
+                if rec["chain"] is None:
+                    chain = JumpChain(
+                        self._protocol, counts, self._gens[t], self._n, draw=False
+                    )
+                    chain.converged = bool(self._converged_g[t])
+                    chain.silent = bool(self._silent_g[t])
+                else:
+                    chain = JumpChain(
+                        self._protocol, counts, self._gens[t], self._n, draw=False
+                    )
+                    self._gens[t] = chain.apply_capture(rec["chain"])
+                entry = _FinisherEntry(t, counts, ctx, chain)
+                entry.done = rec["done"]
+                entries.append(entry)
+            self._finish_entries = entries
+
+    # ------------------------------------------------------------------
+    # Driven execution (conformance differ; single-replicate sessions)
+    # ------------------------------------------------------------------
+    def apply_scheduled(self, a: int, b: int, p: int, q: int) -> bool:
+        if self._B != 1 or self._phase != "vector" or not self._ids.size:
+            raise SimulationError(
+                "driven execution needs an unstarted single-replicate "
+                "ensemble session (finish_threshold=0)"
+            )
+        pc = self._pair_class
+        if pc is None:
+            pc = {}
+            for r, c in enumerate(self._classes):
+                pc[(c.in1, c.in2)] = r
+                if not c.same and c.multiplier == 2:
+                    pc[(c.in2, c.in1)] = r
+            self._pair_class = pc
+        r = pc.get((p, q))
+        if r is None:
+            return False
+        ccounts = self._ccounts
+        ccounts[self._vin1[r], 0] -= 1
+        ccounts[self._vin2[r], 0] -= 1
+        ccounts[self._vout1[r], 0] += 1
+        ccounts[self._vout2[r], 0] += 1
+        # Same maintenance branch the vector loop uses.
+        if self._full_refresh:
+            d1 = ccounts[self._vin1]
+            d2 = ccounts[self._vin2]
+            self._cweights = np.where(
+                self._same_col, d1 * (d1 - 1), self._mult_col * d1 * d2
+            )
+            self._cW = self._cweights.sum(axis=0)
+        else:
+            hist = np.bincount([r], minlength=self._R)
+            dirty = np.flatnonzero(self._affects_t @ hist)
+            d1 = ccounts[self._vin1[dirty]]
+            d2 = ccounts[self._vin2[dirty]]
+            fresh = np.where(
+                self._same_col[dirty], d1 * (d1 - 1), self._mult_col[dirty] * d1 * d2
+            )
+            self._cW = self._cW + (fresh - self._cweights[dirty]).sum(axis=0)
+            self._cweights[dirty] = fresh
+        return True
+
+    def audit(self) -> str | None:
+        if self._phase != "vector" or not self._ids.size:
+            return None
+        true_w = self._protocol.compiled.total_active_weight(
+            np.asarray(self._ccounts[:, 0], dtype=np.int64)
+        )
+        got = int(self._cW[0])
+        if got != true_w:
+            return f"vector active weight {got} != recomputed {true_w}"
+        return None
 
 
 class EnsembleEngine(Engine):
@@ -101,7 +796,7 @@ class EnsembleEngine(Engine):
             )
         self._finish_threshold = finish_threshold
 
-    def run(
+    def start(
         self,
         protocol: Protocol,
         n: int | None = None,
@@ -111,17 +806,49 @@ class EnsembleEngine(Engine):
         max_interactions: int | None = None,
         track_state: str | int | None = None,
         on_effective: StepCallback | None = None,
-    ) -> SimulationResult:
-        """Simulate one execution (a batch of size 1)."""
-        return self._simulate(
+    ) -> EnsembleSession:
+        """Begin one execution (a batch of size 1)."""
+        return EnsembleSession(
+            self,
             protocol,
             n,
-            [ensure_generator(seed)],
+            gens=[ensure_generator(seed)],
             initial_counts=initial_counts,
             max_interactions=max_interactions,
             track_state=track_state,
             on_effective=on_effective,
-        )[0]
+        )
+
+    def start_batch(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seeds: Sequence[np.random.SeedSequence],
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+    ) -> EnsembleSession:
+        """Begin one independent execution per seed as a single session.
+
+        ``seeds`` carries one ``SeedSequence`` per replicate (the
+        spawn-based discipline of :func:`~repro.engine.runner.run_trials`).
+        Drive with ``advance()`` and collect with
+        :meth:`EnsembleSession.results` (seed order).
+        """
+        if not seeds:
+            raise SimulationError("run_batch needs at least one seed")
+        return EnsembleSession(
+            self,
+            protocol,
+            n,
+            gens=[np.random.default_rng(s) for s in seeds],
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+        )
 
     def run_batch(
         self,
@@ -135,298 +862,16 @@ class EnsembleEngine(Engine):
     ) -> list[SimulationResult]:
         """Simulate one independent execution per seed, all at once.
 
-        ``seeds`` carries one ``SeedSequence`` per replicate (the
-        spawn-based discipline of :func:`~repro.engine.runner.run_trials`,
-        which auto-selects this method).  Results are returned in seed
-        order.
+        Compatibility shim over :meth:`start_batch`; results are
+        returned in seed order.
         """
-        if not seeds:
-            raise SimulationError("run_batch needs at least one seed")
-        return self._simulate(
+        session = self.start_batch(
             protocol,
             n,
-            [np.random.default_rng(s) for s in seeds],
+            seeds=seeds,
             initial_counts=initial_counts,
             max_interactions=max_interactions,
             track_state=track_state,
-            on_effective=None,
         )
-
-    # ------------------------------------------------------------------
-    # Core vectorized loop
-    # ------------------------------------------------------------------
-    def _simulate(
-        self,
-        protocol: Protocol,
-        n: int | None,
-        gens: list[np.random.Generator],
-        *,
-        initial_counts: Sequence[int] | np.ndarray | None,
-        max_interactions: int | None,
-        track_state: str | int | None,
-        on_effective: StepCallback | None,
-    ) -> list[SimulationResult]:
-        B = len(gens)
-        if on_effective is not None and B != 1:
-            raise SimulationError(
-                "on_effective callbacks are only supported for single runs"
-            )
-        counts0 = self._resolve_initial(protocol, n, initial_counts)
-        n_total = int(counts0.sum())
-        track = self._resolve_track_state(protocol, track_state)
-        finish_cut = self._finish_threshold
-        if finish_cut is None:
-            finish_cut = max(1, B // 8)
-
-        compiled = protocol.compiled
-        classes = compiled.classes
-        state_classes = compiled.state_classes
-        R = len(classes)
-        in1 = np.fromiter((c.in1 for c in classes), dtype=np.intp, count=R)
-        in2 = np.fromiter((c.in2 for c in classes), dtype=np.intp, count=R)
-        out1 = np.fromiter((c.out1 for c in classes), dtype=np.intp, count=R)
-        out2 = np.fromiter((c.out2 for c in classes), dtype=np.intp, count=R)
-        same_col = np.fromiter((c.same for c in classes), dtype=bool, count=R)[:, None]
-        mult_col = np.fromiter(
-            (c.multiplier for c in classes), dtype=np.int64, count=R
-        )[:, None]
-        full_refresh = R <= _FULL_REFRESH_MAX_R
-        if not full_refresh:
-            # affects_t[j, r]: firing class r can change class j's weight
-            # (they share a touched state) — the incremental-update mask,
-            # stored as float so one mat-vec per step flags dirty classes.
-            affects_t = np.zeros((R, R), dtype=np.float64)
-            for r, c in enumerate(classes):
-                for s in {c.in1, c.in2, c.out1, c.out2}:
-                    affects_t[state_classes[s], r] = 1.0
-
-        # Compacted live state: column i belongs to original replicate
-        # ids[i].  State-major layout keeps the replicate axis contiguous.
-        ids = np.arange(B, dtype=np.intp)
-        ccounts = np.repeat(counts0[:, None], B, axis=1)  # (S, live)
-        d1 = ccounts[in1]
-        d2 = ccounts[in2]
-        cweights = np.where(same_col, d1 * (d1 - 1), mult_col * d1 * d2)  # (R, live)
-        cW = cweights.sum(axis=0)  # (live,) total active weight
-        cinter = np.zeros(B, dtype=np.int64)
-        ceff = np.zeros(B, dtype=np.int64)
-        chw = ccounts[track].copy() if track is not None else None
-        cols = np.arange(B, dtype=np.intp)  # scatter column index: arange(live)
-
-        T = n_total * (n_total - 1)  # ordered distinct pairs
-        inv_T = 1.0 / T
-        batch_pred = protocol.batch_stability_predicate(n_total)
-        budget = max_interactions if max_interactions is not None else 2**62
-
-        # Global results, written back as replicates retire.
-        counts_g = np.tile(counts0, (B, 1))
-        interactions_g = np.zeros(B, dtype=np.int64)
-        effective_g = np.zeros(B, dtype=np.int64)
-        converged_g = np.zeros(B, dtype=bool)
-        silent_g = np.zeros(B, dtype=bool)
-        milestones: list[list[int]] = [[] for _ in range(B)]
-
-        # Pre-drawn uniforms, two per effective interaction per replicate,
-        # allocated lazily so batches that go straight to the scalar
-        # finisher never touch their generators here.
-        width = 2 * _EVENT_BLOCK
-        crand: np.ndarray | None = None
-        pos = width
-
-        def retire(done: np.ndarray, keep: np.ndarray) -> None:
-            """Write back finished columns, then compact the live state."""
-            nonlocal ids, ccounts, cweights, cW, cinter, ceff, chw, crand, cols
-            done_ids = ids[done]
-            counts_g[done_ids] = ccounts[:, done].T
-            interactions_g[done_ids] = cinter[done]
-            effective_g[done_ids] = ceff[done]
-            ids = ids[keep]
-            ccounts = ccounts[:, keep]
-            cweights = cweights[:, keep]
-            cW = cW[keep]
-            cinter = cinter[keep]
-            ceff = ceff[keep]
-            if chw is not None:
-                chw = chw[keep]
-            if crand is not None:
-                crand = crand[keep]
-            cols = cols[: ids.size]
-
-        self._callback_prime(on_effective, counts0)
-        vector_steps = 0
-        t0 = time.perf_counter()
-        while ids.size > finish_cut:
-            # --- retire stabilized and silent replicates ----------------
-            sil = cW == 0
-            if batch_pred is not None:
-                stable = batch_pred(ccounts.T)
-                done = stable | sil
-            else:
-                stable = None
-                done = sil
-            if done.any():
-                done_ids = ids[done]
-                if stable is not None:
-                    converged_g[done_ids] = stable[done]
-                else:
-                    # Silence without a predicate *is* stability.
-                    converged_g[done_ids] = True
-                silent_g[done_ids] = sil[done]
-                retire(done, ~done)
-                continue
-
-            vector_steps += 1
-
-            # --- refill the shared uniform block ------------------------
-            if pos >= width:
-                if crand is None:
-                    crand = np.empty((ids.size, width), dtype=np.float64)
-                for i, t in enumerate(ids.tolist()):
-                    crand[i] = gens[t].random(width)
-                pos = 0
-            u_null = crand[:, pos]
-            u_class = crand[:, pos + 1]
-            pos += 2
-
-            # --- vectorized geometric null skip -------------------------
-            p_eff = cW * inv_T
-            if (p_eff >= 1.0).any():
-                p_safe = np.where(p_eff >= 1.0, 0.5, p_eff)
-                nulls = np.where(
-                    p_eff >= 1.0, 0.0, np.log1p(-u_null) / np.log1p(-p_safe)
-                ).astype(np.int64)
-            else:
-                nulls = (np.log1p(-u_null) / np.log1p(-p_eff)).astype(np.int64)
-            if max_interactions is None:
-                cinter += nulls
-                cinter += 1
-            else:
-                totals = cinter + nulls + 1
-                over = totals > budget
-                if over.any():
-                    keep = ~over
-                    cinter[over] = budget
-                    retire(over, keep)
-                    if ids.size == 0:
-                        break
-                    totals = totals[keep]
-                    u_class = u_class[keep]
-                cinter = totals
-
-            # --- per-replicate cumulative-weight inverse sampling --------
-            cum = cweights.cumsum(axis=0)
-            fired = (cum <= u_class * cW).sum(axis=0)
-            np.minimum(fired, R - 1, out=fired)  # floating-point edge
-
-            # --- apply one effective interaction everywhere --------------
-            # Column indices are unique within each scatter, so plain
-            # fancy indexing is exact even when a class reads or writes
-            # the same state twice (separate statements accumulate).
-            ccounts[in1[fired], cols] -= 1
-            ccounts[in2[fired], cols] -= 1
-            ccounts[out1[fired], cols] += 1
-            ccounts[out2[fired], cols] += 1
-            ceff += 1
-
-            # --- weight maintenance --------------------------------------
-            if full_refresh:
-                d1 = ccounts[in1]
-                d2 = ccounts[in2]
-                cweights = np.where(same_col, d1 * (d1 - 1), mult_col * d1 * d2)
-                cW = cweights.sum(axis=0)
-            else:
-                hist = np.bincount(fired, minlength=R)
-                dirty = np.flatnonzero(affects_t @ hist)
-                d1 = ccounts[in1[dirty]]
-                d2 = ccounts[in2[dirty]]
-                fresh = np.where(
-                    same_col[dirty], d1 * (d1 - 1), mult_col[dirty] * d1 * d2
-                )
-                cW = cW + (fresh - cweights[dirty]).sum(axis=0)
-                cweights[dirty] = fresh
-
-            if chw is not None:
-                cur = ccounts[track]
-                rose = cur > chw
-                if rose.any():
-                    for i in rose.nonzero()[0].tolist():
-                        ms = milestones[ids[i]]
-                        ni = int(cinter[i])
-                        level = int(cur[i])
-                        while chw[i] < level:
-                            chw[i] += 1
-                            ms.append(ni)
-            if on_effective is not None:
-                on_effective(int(cinter[0]), ccounts[:, 0])
-
-        # --- scalar finisher for the straggler tail ----------------------
-        # The count vector is a sufficient statistic, so each survivor
-        # continues on the scalar jump chain with its own generator.
-        finisher_replicates = int(ids.size)
-        if ids.size:
-            tail_engine = CountBasedEngine()
-            for i, t in enumerate(ids.tolist()):
-                base = int(cinter[i])
-                remaining = None if max_interactions is None else budget - base
-                if on_effective is None:
-                    callback = None
-                else:
-
-                    def callback(ni: int, c: Sequence[int], _base=base) -> None:
-                        on_effective(_base + ni, c)
-
-                level0 = int(ccounts[track, i]) if track is not None else 0
-                tail = tail_engine.run(
-                    protocol,
-                    initial_counts=ccounts[:, i].copy(),
-                    seed=gens[t],
-                    max_interactions=remaining,
-                    track_state=track,
-                    on_effective=callback,
-                )
-                interactions_g[t] = base + tail.interactions
-                effective_g[t] = int(ceff[i]) + tail.effective_interactions
-                converged_g[t] = tail.converged
-                silent_g[t] = tail.silent
-                counts_g[t] = tail.final_counts
-                if track is not None:
-                    # The tail restarts its high-water mark at the
-                    # current count; skip milestones for levels this
-                    # replicate had already reached before a dip.
-                    drop = max(0, int(chw[i]) - level0)
-                    milestones[t].extend(
-                        base + ni for ni in tail.tracked_milestones[drop:]
-                    )
-        elapsed = time.perf_counter() - t0
-        self._callback_finalize(
-            on_effective, int(interactions_g[0]), counts_g[0].tolist()
-        )
-        record_ensemble_batch(
-            replicates=B,
-            finisher_replicates=finisher_replicates,
-            vector_steps=vector_steps,
-        )
-
-        # Wall time is shared by the whole batch; report the amortized
-        # per-replicate cost so throughput statistics stay comparable
-        # with the scalar engines.
-        per_trial_elapsed = elapsed / B
-        results = []
-        for t in range(B):
-            final = counts_g[t]
-            results.append(
-                self._emit(SimulationResult(
-                    protocol=protocol.name,
-                    n=n_total,
-                    engine=self.name,
-                    interactions=int(interactions_g[t]),
-                    effective_interactions=int(effective_g[t]),
-                    converged=bool(converged_g[t]),
-                    silent=bool(silent_g[t]),
-                    final_counts=final,
-                    group_sizes=self._group_sizes_or_empty(protocol, final),
-                    tracked_milestones=milestones[t],
-                    elapsed=per_trial_elapsed,
-                ))
-            )
-        return results
+        session.advance()
+        return session.results()

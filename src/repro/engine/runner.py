@@ -36,6 +36,7 @@ __all__ = [
     "TrialCache",
     "InMemoryTrialCache",
     "run_trials",
+    "finalize_trials",
     "trial_fingerprint",
     "use_trial_cache",
     "active_trial_cache",
@@ -131,43 +132,13 @@ class TrialSet:
             "protocol": self.protocol,
             "n": self.n,
             "engine": self.engine,
-            "results": [
-                {
-                    "protocol": r.protocol,
-                    "n": r.n,
-                    "engine": r.engine,
-                    "interactions": r.interactions,
-                    "effective_interactions": r.effective_interactions,
-                    "converged": r.converged,
-                    "silent": r.silent,
-                    "final_counts": [int(c) for c in r.final_counts],
-                    "group_sizes": [int(g) for g in r.group_sizes],
-                    "tracked_milestones": list(r.tracked_milestones),
-                    "elapsed": r.elapsed,
-                }
-                for r in self.results
-            ],
+            "results": [r.to_record() for r in self.results],
         }
 
     @classmethod
     def from_record(cls, record: dict[str, object]) -> "TrialSet":
         """Inverse of :meth:`to_record`."""
-        results = [
-            SimulationResult(
-                protocol=r["protocol"],
-                n=r["n"],
-                engine=r["engine"],
-                interactions=r["interactions"],
-                effective_interactions=r["effective_interactions"],
-                converged=r["converged"],
-                silent=r["silent"],
-                final_counts=np.asarray(r["final_counts"], dtype=np.int64),
-                group_sizes=np.asarray(r["group_sizes"], dtype=np.int64),
-                tracked_milestones=list(r["tracked_milestones"]),
-                elapsed=r["elapsed"],
-            )
-            for r in record["results"]
-        ]
+        results = [SimulationResult.from_record(r) for r in record["results"]]
         return cls(
             protocol=record["protocol"],
             n=record["n"],
@@ -409,19 +380,48 @@ def run_trials(
                 if progress is not None:
                     progress(hi, trials)
 
+    ts = finalize_trials(
+        protocol,
+        engine.name,
+        results,
+        seed=seed,
+        require_convergence=require_convergence,
+        elapsed=time.perf_counter() - t_start,
+    )
+    if cache is not None and key is not None:
+        cache.put(key, ts.to_record())
+    return ts
+
+
+def finalize_trials(
+    protocol: Protocol,
+    engine_name: str,
+    results: list[SimulationResult],
+    *,
+    seed: SeedLike,
+    require_convergence: bool = True,
+    elapsed: float = 0.0,
+) -> TrialSet:
+    """Assemble, validate, and report a completed set of trial results.
+
+    The shared tail of every multi-trial execution path: convergence
+    enforcement, conformance checking, :class:`TrialSet` assembly, and
+    observability reporting happen here exactly as :func:`run_trials`
+    performs them — so alternative drivers (the campaign executor's
+    resumable session loop) produce trial sets indistinguishable from a
+    straight ``run_trials`` call with the same inputs.
+    """
+    if not results:
+        raise SimulationError("finalize_trials needs at least one result")
     _enforce_convergence(results, protocol, require_convergence)
     _conformance_check(protocol, results)
     ts = TrialSet(
         protocol=protocol.name,
         n=results[0].n,
-        engine=engine.name,
+        engine=engine_name,
         results=results,
     )
-    if cache is not None and key is not None:
-        cache.put(key, ts.to_record())
-    _report_trialset(
-        ts, seed=seed, cached=False, elapsed=time.perf_counter() - t_start
-    )
+    _report_trialset(ts, seed=seed, cached=False, elapsed=elapsed)
     return ts
 
 

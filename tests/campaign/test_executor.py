@@ -83,17 +83,17 @@ class TestFailure:
 class TestInterruption:
     def test_ctrl_c_checkpoints_in_flight_job(self, store, monkeypatch):
         store.submit_many([make_spec(seed=s) for s in range(3)])
-        real_execute = executor_module.execute_spec
+        real_execute = executor_module.execute_spec_resumable
         calls = []
 
-        def flaky(spec_dict):
+        def flaky(spec_dict, store_, **kwargs):
             if len(calls) == 1:
                 calls.append("boom")
                 raise KeyboardInterrupt
             calls.append("ok")
-            return real_execute(spec_dict)
+            return real_execute(spec_dict, store_, **kwargs)
 
-        monkeypatch.setattr(executor_module, "execute_spec", flaky)
+        monkeypatch.setattr(executor_module, "execute_spec_resumable", flaky)
         report = run_campaign(store)
         assert report.interrupted
         assert report.executed == 1
@@ -103,7 +103,9 @@ class TestInterruption:
         assert counts["running"] == 0
         assert counts["pending"] == 2
 
-        monkeypatch.setattr(executor_module, "execute_spec", real_execute)
+        monkeypatch.setattr(
+            executor_module, "execute_spec_resumable", real_execute
+        )
         resumed = run_campaign(store)
         assert not resumed.interrupted
         assert store.counts()["done"] == 3
@@ -113,3 +115,96 @@ class TestInterruption:
 
         report = CampaignReport(executed=1, interrupted=True)
         assert "INTERRUPTED" in report.summary()
+
+
+def scientific_content(record: dict) -> dict:
+    from tests.campaign.test_store import scientific_content as sc
+
+    return sc(record)
+
+
+class TestMidTrialResume:
+    """Killing a job between slices and re-running must reproduce the
+    uninterrupted trial records bit-for-bit (minus wall-clock)."""
+
+    @pytest.mark.parametrize("engine", ["count", "ensemble"])
+    def test_kill_resume_matches_uninterrupted(self, store, engine):
+        spec = make_spec(n=40, trials=3, seed=7, engine=engine)
+        digest, _ = store.submit(spec)
+        baseline = executor_module.execute_spec(spec.canonical())
+
+        slices = []
+
+        def bomb(trial_index, interactions):
+            slices.append((trial_index, interactions))
+            if len(slices) == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            executor_module.execute_spec_resumable(
+                spec.canonical(), store, digest=digest,
+                checkpoint_interactions=40, on_slice=bomb,
+            )
+        ckpt = store.load_checkpoint(digest)
+        assert ckpt is not None
+        assert ckpt["session"] is not None  # killed mid-trial, not at a boundary
+
+        resumed = executor_module.execute_spec_resumable(
+            spec.canonical(), store, digest=digest, checkpoint_interactions=40
+        )
+        assert resumed["resumed"]
+        assert scientific_content(resumed["record"]) == \
+            scientific_content(baseline["record"])
+
+    def test_run_campaign_resumes_mid_trial(self, store, monkeypatch):
+        spec = make_spec(n=40, trials=2, seed=11)
+        store.submit(spec)
+        baseline = executor_module.execute_spec(spec.canonical())
+        real_execute = executor_module.execute_spec_resumable
+
+        def bomb(trial_index, interactions):
+            raise KeyboardInterrupt
+
+        def sliced(spec_dict, store_, **kwargs):
+            kwargs["checkpoint_interactions"] = 40
+            kwargs.setdefault("on_slice", bomb)
+            return real_execute(spec_dict, store_, **kwargs)
+
+        monkeypatch.setattr(executor_module, "execute_spec_resumable", sliced)
+        report = run_campaign(store)
+        assert report.interrupted
+        assert store.checkpoint_count() == 1
+
+        def resumable(spec_dict, store_, **kwargs):
+            kwargs["checkpoint_interactions"] = 40
+            return real_execute(spec_dict, store_, **kwargs)
+
+        monkeypatch.setattr(executor_module, "execute_spec_resumable", resumable)
+        report = run_campaign(store)
+        assert report.executed == 1
+        assert report.resumed == 1
+        assert "resumed=1" in report.summary()
+        # mark_done cleared the checkpoint row.
+        assert store.checkpoint_count() == 0
+        assert scientific_content(store.result_record(spec.digest)) == \
+            scientific_content(baseline["record"])
+
+    def test_boundary_checkpoint_skips_completed_trials(self, store):
+        spec = make_spec(n=30, trials=4, seed=3)
+        digest, _ = store.submit(spec)
+        baseline = executor_module.execute_spec(spec.canonical())
+        # Run trial 0 to completion by hand, then checkpoint the boundary.
+        full = executor_module.execute_spec_resumable(
+            spec.canonical(), store, digest=digest
+        )
+        first_two = full["record"]["results"][:2]
+        store.save_checkpoint(
+            digest, trial_index=2, completed=first_two, session=None
+        )
+        resumed = executor_module.execute_spec_resumable(
+            spec.canonical(), store, digest=digest
+        )
+        assert resumed["resumed"]
+        # Trials 0-1 come verbatim from the checkpoint, 2-3 are re-run.
+        assert scientific_content(resumed["record"]) == \
+            scientific_content(baseline["record"])

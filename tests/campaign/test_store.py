@@ -209,3 +209,49 @@ class TestCacheHits:
         assert removed["done"] == 1
         assert removed["trial_cache"] == 1
         assert store.counts()["done"] == 0
+
+
+class TestCheckpoints:
+    def test_round_trip(self, store):
+        spec = make_spec()
+        digest, _ = store.submit(spec)
+        assert store.load_checkpoint(digest) is None
+        store.save_checkpoint(
+            digest, trial_index=3,
+            completed=[{"interactions": 5}], session=b"\x00snap",
+        )
+        ckpt = store.load_checkpoint(digest)
+        assert ckpt["trial_index"] == 3
+        assert ckpt["completed"] == [{"interactions": 5}]
+        assert ckpt["session"] == b"\x00snap"
+        # One row per digest: a later save replaces, None session allowed.
+        store.save_checkpoint(digest, trial_index=4, completed=[], session=None)
+        ckpt = store.load_checkpoint(digest)
+        assert ckpt["trial_index"] == 4
+        assert ckpt["session"] is None
+        assert store.checkpoint_count() == 1
+        store.clear_checkpoint(digest)
+        assert store.load_checkpoint(digest) is None
+
+    def test_mark_done_and_failed_clear_checkpoint(self, store):
+        for verb in ("done", "failed"):
+            spec = make_spec(seed={"done": 41, "failed": 42}[verb])
+            digest, _ = store.submit(spec)
+            store.save_checkpoint(
+                digest, trial_index=0, completed=[], session=b"s"
+            )
+            if verb == "done":
+                store.mark_done(digest, summary={}, record={}, wall_time=0.0)
+            else:
+                store.mark_failed(digest, "boom")
+            assert store.load_checkpoint(digest) is None
+
+    def test_gc_prunes_orphan_checkpoints(self, store):
+        spec = make_spec(seed=9)
+        digest, _ = store.submit(spec)
+        store.save_checkpoint(digest, trial_index=0, completed=[], session=None)
+        # A checkpoint whose job row is gone is an orphan.
+        store.save_checkpoint("feed" * 16, trial_index=0, completed=[], session=None)
+        removed = store.gc(vacuum=False)
+        assert removed["checkpoints"] == 1
+        assert store.load_checkpoint(digest) is not None

@@ -125,16 +125,13 @@ class TestRun:
         assert set(totals) == {12}  # population conserved at every step
 
     def test_on_effective_rejected_for_batches(self, proto):
-        # The engine guards callbacks at batch size 1 only; run_batch
-        # never passes one, so reach into the internal entry point.
+        # Callbacks are only meaningful at batch size 1; run_batch never
+        # passes one, but start_batch exposes the parameter.
         with pytest.raises(SimulationError):
-            EnsembleEngine()._simulate(
+            EnsembleEngine().start_batch(
                 proto,
                 9,
-                [np.random.default_rng(0), np.random.default_rng(1)],
-                initial_counts=None,
-                max_interactions=None,
-                track_state=None,
+                seeds=list(np.random.SeedSequence(0).spawn(2)),
                 on_effective=lambda i, c: None,
             )
 
