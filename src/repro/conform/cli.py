@@ -7,7 +7,7 @@ Three verbs::
     conform check  # harness self-test / conformance-checked trials
 
 ``diff`` defaults to the acceptance configuration (uniform k-partition,
-k = 3, n = 300, all five engine paths) and exits non-zero on any
+k = 3, n = 300, all seven engine paths) and exits non-zero on any
 divergence.  ``fuzz`` runs :func:`~repro.conform.fuzzer.default_corpus`
 and exits non-zero if any finding survives.  ``check --self-test``
 plants a corrupted transition-table entry and exits non-zero unless
@@ -69,7 +69,7 @@ def build_conform_parser() -> argparse.ArgumentParser:
         "--engines",
         default=None,
         metavar="A,B,...",
-        help="engine paths to replicate (default: all five)",
+        help="engine paths to replicate (default: all seven)",
     )
     diff.add_argument(
         "--max-interactions",

@@ -1,13 +1,15 @@
 """Lockstep differential execution of one schedule through every engine.
 
-The five engines agree *in law* but not bit-for-bit: the count, hybrid
+The engine paths agree *in law* but not bit-for-bit: the count, hybrid
 and ensemble engines consume randomness as a jump chain, so seeding
 them identically to the agent engines cannot line trajectories up.
 What they all share is the transition-application data path — scalar
 ``delta_list`` lookups (agent), ``delta_flat`` with incremental active
 weights (batch), interaction classes with Fenwick-indexed weights
-(count), the batch-to-count hand-off (hybrid), and the vectorized
-class/weight matrices (ensemble).  The differ replays one recorded
+(count), the batch-to-count hand-off (hybrid), the vectorized
+class/weight matrices (ensemble), and the kernel tiers' sessions
+(count-jit, batch-jit), which drive the same class tables and flat
+transition arrays the compiled kernels consume.  The differ replays one recorded
 :class:`~repro.conform.schedule.InteractionSchedule` through the
 **real engine sessions** — every engine's
 :meth:`~repro.engine.session.EngineSession.apply_scheduled` pushes one
@@ -41,6 +43,7 @@ from ..engine.batch import BatchEngine
 from ..engine.count_based import CountBasedEngine
 from ..engine.ensemble import EnsembleEngine
 from ..engine.hybrid import HybridEngine
+from ..engine.jit import JitBatchEngine, JitCountEngine
 from ..obs.trace import TraceWriter
 from .invariants import Invariant, check_counts, invariant_pack
 from .schedule import InteractionSchedule, record_schedule
@@ -48,18 +51,31 @@ from .schedule import InteractionSchedule, record_schedule
 __all__ = ["Divergence", "DiffReport", "run_differential", "ENGINE_PATHS"]
 
 #: Engine data paths the differ can drive, in canonical order.
-ENGINE_PATHS = ("agent", "batch", "count", "hybrid", "ensemble")
+ENGINE_PATHS = (
+    "agent",
+    "batch",
+    "count",
+    "hybrid",
+    "ensemble",
+    "count-jit",
+    "batch-jit",
+)
 
 #: Constructors yielding an engine whose session supports driven
 #: execution.  The ensemble engine is pinned to its pure vectorized
 #: path (finish_threshold=0) so the drive exercises the matrix
-#: machinery rather than a scalar-finisher hand-off.
+#: machinery rather than a scalar-finisher hand-off.  The kernel tiers
+#: drive the identical class tables/flat transition arrays their
+#: compiled kernels consume (``ensemble-parallel`` has no path of its
+#: own — its data path is the ensemble engine's, shard by shard).
 _ENGINE_BUILDERS = {
     "agent": AgentBasedEngine,
     "batch": BatchEngine,
     "count": CountBasedEngine,
     "hybrid": HybridEngine,
     "ensemble": lambda: EnsembleEngine(finish_threshold=0),
+    "count-jit": JitCountEngine,
+    "batch-jit": JitBatchEngine,
 }
 
 

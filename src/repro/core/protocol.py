@@ -13,6 +13,7 @@ state.  Engines consume a protocol through its compiled form (see
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
@@ -22,7 +23,7 @@ from .errors import AsymmetricTransitionError, ProtocolError
 from .state import StateSpace
 from .transitions import Transition, TransitionTable
 
-__all__ = ["Protocol"]
+__all__ = ["Protocol", "StabilitySignature"]
 
 # A stability predicate receives the vector of per-state agent counts and
 # decides whether the configuration is stable in the sense of Section 2.2
@@ -33,6 +34,54 @@ StabilityPredicate = Callable[[np.ndarray], bool]
 # vectors and returns a boolean vector of length B — the vectorized
 # form the ensemble engine evaluates once per jump-chain step.
 BatchStabilityPredicate = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class StabilitySignature:
+    """Stability as a conjunction of count-sum equality constraints.
+
+    ``groups`` is a tuple of ``(state_indices, expected)`` pairs; a
+    configuration is stable iff, for every pair, the counts at
+    ``state_indices`` sum to ``expected``.  This is the declarative
+    form of a stability predicate: unlike an opaque callable it can be
+    flattened to integer arrays and evaluated inside a compiled kernel
+    (see :mod:`repro.engine.kernels`) with exactly the same result.
+
+    Group order matters only for speed, never for the result — kernels
+    short-circuit on the first violated constraint, so protocols should
+    put their cheapest near-always-rejecting constraint first (the
+    k-partition protocol leads with ``#g_k == floor(n/k)``, the same
+    cheap reject its scalar predicate uses).
+    """
+
+    groups: tuple[tuple[tuple[int, ...], int], ...]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten to ``(offsets, indices, expected)`` int64 arrays.
+
+        ``indices[offsets[g]:offsets[g+1]]`` are the state indices of
+        constraint ``g`` and ``expected[g]`` its required sum — the CSR
+        layout the kernels consume.
+        """
+        offsets = np.zeros(len(self.groups) + 1, dtype=np.int64)
+        idx: list[int] = []
+        want: list[int] = []
+        for g, (states, expected) in enumerate(self.groups):
+            idx.extend(states)
+            want.append(expected)
+            offsets[g + 1] = len(idx)
+        return (
+            offsets,
+            np.asarray(idx, dtype=np.int64),
+            np.asarray(want, dtype=np.int64),
+        )
+
+    def evaluate(self, counts: Sequence[int] | np.ndarray) -> bool:
+        """Reference evaluation (what the kernels compute natively)."""
+        for states, expected in self.groups:
+            if sum(int(counts[i]) for i in states) != expected:
+                return False
+        return True
 
 
 class Protocol:
@@ -65,6 +114,14 @@ class Protocol:
         falls back to evaluating the scalar predicate row by row, so
         providing it is purely a performance optimization (the ensemble
         engine evaluates it once per jump-chain step).
+    stability_signature_factory:
+        Optional factory ``n -> StabilitySignature`` giving the scalar
+        predicate in declarative count-sum form.  Must agree with the
+        scalar predicate on every count vector — the compiled kernel
+        tiers (``count-jit``, ``batch-jit``) evaluate the signature in
+        native code and silently fall back to the Python loop for
+        protocols that provide a predicate without a signature, so
+        supplying it is purely a performance optimization.
     metadata:
         Free-form information (e.g. ``{"k": 5, "paper": "..."}``).
     """
@@ -79,6 +136,9 @@ class Protocol:
         stability_predicate_factory: Callable[[int], StabilityPredicate] | None = None,
         batch_stability_predicate_factory: (
             Callable[[int], BatchStabilityPredicate] | None
+        ) = None,
+        stability_signature_factory: (
+            Callable[[int], StabilitySignature] | None
         ) = None,
         metadata: Mapping[str, object] | None = None,
         require_symmetric: bool = False,
@@ -107,6 +167,7 @@ class Protocol:
         self._initial_state = initial_state
         self._stability_factory = stability_predicate_factory
         self._batch_stability_factory = batch_stability_predicate_factory
+        self._signature_factory = stability_signature_factory
         self._metadata = dict(metadata or {})
 
     # ------------------------------------------------------------------
@@ -185,6 +246,19 @@ class Protocol:
         if self._stability_factory is None:
             return None
         return self._stability_factory(n)
+
+    def stability_signature(self, n: int) -> StabilitySignature | None:
+        """Declarative count-sum form of the stability test (or None).
+
+        ``None`` means the protocol has no signature — either it has no
+        stability predicate at all (silence is then the criterion,
+        which kernels handle natively) or its predicate cannot be
+        expressed as count-sum equalities (kernel tiers then fall back
+        to the Python loop).
+        """
+        if self._signature_factory is None:
+            return None
+        return self._signature_factory(n)
 
     def batch_stability_predicate(self, n: int) -> BatchStabilityPredicate | None:
         """Vectorized stability test over ``(B, S)`` count matrices.

@@ -1,6 +1,8 @@
 """Simulation engines: reference agent-based, batched uniform, the
-count-based jump-chain engine with null-interaction skipping, and the
-ensemble engine that vectorizes the jump chain across replicates.
+count-based jump-chain engine with null-interaction skipping, the
+ensemble engine that vectorizes the jump chain across replicates, the
+compiled kernel tiers (``count-jit``/``batch-jit``), and the
+process-parallel sharded ensemble tier (``ensemble-parallel``).
 
 Each engine is a stepper factory: ``Engine.start`` returns a resumable
 :class:`EngineSession` (advance/snapshot/restore/result) and
@@ -12,6 +14,9 @@ from .batch import BatchEngine
 from .count_based import CountBasedEngine
 from .ensemble import EnsembleEngine
 from .hybrid import HybridEngine
+from .jit import JitBatchEngine, JitCountEngine
+from .kernels import KernelBuildError, KernelSet, get_kernels, reset_kernels
+from .parallel import ParallelEnsembleEngine, ShardedEnsembleSession
 from .metrics import GroupSizeRecorder, TimeSeriesRecorder, aggregate_milestones
 from .registry import available_engines, build_engine, register_engine, resolve_engine
 from .session import EngineSession, SessionState, SessionStatus
@@ -37,6 +42,14 @@ __all__ = [
     "CountBasedEngine",
     "EnsembleEngine",
     "HybridEngine",
+    "JitCountEngine",
+    "JitBatchEngine",
+    "ParallelEnsembleEngine",
+    "ShardedEnsembleSession",
+    "KernelSet",
+    "KernelBuildError",
+    "get_kernels",
+    "reset_kernels",
     "FenwickWeights",
     "available_engines",
     "build_engine",

@@ -250,6 +250,7 @@ class BatchEngine(Engine):
     """Tight-loop uniform-scheduler engine with block pair sampling."""
 
     name = "batch"
+    _session_cls: type[BatchSession] = BatchSession
 
     def __init__(self, block_size: int = 4096) -> None:
         if block_size < 1:
@@ -267,7 +268,7 @@ class BatchEngine(Engine):
         track_state: str | int | None = None,
         on_effective: StepCallback | None = None,
     ) -> BatchSession:
-        return BatchSession(
+        return self._session_cls(
             self,
             protocol,
             n,

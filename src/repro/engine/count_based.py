@@ -352,7 +352,11 @@ class CountBasedSession(EngineSession):
             track_state=track_state,
             on_effective=on_effective,
         )
-        self._chain = JumpChain(protocol, self.counts, self._rng, self._n)
+        self._chain = self._make_chain(draw=True)
+
+    def _make_chain(self, *, draw: bool = True) -> JumpChain:
+        """Build the jump-chain core (the kernel tier overrides this)."""
+        return JumpChain(self._protocol, self.counts, self._rng, self._n, draw=draw)
 
     def _advance_inner(self, target: int) -> None:
         chain = self._chain
@@ -368,9 +372,7 @@ class CountBasedSession(EngineSession):
 
     def _restore(self, extra: dict) -> None:
         self.counts = list(extra["counts"])
-        self._chain = JumpChain(
-            self._protocol, self.counts, self._rng, self._n, draw=False
-        )
+        self._chain = self._make_chain(draw=False)
         self._rng = self._chain.apply_capture(extra["chain"])
 
     def apply_scheduled(self, a: int, b: int, p: int, q: int) -> bool:
@@ -384,6 +386,7 @@ class CountBasedEngine(Engine):
     """Jump-chain engine: O(log #rules) per effective interaction."""
 
     name = "count"
+    _session_cls: type[CountBasedSession] = CountBasedSession
 
     def start(
         self,
@@ -396,7 +399,7 @@ class CountBasedEngine(Engine):
         track_state: str | int | None = None,
         on_effective: StepCallback | None = None,
     ) -> CountBasedSession:
-        return CountBasedSession(
+        return self._session_cls(
             self,
             protocol,
             n,

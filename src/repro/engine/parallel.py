@@ -1,0 +1,330 @@
+"""Process-parallel ensemble tier: replicate shards across cores.
+
+The replicate dimension of an ensemble batch is embarrassingly
+parallel, but one :class:`~repro.engine.ensemble.EnsembleSession`
+vectorizes it inside a single process.  This tier splits the seed list
+into fixed-size *shards* and runs one ensemble session per shard —
+optionally in a process pool.
+
+Determinism comes from the shard geometry, not the scheduling: a
+replicate's result depends only on its own ``SeedSequence`` and the
+size of the batch it is vectorized with (see the reproducibility note
+in :mod:`repro.engine.ensemble`), so partitioning the seed list into
+fixed ``shard_size`` blocks makes every replicate's result a pure
+function of ``(seed, shard geometry)``.  Results are merged in shard
+order, so ``workers=1``, ``workers=N`` and the in-process
+:class:`ShardedEnsembleSession` all return the same list, element for
+element — the parallel-agreement tests pin this.
+
+Telemetry: per-replicate ``record_simulation`` emissions made inside
+pooled worker processes die with the fork, so the parent re-emits them
+from the returned results; the in-process paths emit naturally.  The
+ensemble engine's internal vector/finisher hand-off stats
+(``engine.ensemble.*``) are only visible on the in-process paths.
+Every batch additionally records ``engine.parallel.shards`` and the
+worker count actually used.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.protocol import Protocol
+from ..obs.instruments import record_parallel_shards, record_simulation
+from .base import SimulationResult, StepCallback
+from .ensemble import EnsembleEngine, EnsembleSession
+from .session import (
+    SNAPSHOT_VERSION,
+    SessionState,
+    SessionStatus,
+    protocol_fingerprint,
+)
+
+__all__ = ["ParallelEnsembleEngine", "ShardedEnsembleSession"]
+
+
+def _run_shard(
+    engine: "ParallelEnsembleEngine",
+    protocol: Protocol,
+    n: int | None,
+    seeds: list[np.random.SeedSequence],
+    initial_counts,
+    max_interactions: int | None,
+    track_state,
+) -> list[SimulationResult]:
+    """Worker entry point: one shard, straight through (module-level so
+    the process pool can pickle it)."""
+    session = EnsembleEngine.start_batch(
+        engine,
+        protocol,
+        n,
+        seeds=seeds,
+        initial_counts=initial_counts,
+        max_interactions=max_interactions,
+        track_state=track_state,
+    )
+    session.advance()
+    return session.results()
+
+
+class ShardedEnsembleSession:
+    """Resumable execution of a sharded batch, one process.
+
+    Duck-types the slice of the :class:`~repro.engine.session.EngineSession`
+    contract the campaign executor drives — ``advance``/``status``/
+    ``interactions``/``snapshot``/``restore``/``results`` — by
+    delegating to one per-shard :class:`EnsembleSession` each.  Results
+    concatenate in shard order, which is seed order.
+    """
+
+    def __init__(
+        self,
+        engine: "ParallelEnsembleEngine",
+        protocol: Protocol,
+        n: int | None,
+        *,
+        seeds: Sequence[np.random.SeedSequence],
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+    ) -> None:
+        if on_effective is not None:
+            raise SimulationError(
+                "on_effective callbacks are only supported for single runs"
+            )
+        seeds = list(seeds)
+        if not seeds:
+            raise SimulationError("run_batch needs at least one seed")
+        self._engine_name = engine.name
+        self._protocol = protocol
+        size = engine._shard_size
+        self._shards = [
+            EnsembleEngine.start_batch(
+                engine,
+                protocol,
+                n,
+                seeds=seeds[i : i + size],
+                initial_counts=initial_counts,
+                max_interactions=max_interactions,
+                track_state=track_state,
+            )
+            for i in range(0, len(seeds), size)
+        ]
+        self._batch_results: list[SimulationResult] | None = None
+        record_parallel_shards(shards=len(self._shards), workers=1)
+
+    # ------------------------------------------------------------------
+    # Session surface
+    # ------------------------------------------------------------------
+    @property
+    def engine_name(self) -> str:
+        return self._engine_name
+
+    @property
+    def protocol(self) -> Protocol:
+        return self._protocol
+
+    @property
+    def status(self) -> SessionStatus:
+        statuses = [s.status for s in self._shards]
+        if any(not s.terminal for s in statuses):
+            return SessionStatus.RUNNING
+        if all(s is SessionStatus.CONVERGED for s in statuses):
+            return SessionStatus.CONVERGED
+        if any(s is SessionStatus.EXHAUSTED for s in statuses):
+            return SessionStatus.EXHAUSTED
+        return SessionStatus.HALTED
+
+    @property
+    def interactions(self) -> int:
+        pending = [s.interactions for s in self._shards if not s.status.terminal]
+        if pending:
+            return min(pending)
+        return max(s.interactions for s in self._shards)
+
+    def advance(self, budget: int | None = None) -> SessionStatus:
+        """Advance every unfinished shard (by up to ``budget`` further
+        interactions each); returns the aggregate status."""
+        for shard in self._shards:
+            if not shard.status.terminal:
+                shard.advance(budget)
+        return self.status
+
+    def results(self) -> list[SimulationResult]:
+        """Per-replicate results in seed order (= shard order)."""
+        if not self.status.terminal:
+            raise SimulationError(
+                "session is still running; advance() it to completion first"
+            )
+        if self._batch_results is None:
+            merged: list[SimulationResult] = []
+            for shard in self._shards:
+                merged.extend(shard.results())
+            self._batch_results = merged
+        return list(self._batch_results)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SessionState:
+        first = self._shards[0]
+        return SessionState(
+            engine=self._engine_name,
+            protocol=self._protocol.name,
+            fingerprint=protocol_fingerprint(self._protocol),
+            num_states=self._protocol.num_states,
+            version=SNAPSHOT_VERSION,
+            config={
+                "n": first._n,
+                "max_interactions": first._max_interactions,
+                "track": first._track,
+                "shard_sizes": [s._B for s in self._shards],
+            },
+            shared={},
+            extra={"shards": [s.snapshot() for s in self._shards]},
+        )
+
+    def restore(self, state: SessionState | bytes) -> None:
+        if isinstance(state, (bytes, bytearray)):
+            state = SessionState.from_bytes(bytes(state))
+        if state.engine != self._engine_name:
+            raise SimulationError(
+                f"snapshot was taken by engine {state.engine!r}, "
+                f"cannot restore into {self._engine_name!r}"
+            )
+        if state.config.get("shard_sizes") != [s._B for s in self._shards]:
+            raise SimulationError(
+                "snapshot shard geometry does not match this session"
+            )
+        shard_states = state.extra["shards"]
+        # Per-shard restore revalidates fingerprint, n, budget, track.
+        for shard, shard_state in zip(self._shards, shard_states):
+            shard.restore(shard_state)
+        self._batch_results = None
+
+
+class ParallelEnsembleEngine(EnsembleEngine):
+    """Ensemble engine sharding replicate blocks across processes.
+
+    Parameters
+    ----------
+    shard_size:
+        Replicates vectorized together per shard.  Part of the result's
+        deterministic identity: the same seed list with the same
+        ``shard_size`` reproduces the same results regardless of
+        ``workers``.
+    workers:
+        Worker processes for :meth:`run_batch`.  ``None`` uses
+        ``os.cpu_count()``.  With one worker (or one shard) the batch
+        runs in-process.
+    finish_threshold:
+        Per-shard scalar-finisher hand-off, as for
+        :class:`~repro.engine.ensemble.EnsembleEngine`.
+    """
+
+    name = "ensemble-parallel"
+
+    def __init__(
+        self,
+        shard_size: int = 32,
+        workers: int | None = None,
+        finish_threshold: int | None = None,
+    ) -> None:
+        super().__init__(finish_threshold)
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self._shard_size = shard_size
+        self._workers = workers
+
+    def _resolve_workers(self, shards: int) -> int:
+        workers = self._workers if self._workers is not None else os.cpu_count() or 1
+        return max(1, min(workers, shards))
+
+    def start_batch(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seeds: Sequence[np.random.SeedSequence],
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+        on_effective: StepCallback | None = None,
+    ) -> ShardedEnsembleSession:
+        """Begin the sharded batch as one in-process resumable session."""
+        return ShardedEnsembleSession(
+            self,
+            protocol,
+            n,
+            seeds=seeds,
+            initial_counts=initial_counts,
+            max_interactions=max_interactions,
+            track_state=track_state,
+            on_effective=on_effective,
+        )
+
+    def run_batch(
+        self,
+        protocol: Protocol,
+        n: int | None = None,
+        *,
+        seeds: Sequence[np.random.SeedSequence],
+        initial_counts: Sequence[int] | np.ndarray | None = None,
+        max_interactions: int | None = None,
+        track_state: str | int | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate one execution per seed, shards fanned across cores.
+
+        Results are merged in shard order (= seed order) and are
+        identical for every worker count, including the in-process
+        :meth:`start_batch` path.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            raise SimulationError("run_batch needs at least one seed")
+        size = self._shard_size
+        shard_seeds = [seeds[i : i + size] for i in range(0, len(seeds), size)]
+        workers = self._resolve_workers(len(shard_seeds))
+        if workers <= 1:
+            session = self.start_batch(
+                protocol,
+                n,
+                seeds=seeds,
+                initial_counts=initial_counts,
+                max_interactions=max_interactions,
+                track_state=track_state,
+            )
+            session.advance()
+            return session.results()
+
+        record_parallel_shards(shards=len(shard_seeds), workers=workers)
+        results: list[SimulationResult] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard,
+                    self,
+                    protocol,
+                    n,
+                    shard,
+                    initial_counts,
+                    max_interactions,
+                    track_state,
+                )
+                for shard in shard_seeds
+            ]
+            for future in futures:  # shard order, regardless of completion order
+                results.extend(future.result())
+        # Pooled workers' telemetry died with their processes; replay the
+        # per-replicate records in the parent.
+        for result in results:
+            record_simulation(result)
+        return results

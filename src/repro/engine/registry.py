@@ -19,6 +19,8 @@ from .batch import BatchEngine
 from .count_based import CountBasedEngine
 from .ensemble import EnsembleEngine
 from .hybrid import HybridEngine
+from .jit import JitBatchEngine, JitCountEngine
+from .parallel import ParallelEnsembleEngine
 
 __all__ = ["available_engines", "build_engine", "register_engine", "resolve_engine"]
 
@@ -28,6 +30,9 @@ _REGISTRY: dict[str, Callable[[], Engine]] = {
     CountBasedEngine.name: CountBasedEngine,
     HybridEngine.name: HybridEngine,
     EnsembleEngine.name: EnsembleEngine,
+    JitCountEngine.name: JitCountEngine,
+    JitBatchEngine.name: JitBatchEngine,
+    ParallelEnsembleEngine.name: ParallelEnsembleEngine,
 }
 
 

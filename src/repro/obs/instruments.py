@@ -22,6 +22,12 @@ Naming scheme::
     engine.ensemble.finisher_replicates counter, handed to the scalar
                                         finisher
     engine.ensemble.vector_steps        counter, vectorized loop steps
+    engine.kernel.compiles              counter, compiled-kernel builds
+    engine.kernel.compile_seconds       histogram, per-build wall time
+    engine.parallel.shards              counter, replicate shards
+                                        dispatched by parallel batches
+    engine.parallel.last_workers        gauge, worker processes used by
+                                        the latest parallel batch
     runner.calls / runner.trials        counters
     runner.interactions / runner.effective_interactions  counters
     runner.cache.hits / runner.cache.misses              counters
@@ -46,6 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard (engine imports us)
 __all__ = [
     "record_simulation",
     "record_ensemble_batch",
+    "record_kernel_compile",
+    "record_parallel_shards",
     "record_trialset",
     "record_cache_lookup",
     "record_chunk_seconds",
@@ -89,6 +97,33 @@ def record_ensemble_batch(
     telemetry.gauge("engine.ensemble.last_finisher_fraction").set(
         finisher_replicates / replicates if replicates else 0.0
     )
+
+
+def record_kernel_compile(backend: str, seconds: float) -> None:
+    """Record one compiled-kernel build (Numba JIT or C toolchain).
+
+    The pure-Python fallback backend never compiles anything and emits
+    nothing; the counter/histogram pair therefore measures exactly the
+    one-time native-tier warm-up cost a process pays.
+    """
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.counter("engine.kernel.compiles").inc()
+    telemetry.gauge("engine.kernel.last_backend_is_native").set(
+        0.0 if backend == "python" else 1.0
+    )
+    telemetry.histogram("engine.kernel.compile_seconds").record(seconds)
+
+
+def record_parallel_shards(*, shards: int, workers: int) -> None:
+    """Record one parallel-ensemble batch's shard fan-out."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.counter("engine.parallel.shards").inc(shards)
+    telemetry.counter("engine.parallel.batches").inc()
+    telemetry.gauge("engine.parallel.last_workers").set(float(workers))
 
 
 def record_trialset(ts: "TrialSet", *, cached: bool, elapsed: float) -> None:

@@ -59,6 +59,7 @@ class UniformBipartitionProtocol(Protocol):
             transitions=table,
             initial_state=INITIAL,
             stability_predicate_factory=self._make_stability_predicate,
+            stability_signature_factory=self._make_stability_signature,
             metadata={"k": 2, "paper": "Yasumi et al., OPODIS 2017 [25]", "states": 4},
             require_symmetric=True,
         )
@@ -78,6 +79,16 @@ class UniformBipartitionProtocol(Protocol):
             )
 
         return stable
+
+    def _make_stability_signature(self, n: int):
+        """Count-sum form of the predicate for the compiled kernel tiers."""
+        from ..core.protocol import StabilitySignature
+
+        half, r = divmod(n, 2)
+        g1, g2 = self._g_idx
+        return StabilitySignature(
+            (((g1,), half), ((g2,), half), (self._i_idx, r))
+        )
 
     def expected_group_sizes(self, n: int) -> np.ndarray:
         """Final sizes: ``ceil(n/2)`` in group 1, ``floor(n/2)`` in group 2."""

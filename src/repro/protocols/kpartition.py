@@ -169,6 +169,7 @@ class UniformKPartitionProtocol(Protocol):
             initial_state=INITIAL,
             stability_predicate_factory=self._make_stability_predicate,
             batch_stability_predicate_factory=self._make_batch_stability_predicate,
+            stability_signature_factory=self._make_stability_signature,
             metadata={
                 "k": k,
                 "paper": "Yasumi et al., IPPS 2018 / IJNC 2019",
@@ -335,6 +336,28 @@ class UniformKPartitionProtocol(Protocol):
             return ok
 
         return stable
+
+    def _make_stability_signature(self, n: int):
+        """Declarative (count-sum) form of :meth:`_make_stability_predicate`.
+
+        Same constraints, same order — ``#g_k == q`` leads so the
+        kernels get the same cheap near-always reject the scalar
+        predicate has.  ``g_k`` appears again inside the exact-G block;
+        the redundancy is harmless (signatures are conjunctions).
+        """
+        from ..core.protocol import StabilitySignature
+
+        k = self._k
+        q, r = divmod(n, k)
+        groups: list[tuple[tuple[int, ...], int]] = [((self._g_idx[-1],), q)]
+        groups.append((self._i_idx, 1 if r == 1 else 0))
+        for x, idx in enumerate(self._g_idx, start=1):
+            groups.append(((idx,), q + 1 if x <= r - 1 else q))
+        for off, idx in enumerate(self._m_idx):
+            groups.append(((idx,), 1 if r >= 2 and off == r - 2 else 0))
+        for idx in self._d_idx:
+            groups.append(((idx,), 0))
+        return StabilitySignature(tuple(groups))
 
     def stable(self, counts: Sequence[int] | np.ndarray, n: int | None = None) -> bool:
         """True when ``counts`` is the stable signature for ``n`` agents."""

@@ -44,6 +44,7 @@ class LeaderElectionProtocol(Protocol):
             transitions=table,
             initial_state=LEADER,
             stability_predicate_factory=self._make_stability_predicate,
+            stability_signature_factory=self._make_stability_signature,
             metadata={"states": 2},
         )
         self._leader_idx = space.index(LEADER)
@@ -59,6 +60,12 @@ class LeaderElectionProtocol(Protocol):
             return counts[leader] == 1
 
         return stable
+
+    def _make_stability_signature(self, n: int):
+        """Count-sum form of the predicate: exactly one leader."""
+        from ..core.protocol import StabilitySignature
+
+        return StabilitySignature((((self._leader_idx,), 1),))
 
     def num_leaders(self, counts: Sequence[int]) -> int:
         return int(counts[self._leader_idx])

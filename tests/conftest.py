@@ -10,6 +10,9 @@ from repro.engine import (
     CountBasedEngine,
     EnsembleEngine,
     HybridEngine,
+    JitBatchEngine,
+    JitCountEngine,
+    ParallelEnsembleEngine,
 )
 from repro.protocols import (
     approximate_k_partition,
@@ -57,7 +60,18 @@ def majority():
     return approximate_majority()
 
 
-@pytest.fixture(params=["agent", "batch", "count", "hybrid", "ensemble"])
+@pytest.fixture(
+    params=[
+        "agent",
+        "batch",
+        "count",
+        "hybrid",
+        "ensemble",
+        "count-jit",
+        "batch-jit",
+        "ensemble-parallel",
+    ]
+)
 def any_engine(request):
     """Parametrizes a test over all engines."""
     return {
@@ -66,4 +80,7 @@ def any_engine(request):
         "count": CountBasedEngine(),
         "hybrid": HybridEngine(),
         "ensemble": EnsembleEngine(),
+        "count-jit": JitCountEngine(),
+        "batch-jit": JitBatchEngine(),
+        "ensemble-parallel": ParallelEnsembleEngine(),
     }[request.param]

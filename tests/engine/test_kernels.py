@@ -1,0 +1,267 @@
+"""Kernel tier: backend selection, and bit-identity with the Python tiers.
+
+The compiled kernels consume the same pre-drawn random buffers the
+pure-Python loops draw, so a ``count-jit``/``batch-jit`` run must be
+*bit-identical* to its ``count``/``batch`` counterpart — same counts,
+interaction totals, milestones, convergence flags — whichever backend
+(numba, cc, python) is active.  These tests pin that equality across
+seeds, protocols, slicing, budget exhaustion, and the forced
+pure-Python fallback, so the suite passes with no native toolchain at
+all.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import pytest
+
+from repro.engine import (
+    BatchEngine,
+    CountBasedEngine,
+    JitBatchEngine,
+    JitCountEngine,
+    KernelBuildError,
+    SessionState,
+    get_kernels,
+    reset_kernels,
+)
+from repro.engine.count_based import JumpChain
+from repro.engine.jit import KernelJumpChain
+from repro.engine.kernels import KERNEL_ENV, _build_cc, _find_cc
+from repro.protocols import (
+    leader_election,
+    uniform_bipartition,
+    uniform_k_partition,
+)
+
+_HAS_NUMBA = importlib.util.find_spec("numba") is not None
+
+
+def _science(result) -> tuple:
+    """Everything except engine name and wall time."""
+    return (
+        result.interactions,
+        result.effective_interactions,
+        result.converged,
+        result.silent,
+        tuple(result.final_counts.tolist()),
+        tuple(result.tracked_milestones),
+    )
+
+
+@pytest.fixture
+def python_backend(monkeypatch):
+    """Force the pure-Python kernel backend for one test."""
+    monkeypatch.setenv(KERNEL_ENV, "python")
+    reset_kernels()
+    yield
+    reset_kernels()
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _restore_kernels():
+    yield
+    reset_kernels()
+
+
+class TestBackendSelection:
+    def test_get_kernels_caches(self):
+        reset_kernels()
+        assert get_kernels() is get_kernels()
+
+    def test_forced_python_backend(self, python_backend):
+        kernels = get_kernels()
+        assert kernels.backend == "python"
+        assert not kernels.native
+        assert kernels.compile_seconds == 0.0
+
+    def test_unknown_backend_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "warp-drive")
+        reset_kernels()
+        with pytest.raises(KernelBuildError, match="warp-drive"):
+            get_kernels()
+        reset_kernels()
+
+    @pytest.mark.skipif(_HAS_NUMBA, reason="numba is installed")
+    def test_forced_numba_raises_without_numba(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "numba")
+        reset_kernels()
+        with pytest.raises(KernelBuildError, match="numba"):
+            get_kernels()
+        reset_kernels()
+
+    @pytest.mark.skipif(_find_cc() is None, reason="no C compiler on PATH")
+    def test_cc_backend_builds_and_is_cached(self):
+        first = _build_cc()
+        assert first.backend == "cc"
+        # Second build loads the cached shared object: no recompilation.
+        second = _build_cc()
+        assert second.backend == "cc"
+        assert second.compile_seconds <= first.compile_seconds + 1.0
+
+
+PROTOCOLS = {
+    "k3": (uniform_k_partition(3), 300, "g3"),
+    "bipartition": (uniform_bipartition(), 121, "g2"),
+    "leader": (leader_election(), 90, None),
+}
+
+
+class TestCountTierIdentity:
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_bit_identical_to_count_tier(self, name, seed):
+        proto, n, track = PROTOCOLS[name]
+        plain = CountBasedEngine().run(proto, n, seed=seed, track_state=track)
+        jit = JitCountEngine().run(proto, n, seed=seed, track_state=track)
+        assert _science(jit) == _science(plain)
+        assert jit.engine == "count-jit"
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_budget_exhaustion_parity(self, seed):
+        proto, n, track = PROTOCOLS["k3"]
+        plain = CountBasedEngine().run(
+            proto, n, seed=seed, track_state=track, max_interactions=5000
+        )
+        jit = JitCountEngine().run(
+            proto, n, seed=seed, track_state=track, max_interactions=5000
+        )
+        assert plain.interactions == jit.interactions == 5000
+        assert _science(jit) == _science(plain)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_python_backend_identical(self, python_backend, seed):
+        proto, n, track = PROTOCOLS["k3"]
+        plain = CountBasedEngine().run(proto, n, seed=seed, track_state=track)
+        jit = JitCountEngine().run(proto, n, seed=seed, track_state=track)
+        assert _science(jit) == _science(plain)
+
+    @pytest.mark.parametrize("cut", [7, 97])
+    def test_sliced_with_snapshots_equals_straight_python_tier(self, cut):
+        proto, n, track = PROTOCOLS["k3"]
+        straight = CountBasedEngine().run(proto, n, seed=5, track_state=track)
+        engine = JitCountEngine()
+        session = engine.start(proto, n, seed=5, track_state=track)
+        while not session.advance(cut).terminal:
+            blob = session.snapshot().to_bytes()
+            session = engine.start(proto, n, seed=99, track_state=track)
+            session.restore(SessionState.from_bytes(blob))
+        assert _science(session.result()) == _science(straight)
+
+    def test_callback_forces_python_loop(self):
+        proto, n, track = PROTOCOLS["k3"]
+        seen_plain: list[int] = []
+        seen_jit: list[int] = []
+        plain = CountBasedEngine().run(
+            proto, n, seed=1, on_effective=lambda i, c: seen_plain.append(i)
+        )
+        engine = JitCountEngine()
+        session = engine.start(
+            proto, n, seed=1, on_effective=lambda i, c: seen_jit.append(i)
+        )
+        assert type(session._chain) is JumpChain  # fallback, not the kernel
+        session.advance()
+        assert _science(session.result()) == _science(plain)
+        assert seen_jit == seen_plain
+
+    def test_kernel_chain_used_when_eligible(self):
+        proto, n, _ = PROTOCOLS["k3"]
+        session = JitCountEngine().start(proto, n, seed=0)
+        assert isinstance(session._chain, KernelJumpChain)
+
+
+class TestBatchTierIdentity:
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_bit_identical_to_batch_tier(self, name, seed):
+        proto, n, track = PROTOCOLS[name]
+        n = min(n, 72)  # the batch tier simulates every null interaction
+        plain = BatchEngine().run(
+            proto, n, seed=seed, track_state=track, max_interactions=30_000
+        )
+        jit = JitBatchEngine().run(
+            proto, n, seed=seed, track_state=track, max_interactions=30_000
+        )
+        assert _science(jit) == _science(plain)
+        assert jit.engine == "batch-jit"
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_budget_exhaustion_parity(self, seed):
+        proto, _, track = PROTOCOLS["k3"]
+        plain = BatchEngine().run(
+            proto, 72, seed=seed, track_state=track, max_interactions=500
+        )
+        jit = JitBatchEngine().run(
+            proto, 72, seed=seed, track_state=track, max_interactions=500
+        )
+        assert _science(jit) == _science(plain)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_python_backend_identical(self, python_backend, seed):
+        proto, _, track = PROTOCOLS["k3"]
+        plain = BatchEngine().run(
+            proto, 72, seed=seed, track_state=track, max_interactions=30_000
+        )
+        jit = JitBatchEngine().run(
+            proto, 72, seed=seed, track_state=track, max_interactions=30_000
+        )
+        assert _science(jit) == _science(plain)
+
+    @pytest.mark.parametrize("cut", [13, 512])
+    def test_sliced_with_snapshots_equals_straight_python_tier(self, cut):
+        proto, _, track = PROTOCOLS["k3"]
+        straight = BatchEngine().run(
+            proto, 72, seed=5, track_state=track, max_interactions=30_000
+        )
+        engine = JitBatchEngine()
+        session = engine.start(
+            proto, 72, seed=5, track_state=track, max_interactions=30_000
+        )
+        while not session.advance(cut).terminal:
+            blob = session.snapshot().to_bytes()
+            session = engine.start(
+                proto, 72, seed=99, track_state=track, max_interactions=30_000
+            )
+            session.restore(SessionState.from_bytes(blob))
+        assert _science(session.result()) == _science(straight)
+
+    def test_callback_forces_python_loop(self):
+        proto, _, _ = PROTOCOLS["k3"]
+        session = JitBatchEngine().start(
+            proto, 72, seed=1, on_effective=lambda i, c: None
+        )
+        assert not session._use_kernel
+
+
+class TestSignatureAgreement:
+    """The declarative signature must decide exactly like the predicate
+    on every configuration a run visits (including the initial one)."""
+
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    @pytest.mark.parametrize("n_off", [0, 1, 2, 3])
+    def test_signature_matches_predicate_along_trajectories(self, name, n_off):
+        proto, n, _ = PROTOCOLS[name]
+        n = min(n, 60) + n_off
+        pred = proto.stability_predicate(n)
+        sig = proto.stability_signature(n)
+        assert pred is not None and sig is not None
+
+        visited = []
+
+        def watch(i, counts):
+            visited.append(list(counts))
+
+        CountBasedEngine().run(
+            proto, n, seed=2, on_effective=watch, max_interactions=50_000
+        )
+        assert visited
+        for counts in visited:
+            assert sig.evaluate(counts) == pred(counts), counts
+
+    def test_signature_arrays_are_csr(self):
+        proto, n, _ = PROTOCOLS["k3"]
+        off, idx, want = proto.stability_signature(n).arrays()
+        assert off[0] == 0 and off[-1] == len(idx)
+        assert len(off) == len(want) + 1
+        assert (off[1:] >= off[:-1]).all()

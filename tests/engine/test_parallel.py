@@ -1,0 +1,151 @@
+"""Parallel ensemble tier: worker-count independence and determinism.
+
+The shard geometry (fixed ``shard_size`` blocks of the seed list) is
+the deterministic identity of a parallel batch: every replicate's
+result is a pure function of its seed and its shard, so the pooled
+path, the in-process path, and the resumable
+:class:`~repro.engine.parallel.ShardedEnsembleSession` must all return
+the same results in the same order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.engine import (
+    EnsembleEngine,
+    ParallelEnsembleEngine,
+    SessionState,
+    SessionStatus,
+)
+from repro.protocols import uniform_k_partition
+
+
+@pytest.fixture(scope="module")
+def proto():
+    return uniform_k_partition(3)
+
+
+def _seeds(count: int, root: int = 42) -> list[np.random.SeedSequence]:
+    return list(np.random.SeedSequence(root).spawn(count))
+
+
+def _science(result) -> tuple:
+    return (
+        result.interactions,
+        result.effective_interactions,
+        result.converged,
+        result.silent,
+        tuple(result.final_counts.tolist()),
+        tuple(result.tracked_milestones),
+    )
+
+
+class TestWorkerIndependence:
+    def test_pooled_equals_in_process(self, proto):
+        seeds = _seeds(20)
+        serial = ParallelEnsembleEngine(shard_size=8, workers=1).run_batch(
+            proto, 60, seeds=seeds, track_state="g3"
+        )
+        pooled = ParallelEnsembleEngine(shard_size=8, workers=3).run_batch(
+            proto, 60, seeds=seeds, track_state="g3"
+        )
+        assert [r.engine for r in pooled] == ["ensemble-parallel"] * 20
+        assert [_science(r) for r in pooled] == [_science(r) for r in serial]
+
+    def test_matches_plain_ensemble_at_shard_granularity(self, proto):
+        seeds = _seeds(20)
+        size = 8
+        reference = []
+        for i in range(0, len(seeds), size):
+            reference.extend(
+                EnsembleEngine().run_batch(proto, 60, seeds=seeds[i : i + size])
+            )
+        parallel = ParallelEnsembleEngine(shard_size=size, workers=1).run_batch(
+            proto, 60, seeds=seeds
+        )
+        assert [_science(r) for r in parallel] == [_science(r) for r in reference]
+
+    def test_single_run_start_works(self, proto):
+        result = ParallelEnsembleEngine().run(proto, 30, seed=7)
+        assert result.engine == "ensemble-parallel"
+        assert result.converged
+
+
+class TestShardedSession:
+    def test_advance_to_completion_equals_run_batch(self, proto):
+        seeds = _seeds(12)
+        engine = ParallelEnsembleEngine(shard_size=5)
+        session = engine.start_batch(proto, 60, seeds=seeds)
+        assert session.status is SessionStatus.RUNNING
+        session.advance()
+        direct = ParallelEnsembleEngine(shard_size=5, workers=1).run_batch(
+            proto, 60, seeds=seeds
+        )
+        assert [_science(r) for r in session.results()] == [
+            _science(r) for r in direct
+        ]
+
+    def test_snapshot_restore_mid_run_is_bit_identical(self, proto):
+        seeds = _seeds(12)
+        engine = ParallelEnsembleEngine(shard_size=5)
+        straight = engine.start_batch(proto, 60, seeds=seeds)
+        straight.advance()
+        expected = [_science(r) for r in straight.results()]
+
+        session = engine.start_batch(proto, 60, seeds=seeds)
+        while not session.advance(700).terminal:
+            blob = session.snapshot().to_bytes()
+            session = engine.start_batch(proto, 60, seeds=seeds)
+            session.restore(SessionState.from_bytes(blob))
+        assert [_science(r) for r in session.results()] == expected
+
+    def test_results_before_terminal_raises(self, proto):
+        session = ParallelEnsembleEngine(shard_size=5).start_batch(
+            proto, 60, seeds=_seeds(12)
+        )
+        with pytest.raises(SimulationError, match="still running"):
+            session.results()
+
+    def test_budget_exhaustion(self, proto):
+        session = ParallelEnsembleEngine(shard_size=4).start_batch(
+            proto, 60, seeds=_seeds(8), max_interactions=25
+        )
+        session.advance()
+        assert session.status is SessionStatus.EXHAUSTED
+        for result in session.results():
+            assert result.interactions == 25
+            assert not result.converged
+
+    def test_shard_geometry_mismatch_rejected(self, proto):
+        engine = ParallelEnsembleEngine(shard_size=5)
+        blob = engine.start_batch(proto, 60, seeds=_seeds(12)).snapshot().to_bytes()
+        other = ParallelEnsembleEngine(shard_size=6).start_batch(
+            proto, 60, seeds=_seeds(12)
+        )
+        with pytest.raises(SimulationError, match="shard geometry"):
+            other.restore(SessionState.from_bytes(blob))
+
+    def test_on_effective_rejected_for_batches(self, proto):
+        with pytest.raises(SimulationError, match="single runs"):
+            ParallelEnsembleEngine().start_batch(
+                proto, 60, seeds=_seeds(4), on_effective=lambda i, c: None
+            )
+
+    def test_empty_seed_list_rejected(self, proto):
+        engine = ParallelEnsembleEngine()
+        with pytest.raises(SimulationError, match="at least one seed"):
+            engine.run_batch(proto, 60, seeds=[])
+
+
+class TestConstruction:
+    def test_invalid_shard_size(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            ParallelEnsembleEngine(shard_size=0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelEnsembleEngine(workers=0)

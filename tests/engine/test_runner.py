@@ -290,10 +290,34 @@ class TestEngineResolution:
             assert name in message
         assert "did you mean" in message and "count" in message
 
+    @pytest.mark.parametrize(
+        ("typo", "expected"),
+        [
+            ("count-jitt", "count-jit"),
+            ("batch-jti", "batch-jit"),
+            ("ensemble-paralel", "ensemble-parallel"),
+        ],
+    )
+    def test_unknown_engine_suggests_new_tier_names(self, typo, expected):
+        from repro.engine import build_engine
+
+        with pytest.raises(SimulationError) as excinfo:
+            build_engine(typo)
+        assert f"did you mean {expected!r}?" in str(excinfo.value)
+
     def test_registry_round_trip(self):
         from repro.engine import available_engines, build_engine
 
         names = available_engines()
-        assert names == ("agent", "batch", "count", "ensemble", "hybrid")
+        assert names == (
+            "agent",
+            "batch",
+            "batch-jit",
+            "count",
+            "count-jit",
+            "ensemble",
+            "ensemble-parallel",
+            "hybrid",
+        )
         for name in names:
             assert build_engine(name).name == name

@@ -11,6 +11,11 @@ from repro.engine import (
     CountBasedEngine,
     EnsembleEngine,
     HybridEngine,
+    JitBatchEngine,
+    JitCountEngine,
+    ParallelEnsembleEngine,
+    get_kernels,
+    reset_kernels,
 )
 from repro.obs import Telemetry, use_telemetry
 
@@ -26,6 +31,9 @@ ENGINES = {
     "count": CountBasedEngine,
     "ensemble": EnsembleEngine,
     "hybrid": HybridEngine,
+    "count-jit": JitCountEngine,
+    "batch-jit": JitBatchEngine,
+    "ensemble-parallel": ParallelEnsembleEngine,
 }
 
 
@@ -68,6 +76,34 @@ class TestEngineEmission:
         t = Telemetry()
         CountBasedEngine().run(proto, 12, seed=52)  # default null registry
         assert t.snapshot()["counters"] == {}
+
+    def test_kernel_compile_emission(self, proto):
+        """A fresh native-kernel build records exactly one compile (the
+        pure-Python fallback backend records nothing)."""
+        reset_kernels()
+        t = Telemetry()
+        with use_telemetry(t):
+            kernels = get_kernels()
+            JitCountEngine().run(proto, 12, seed=57)
+        snap = t.snapshot()
+        if kernels.native:
+            assert snap["counters"]["engine.kernel.compiles"] == 1
+            assert snap["histograms"]["engine.kernel.compile_seconds"]["count"] == 1
+            assert snap["gauges"]["engine.kernel.last_backend_is_native"] == 1.0
+        else:
+            assert "engine.kernel.compiles" not in snap["counters"]
+
+    def test_parallel_shard_emission(self, proto):
+        t = Telemetry()
+        with use_telemetry(t):
+            engine = ParallelEnsembleEngine(shard_size=4, workers=1)
+            import numpy as np
+
+            engine.run_batch(proto, 12, seeds=list(np.random.SeedSequence(7).spawn(10)))
+        snap = t.snapshot()
+        assert snap["counters"]["engine.parallel.shards"] == 3
+        assert snap["counters"]["engine.parallel.batches"] == 1
+        assert snap["gauges"]["engine.parallel.last_workers"] == 1.0
 
 
 class TestRunnerEmission:
@@ -127,6 +163,28 @@ class TestZeroCostWhenDisabled:
         with use(BoobyTrapped()):
             ts = run_trials(proto, 12, trials=4, seed=55, engine="ensemble")
         assert ts.all_converged
+
+    def test_disabled_path_covers_kernel_and_parallel_tiers(self, proto):
+        """The kernel build path (record_kernel_compile) and the shard
+        fan-out path (record_parallel_shards) must also be free on the
+        disabled path — including a fresh kernel-backend build."""
+        from repro.obs.telemetry import NullTelemetry, use_telemetry as use
+
+        class BoobyTrapped(NullTelemetry):
+            def counter(self, name):
+                raise AssertionError(f"counter({name!r}) on disabled path")
+
+            def gauge(self, name):
+                raise AssertionError(f"gauge({name!r}) on disabled path")
+
+            def histogram(self, name):
+                raise AssertionError(f"histogram({name!r}) on disabled path")
+
+        reset_kernels()  # force a kernel build inside the trap
+        with use(BoobyTrapped()):
+            for engine in ("count-jit", "batch-jit", "ensemble-parallel"):
+                ts = run_trials(proto, 12, trials=4, seed=55, engine=engine)
+                assert ts.all_converged
 
     def test_disabled_callbacks_unaffected(self, proto):
         # on_effective still fires per effective interaction regardless
