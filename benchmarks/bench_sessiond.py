@@ -1,0 +1,160 @@
+"""Benchmark: sessiond snapshot/restore latency and store growth.
+
+The session service's cost model has two axes:
+
+* the per-checkpoint price — pickling a ``SessionState``, content-
+  addressing it, and writing it through SQLite (and the symmetric
+  restore path back into a live engine session), and
+* the store-size curve as the checkpoint interval shrinks — denser
+  checkpoints buy finer-grained time travel at the price of more
+  rows, partially refunded by content-addressed blob dedup and GC.
+
+Both are measured on the paper's k = 3 protocol and written to
+``BENCH_sessiond.json`` at the repository root with the same
+provenance block as ``BENCH_ensemble.json`` (git revision, CPU count,
+NumPy/Numba versions, active kernel backend), so numbers from
+different machines are never silently comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import get_kernels
+from repro.protocols import uniform_k_partition
+from repro.sessiond import SessionManager
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_sessiond.json"
+N = 300
+SEED = 2026
+
+
+def _provenance() -> dict:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=RESULT_PATH.parent,
+            check=True,
+        ).stdout.strip()
+    except Exception:  # noqa: BLE001 — provenance is best effort
+        rev = "unknown"
+    try:
+        import numba
+
+        numba_version = numba.__version__
+    except Exception:  # noqa: BLE001 — absence is normal
+        numba_version = None
+    return {
+        "git_rev": rev,
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "numba": numba_version,
+        "kernel_backend": get_kernels().backend,
+    }
+
+
+def _record(point: str, payload: dict) -> None:
+    data = {}
+    if RESULT_PATH.exists():
+        try:
+            data = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[point] = payload
+    data["provenance"] = _provenance()
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _free_config(**overrides) -> dict:
+    config = {
+        "mode": "free",
+        "engine": "count",
+        "protocol": "uniform-k-partition",
+        "params": {"k": 3},
+        "n": N,
+        "seed": SEED,
+        "max_interactions": 2_000_000,
+    }
+    config.update(overrides)
+    return config
+
+
+def test_snapshot_restore_roundtrip(benchmark, tmp_path):
+    """One checkpoint write + one rewind (restore) through the store."""
+    manager = SessionManager(
+        tmp_path / "bench.db", checkpoint_interval=1_000_000
+    )
+    try:
+        manager.create(_free_config(), session_id="s")
+        manager.advance("s", 5_000)
+        at = manager.status("s")["interactions"]
+        manager.snapshot("s")
+
+        def roundtrip():
+            manager.snapshot("s")
+            manager.rewind("s", at)
+
+        benchmark.pedantic(roundtrip, rounds=20, iterations=5)
+        per_roundtrip = benchmark.stats.stats.min / 5
+        _record(
+            f"roundtrip_k3_n{N}",
+            {
+                "k": 3,
+                "n": N,
+                "engine": "count",
+                "interactions_at_snapshot": at,
+                "seconds_per_snapshot_restore": round(per_roundtrip, 6),
+            },
+        )
+        # A checkpoint round-trip must stay cheap enough to take every
+        # few thousand interactions without dominating the run.
+        assert per_roundtrip < 0.5
+    finally:
+        manager.close()
+
+
+@pytest.mark.parametrize("interval", [512, 2048, 8192])
+def test_store_size_vs_checkpoint_interval(tmp_path, interval):
+    """Store footprint of a full run at several checkpoint cadences."""
+    store_path = tmp_path / f"interval-{interval}.db"
+    manager = SessionManager(store_path, checkpoint_interval=interval)
+    try:
+        manager.create(
+            _free_config(checkpoint_interval=interval), session_id="s"
+        )
+        start = time.perf_counter()
+        manager.advance("s")
+        elapsed = time.perf_counter() - start
+        stats = manager.store.stats()
+        interactions = manager.status("s")["interactions"]
+        swept = manager.gc()
+        after = manager.store.stats()
+        _record(
+            f"store_interval_{interval}",
+            {
+                "k": 3,
+                "n": N,
+                "engine": "count",
+                "checkpoint_interval": interval,
+                "interactions": interactions,
+                "run_seconds": round(elapsed, 4),
+                "snapshots": stats["snapshots"],
+                "bytes": stats["bytes"],
+                "bytes_after_gc": after["bytes"],
+                "gc_snapshots_removed": swept["snapshots_removed"],
+            },
+        )
+        assert stats["snapshots"] >= interactions // interval
+        # GC keeps only the protected set (first + latest here).
+        assert after["snapshots"] == 2
+    finally:
+        manager.close()

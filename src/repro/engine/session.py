@@ -131,11 +131,23 @@ class SessionState:
         if not isinstance(payload, dict) or "version" not in payload:
             raise SimulationError("undecodable session snapshot: not a snapshot payload")
         if payload["version"] != SNAPSHOT_VERSION:
+            engine = payload.get("engine", "<unknown>")
             raise SimulationError(
-                f"session snapshot version {payload['version']} is not "
-                f"supported (expected {SNAPSHOT_VERSION})"
+                f"session snapshot for engine {engine!r} has payload "
+                f"version {payload['version']}, but this library reads "
+                f"version {SNAPSHOT_VERSION}"
             )
         return cls(**payload)
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialized payload.
+
+        The content address the snapshot store dedups blobs by: two
+        captures of identical session state (a fork and its parent at
+        the fork point, say) hash to the same digest and are stored
+        once.
+        """
+        return hashlib.sha256(self.to_bytes()).hexdigest()
 
 
 class EngineSession:

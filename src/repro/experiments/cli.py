@@ -345,6 +345,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..conform.cli import conform_main
 
         return conform_main(argv[1:])
+    if argv and argv[0] == "session":
+        from ..sessiond.cli import session_main
+
+        return session_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "describe":
         if not args.protocol:

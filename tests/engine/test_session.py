@@ -250,3 +250,28 @@ class TestRegistryRoundTrip:
         # and survives record serialization unchanged.
         assert type(resolve_engine(r.engine)) is type(engine)
         assert SimulationResult.from_record(r.to_record()).engine == name
+
+
+class TestSnapshotDigest:
+    def test_identical_states_share_a_digest(self, any_engine):
+        a = resolve_engine(any_engine).start(PROTO, 18, seed=3)
+        snap = a.snapshot()
+        assert snap.digest() == a.snapshot().digest()
+        assert snap.digest() == SessionState.from_bytes(snap.to_bytes()).digest()
+
+    def test_digest_tracks_state_changes(self, any_engine):
+        a = resolve_engine(any_engine).start(PROTO, 18, seed=3)
+        before = a.snapshot().digest()
+        a.advance(10)
+        assert a.snapshot().digest() != before
+
+    def test_version_mismatch_names_engine_and_versions(self):
+        session = resolve_engine("count").start(PROTO, 12, seed=0)
+        snap = session.snapshot()
+        snap.version = 999
+        with pytest.raises(SimulationError) as err:
+            SessionState.from_bytes(snap.to_bytes())
+        message = str(err.value)
+        assert "'count'" in message
+        assert "999" in message
+        assert "version 1" in message

@@ -1,0 +1,56 @@
+"""Shared fixtures for the sessiond test suite.
+
+One small recorded schedule (n = 24, converges in a few hundred
+interactions) drives all the determinism tests; checkpoint intervals
+are kept small so every test exercises multiple checkpoints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conform import record_schedule
+from repro.protocols import uniform_k_partition
+from repro.sessiond import SessionManager
+
+
+@pytest.fixture(scope="session")
+def proto():
+    return uniform_k_partition(3)
+
+
+@pytest.fixture(scope="session")
+def schedule(proto):
+    return record_schedule(proto, 24, seed=11)
+
+
+@pytest.fixture()
+def driven_config(schedule):
+    """A driven-mode session config replaying the shared schedule."""
+    return {
+        "protocol": "uniform-k-partition",
+        "params": {"k": 3},
+        "engine": "count",
+        "mode": "driven",
+        "schedule": schedule.to_record(),
+    }
+
+
+@pytest.fixture()
+def free_config():
+    return {
+        "protocol": "uniform-k-partition",
+        "params": {"k": 3},
+        "engine": "count",
+        "mode": "free",
+        "n": 24,
+        "seed": 5,
+        "max_interactions": 50_000,
+    }
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    m = SessionManager(tmp_path / "sessions.db", checkpoint_interval=64)
+    yield m
+    m.close()

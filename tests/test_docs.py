@@ -38,7 +38,7 @@ class TestReadme:
 
         text = (ROOT / "README.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform", "session"}, name
 
 
 class TestExperimentsDoc:
@@ -47,7 +47,7 @@ class TestExperimentsDoc:
 
         text = (ROOT / "EXPERIMENTS.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform", "session"}, name
 
 
 class TestCampaignDoc:
@@ -201,3 +201,38 @@ class TestConformanceDoc:
             for inv in invariant_pack(proto, 10)
         }
         assert documented == built
+
+
+class TestSessiondDoc:
+    def test_documented_verbs_match_the_parser(self):
+        """Every verb in docs/sessiond.md exists, and vice versa."""
+        from repro.sessiond.cli import build_session_parser
+
+        parser = build_session_parser()
+        sub = next(
+            a for a in parser._actions  # noqa: SLF001 — argparse introspection
+            if a.__class__.__name__ == "_SubParsersAction"
+        )
+        verbs = set(sub.choices)
+        text = (ROOT / "docs" / "sessiond.md").read_text()
+        documented = set(
+            re.findall(
+                r"session \{([a-z,]+)\}", text.replace("\n", " ")
+            )[0].split(",")
+        )
+        assert documented == verbs
+
+    def test_documented_routes_exist(self):
+        """The API table covers the service's routes, and they exist."""
+        source = (ROOT / "src/repro/sessiond/service.py").read_text()
+        text = (ROOT / "docs" / "sessiond.md").read_text()
+        for route in ("/healthz", "/metrics", "/sessions", "/bisect", "/gc",
+                      "advance", "snapshot", "fork", "rewind", "result"):
+            assert route in source and route in text, route
+
+    def test_first_code_block_runs(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        blocks = python_blocks(ROOT / "docs" / "sessiond.md")
+        assert blocks, "docs/sessiond.md should contain python examples"
+        namespace: dict = {}
+        exec(compile(blocks[0], "sessiond.md[manager]", "exec"), namespace)
