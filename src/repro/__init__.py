@@ -73,14 +73,16 @@ from .protocols import (
     approximate_majority,
     available_protocols,
     build_protocol,
+    graph_bipartition,
     leader_election,
     parallel_compose,
     r_generalized_partition,
     repeated_bipartition,
     uniform_bipartition,
     uniform_k_partition,
+    weak_k_partition,
 )
-from .scheduling import GraphScheduler, UniformScheduler
+from .scheduling import GraphScheduler, SchedulerSpec, UniformScheduler
 
 __version__ = "1.0.0"
 
@@ -99,6 +101,8 @@ __all__ = [
     "repeated_bipartition",
     "approximate_k_partition",
     "r_generalized_partition",
+    "weak_k_partition",
+    "graph_bipartition",
     "leader_election",
     "approximate_majority",
     "parallel_compose",
@@ -118,6 +122,7 @@ __all__ = [
     # scheduling
     "UniformScheduler",
     "GraphScheduler",
+    "SchedulerSpec",
     # observability
     "Telemetry",
     "get_telemetry",

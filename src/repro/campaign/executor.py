@@ -28,7 +28,7 @@ from collections.abc import Callable
 
 from ..core.rng import spawn_seed_sequences
 from ..engine.base import SimulationResult
-from ..engine.registry import resolve_engine
+from ..engine.registry import engine_for_scheduler
 from ..engine.runner import TrialSet, finalize_trials, trial_fingerprint
 from ..engine.session import SessionState
 from .spec import JobSpec
@@ -71,6 +71,7 @@ def execute_spec(spec_dict: dict) -> dict:
         seed=spec.seed,
         max_interactions=spec.max_interactions,
         track_state=spec.track_state,
+        scheduler=spec.scheduler,
         require_convergence=spec.max_interactions is None,
         cache=_NO_CACHE,
     )
@@ -87,6 +88,7 @@ def _payload(spec: JobSpec, protocol, ts: TrialSet, wall: float) -> dict:
         seed=spec.seed,
         max_interactions=spec.max_interactions,
         track_state=spec.track_state,
+        scheduler=spec.scheduler,
     )
     return {
         "record": ts.to_record(),
@@ -125,7 +127,7 @@ def execute_spec_resumable(
     """
     spec = JobSpec.from_dict(spec_dict)
     protocol = spec.build_protocol()
-    engine = resolve_engine(spec.engine)
+    engine = engine_for_scheduler(spec.engine, spec.scheduler)
     t0 = time.perf_counter()
 
     ckpt = store.load_checkpoint(digest)

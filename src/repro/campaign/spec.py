@@ -16,15 +16,20 @@ import json
 from dataclasses import dataclass, field
 from collections.abc import Mapping
 
-from ..core.errors import CampaignError
+from ..core.errors import CampaignError, SchedulerError
 from ..core.protocol import Protocol
+from ..scheduling.spec import SchedulerSpec, scheduler_names
 
 __all__ = ["JobSpec"]
 
-#: The only scheduler the shipped engines implement.  The field exists
-#: so digests stay valid when weak-fairness / graph schedulers land
-#: (arXiv:1911.04678, arXiv:2011.08366 directions in PAPERS.md).
-SUPPORTED_SCHEDULERS = ("uniform",)
+#: Scheduler-name templates job specs accept — the reserved field is
+#: now live: weak-fairness (``roundrobin``) and graph-restricted
+#: (``graph:*``) schedulers landed with arXiv:1911.04678 /
+#: arXiv:2011.08366 protocol families.  Names are validated by
+#: :func:`~repro.scheduling.spec.parse_scheduler`; widening this grid
+#: never perturbs existing ``uniform`` digests, because ``canonical()``
+#: has carried the ``scheduler`` key since the field was reserved.
+SUPPORTED_SCHEDULERS = scheduler_names()
 
 
 def _canonical_value(value: object) -> object:
@@ -58,7 +63,7 @@ class JobSpec:
     engine: str = "count"
     #: Integer master seed for :func:`~repro.engine.runner.run_trials`.
     seed: int = 0
-    #: Scheduler name; only ``"uniform"`` is currently executable.
+    #: Canonical scheduler name (see ``SUPPORTED_SCHEDULERS``).
     scheduler: str = "uniform"
     #: State whose count milestones are recorded (Figure 4's ``g_k``).
     track_state: str | None = None
@@ -72,11 +77,23 @@ class JobSpec:
             raise CampaignError(f"n must be at least 2, got {self.n}")
         if not isinstance(self.seed, int):
             raise CampaignError("job specs require an integer seed (digests must be stable)")
-        if self.scheduler not in SUPPORTED_SCHEDULERS:
+        try:
+            spec = SchedulerSpec.parse(self.scheduler)
+        except SchedulerError as exc:
+            raise CampaignError(str(exc)) from None
+        if spec.name != self.scheduler:
             raise CampaignError(
-                f"unsupported scheduler {self.scheduler!r}; "
-                f"supported: {', '.join(SUPPORTED_SCHEDULERS)}"
+                f"job specs need the canonical scheduler name {spec.name!r}, "
+                f"got {self.scheduler!r} (digests must be stable)"
             )
+        if not spec.is_uniform:
+            allowed = ("agent",) if spec.kind == "roundrobin" else ("agent", "graph")
+            if self.engine not in allowed:
+                raise CampaignError(
+                    f"scheduler {self.scheduler!r} needs engine "
+                    f"{' or '.join(repr(e) for e in allowed)}, got {self.engine!r} "
+                    "(the other engines are specialized to the uniform scheduler)"
+                )
 
     # ------------------------------------------------------------------
     # Canonical form and digest

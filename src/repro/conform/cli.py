@@ -7,7 +7,7 @@ Three verbs::
     conform check  # harness self-test / conformance-checked trials
 
 ``diff`` defaults to the acceptance configuration (uniform k-partition,
-k = 3, n = 300, all seven engine paths) and exits non-zero on any
+k = 3, n = 300, all eight engine paths) and exits non-zero on any
 divergence.  ``fuzz`` runs :func:`~repro.conform.fuzzer.default_corpus`
 and exits non-zero if any finding survives.  ``check --self-test``
 plants a corrupted transition-table entry and exits non-zero unless
@@ -27,9 +27,22 @@ def _build(protocol: str, raw_params: list[str]):
     from ..protocols.registry import build_protocol
 
     params = dict(_parse_param(p) for p in raw_params)
-    if protocol in ("uniform-k-partition", "approx-k-partition"):
+    if protocol in (
+        "uniform-k-partition", "approx-k-partition", "weak-k-partition"
+    ):
         params.setdefault("k", 3)
     return build_protocol(protocol, **params)
+
+
+def _scheduler_spec(text: str):
+    """argparse type for --scheduler: fail at parse time, not mid-run."""
+    from ..core.errors import SchedulerError
+    from ..scheduling.spec import SchedulerSpec
+
+    try:
+        return SchedulerSpec.parse(text)
+    except SchedulerError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _parse_param(text: str) -> tuple[str, object]:
@@ -66,10 +79,20 @@ def build_conform_parser() -> argparse.ArgumentParser:
     diff.add_argument("--n", type=int, default=300)
     diff.add_argument("--seed", type=int, default=0)
     diff.add_argument(
+        "--scheduler",
+        default=None,
+        type=_scheduler_spec,
+        metavar="SPEC",
+        help=(
+            "record the schedule under a named scheduler, e.g. "
+            "graph:cycle, graph:regular:4, roundrobin (default: uniform)"
+        ),
+    )
+    diff.add_argument(
         "--engines",
         default=None,
         metavar="A,B,...",
-        help="engine paths to replicate (default: all seven)",
+        help="engine paths to replicate (default: all eight)",
     )
     diff.add_argument(
         "--max-interactions",
@@ -146,6 +169,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         protocol,
         args.n,
         seed=args.seed,
+        scheduler=args.scheduler,
         engines=engines,
         max_interactions=args.max_interactions,
         check_invariants=not args.no_invariants,

@@ -37,14 +37,17 @@ from collections.abc import Sequence
 
 from ..core.errors import SimulationError
 from ..core.protocol import Protocol
-from ..core.rng import SeedLike
+from ..core.rng import SeedLike, ensure_generator
 from ..engine.agent_based import AgentBasedEngine
 from ..engine.batch import BatchEngine
 from ..engine.count_based import CountBasedEngine
 from ..engine.ensemble import EnsembleEngine
+from ..engine.graph_batch import GraphBatchEngine
 from ..engine.hybrid import HybridEngine
 from ..engine.jit import JitBatchEngine, JitCountEngine
 from ..obs.trace import TraceWriter
+from ..scheduling.base import Scheduler
+from ..scheduling.spec import SchedulerSpec
 from .invariants import Invariant, check_counts, invariant_pack
 from .schedule import InteractionSchedule, record_schedule
 
@@ -59,6 +62,7 @@ ENGINE_PATHS = (
     "ensemble",
     "count-jit",
     "batch-jit",
+    "graph",
 )
 
 #: Constructors yielding an engine whose session supports driven
@@ -76,6 +80,11 @@ _ENGINE_BUILDERS = {
     "ensemble": lambda: EnsembleEngine(finish_threshold=0),
     "count-jit": JitCountEngine,
     "batch-jit": JitBatchEngine,
+    # Driven sessions never sample pairs, so the graph path's topology
+    # is irrelevant to the replay — the complete graph stands in; what
+    # the drive exercises is the graph session's shared batch data path
+    # (incremental weights + apply_scheduled) behind its own audit().
+    "graph": GraphBatchEngine,
 }
 
 
@@ -241,6 +250,7 @@ def run_differential(
     reference_protocol: Protocol | None = None,
     reproducer_dir: str | Path | None = None,
     stride: int = 1,
+    scheduler: str | SchedulerSpec | Scheduler | None = None,
 ) -> DiffReport:
     """Replay one schedule through every engine data path and diff.
 
@@ -252,6 +262,13 @@ def run_differential(
         A recorded schedule to replay; when omitted, one is recorded
         from ``reference_protocol`` (default: ``protocol``) with
         ``record_schedule(n=n, seed=seed, max_interactions=...)``.
+    scheduler:
+        Scheduler driving the recorded schedule: a name
+        (``"graph:cycle"``, ``"roundrobin"``, ...), a parsed spec, or a
+        live :class:`~repro.scheduling.base.Scheduler` instance.  Only
+        the *recording* changes — the replay is scheduler-agnostic, so
+        this is how the (protocol, fairness, graph) grid reaches every
+        engine data path.  Ignored when ``schedule`` is supplied.
     engines:
         Engine paths to replicate, default all of :data:`ENGINE_PATHS`.
     check_invariants:
@@ -281,8 +298,23 @@ def run_differential(
             f"state counts ({reference.num_states} vs {protocol.num_states})"
         )
     if schedule is None:
+        sched_obj: Scheduler | None = None
+        if scheduler is not None and not isinstance(scheduler, Scheduler):
+            spec = SchedulerSpec.parse(scheduler)
+            if not spec.is_uniform:
+                if n is None:
+                    raise SimulationError(
+                        "recording with a named scheduler needs an explicit n"
+                    )
+                sched_obj = spec.build(n, ensure_generator(seed))
+        elif isinstance(scheduler, Scheduler):
+            sched_obj = scheduler
         schedule = record_schedule(
-            reference, n, seed=seed, max_interactions=max_interactions
+            reference,
+            n,
+            seed=seed,
+            max_interactions=max_interactions,
+            scheduler=sched_obj,
         )
     if len(schedule.initial_counts) != protocol.num_states:
         raise SimulationError(

@@ -33,11 +33,13 @@ from pathlib import Path
 from collections.abc import Callable, Sequence
 
 from ..analysis.invariants import InvariantViolation
+from ..core.errors import SchedulerError
 from ..core.protocol import Protocol
 from ..engine.agent_based import AgentBasedEngine
 from ..engine.registry import build_engine
 from ..protocols.registry import build_protocol
 from ..scheduling.adversarial import RoundRobinScheduler, StickyScheduler
+from ..scheduling.spec import SchedulerSpec
 from ..scheduling.uniform import UniformScheduler
 from .differ import run_differential
 from .invariants import ConformanceMonitor, invariant_pack
@@ -45,11 +47,17 @@ from .invariants import ConformanceMonitor, invariant_pack
 __all__ = ["FuzzCase", "FuzzFinding", "default_corpus", "run_fuzz"]
 
 #: Scheduler factories the fuzzer knows, keyed by the name a
-#: :class:`FuzzCase` carries.  All take ``(n, rng)``.
+#: :class:`FuzzCase` carries.  All take ``(n, rng)``.  Names that parse
+#: as a :class:`~repro.scheduling.spec.SchedulerSpec` (``graph:*``,
+#: ``round-robin``) additionally drive scheduler-aware differential
+#: recording; ``sticky`` is fuzzer-only and records uniform.
 SCHEDULERS: dict[str, Callable] = {
     "uniform": UniformScheduler,
     "sticky": lambda n, rng: StickyScheduler(n, 0.7, rng),
     "round-robin": RoundRobinScheduler,
+    "graph:complete": SchedulerSpec.parse("graph:complete").build,
+    "graph:cycle": SchedulerSpec.parse("graph:cycle").build,
+    "graph:regular:4": SchedulerSpec.parse("graph:regular:4").build,
 }
 
 
@@ -141,6 +149,27 @@ def default_corpus(*, seed: int = 20240801) -> list[FuzzCase]:
         n=12,
         deterministic_output=False,
     )
+    # Weak-fairness k-partition: converges under round-robin (the
+    # discriminating scenario — uniform-k-partition livelocks there).
+    add(protocol="weak-k-partition", params={"k": 3}, n=10)
+    add(
+        protocol="weak-k-partition",
+        params={"k": 3},
+        n=11,
+        scheduler="round-robin",
+        max_interactions=20_000,
+    )
+    # Graph-restricted bipartition across the topology grid; the
+    # graph:* cases also exercise the agent-vs-graph-engine
+    # bit-identity check.
+    add(protocol="graph-bipartition", n=12)
+    add(protocol="graph-bipartition", n=14, scheduler="graph:complete")
+    add(protocol="graph-bipartition", n=16, scheduler="graph:cycle")
+    add(
+        protocol="graph-bipartition",
+        n=15,  # odd: stable-but-not-silent terminal
+        scheduler="graph:regular:4",
+    )
     return cases
 
 
@@ -153,11 +182,20 @@ def _fuzz_one(
     # 1. Differential replay through every engine data path.  The
     # replay needs coverage, not convergence, so its budget is capped:
     # a non-stabilizing case must not balloon into a five-way replay of
-    # the full interaction budget.
+    # the full interaction budget.  Cases whose scheduler name is part
+    # of the spec grammar record under that scheduler; fuzzer-only
+    # schedulers (sticky) record uniform as before.
+    try:
+        diff_scheduler: SchedulerSpec | None = SchedulerSpec.parse(
+            case.scheduler
+        )
+    except SchedulerError:
+        diff_scheduler = None
     report = run_differential(
         protocol,
         case.n,
         seed=case.seed,
+        scheduler=diff_scheduler,
         max_interactions=min(case.max_interactions, 30_000),
         reproducer_dir=reproducer_dir,
     )
@@ -214,6 +252,56 @@ def _fuzz_one(
                     detail=(
                         "converged engines disagree on the output "
                         f"partition: { {e: list(g) for e, g in outputs.items()} }"
+                    ),
+                )
+            )
+
+    # 4. Agent-vs-graph bit-identity (graph schedulers only).  The
+    # graph engine documents draw-for-draw equivalence with the agent
+    # engine under a GraphScheduler built from the same spec — not a
+    # distributional claim but an exact one, so any drift in either
+    # sampling path is a finding.
+    if diff_scheduler is not None and diff_scheduler.kind == "graph":
+        from ..engine.graph_batch import GraphBatchEngine
+
+        spec = diff_scheduler
+        kwargs = dict(
+            seed=case.seed, max_interactions=case.max_interactions
+        )
+        agent_result = AgentBasedEngine(scheduler_factory=spec.build).run(
+            protocol, case.n, **kwargs
+        )
+        graph_result = GraphBatchEngine(spec).run(protocol, case.n, **kwargs)
+        mismatches = [
+            f"{field_name}: agent={a!r} graph={g!r}"
+            for field_name, a, g in (
+                (
+                    "final_counts",
+                    [int(x) for x in agent_result.final_counts],
+                    [int(x) for x in graph_result.final_counts],
+                ),
+                (
+                    "interactions",
+                    agent_result.interactions,
+                    graph_result.interactions,
+                ),
+                (
+                    "effective_interactions",
+                    agent_result.effective_interactions,
+                    graph_result.effective_interactions,
+                ),
+                ("converged", agent_result.converged, graph_result.converged),
+            )
+            if a != g
+        ]
+        if mismatches:
+            findings.append(
+                FuzzFinding(
+                    case=case,
+                    kind="engine-split",
+                    detail=(
+                        "agent+GraphScheduler and graph engine are not "
+                        "bit-identical: " + "; ".join(mismatches)
                     ),
                 )
             )

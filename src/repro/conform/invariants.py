@@ -21,7 +21,11 @@ The k-partition invariants come straight from the paper's proof:
   ``(n, k)`` and the group sizes must match the closed form.
 
 Generic invariants (population conservation, non-negativity, total
-output map) apply to every protocol in the registry.
+output map) apply to every protocol in the registry — including on
+restricted interaction graphs, where they hold verbatim.  Lemma 1 is
+protocol-specific: the weak-fairness base-station protocol carries an
+exact cyclic-assignment staircase instead, and the arbitrary-graph
+bipartition carries group balance (#g1 == #g2) plus free-agent parity.
 """
 
 from __future__ import annotations
@@ -33,9 +37,11 @@ import numpy as np
 
 from ..analysis.invariants import InvariantViolation
 from ..core.protocol import Protocol
+from ..protocols.graph_bipartition import GraphBipartitionProtocol
 from ..protocols.kpartition import UniformKPartitionProtocol
 from ..protocols.leader_election import LeaderElectionProtocol
 from ..protocols.rgeneralized import RGeneralizedPartitionProtocol
+from ..protocols.weak_kpartition import WeakKPartitionProtocol
 
 __all__ = [
     "Invariant",
@@ -248,6 +254,70 @@ def _leaders_never_increase(protocol: LeaderElectionProtocol) -> Invariant:
 
 
 # ----------------------------------------------------------------------
+# Weak-fairness k-partition — base-station conservation laws
+# ----------------------------------------------------------------------
+def _single_coordinator(protocol: WeakKPartitionProtocol) -> Invariant:
+    def check(counts: np.ndarray) -> str | None:
+        total = protocol.coordinator_count(counts)
+        if total != 1:
+            return f"{total} agents in bs_* states; exactly 1 base station exists"
+        return None
+
+    return Invariant(
+        "single-coordinator",
+        "exactly one agent occupies a bs_* state at all times",
+        check,
+    )
+
+
+def _assignment_staircase(protocol: WeakKPartitionProtocol) -> Invariant:
+    def check(counts: np.ndarray) -> str | None:
+        res = protocol.assignment_residuals(counts)
+        if res.any():
+            return f"cyclic-assignment residuals non-zero: {res.tolist()}"
+        return None
+
+    return Invariant(
+        "assignment-staircase",
+        "#g_x = #g_k + [x <= t-1] for the active bs_t (exact prefix staircase)",
+        check,
+    )
+
+
+# ----------------------------------------------------------------------
+# Graph bipartition — mobility conservation laws
+# ----------------------------------------------------------------------
+def _groups_balanced(protocol: GraphBipartitionProtocol) -> Invariant:
+    def check(counts: np.ndarray) -> str | None:
+        res = protocol.balance_residual(counts)
+        if res != 0:
+            return f"#g1 - #g2 = {res}; the partner rule mints both together"
+        return None
+
+    return Invariant(
+        "groups-balanced",
+        "#g1 == #g2 at every reachable configuration (graph Lemma 1)",
+        check,
+    )
+
+
+def _free_parity(protocol: GraphBipartitionProtocol, n: int) -> Invariant:
+    parity = n % 2
+
+    def check(counts: np.ndarray) -> str | None:
+        free = protocol.free_count(counts)
+        if free % 2 != parity:
+            return f"{free} free agents; parity must stay {parity} (n = {n})"
+        return None
+
+    return Invariant(
+        "free-parity",
+        f"number of uncommitted agents keeps parity {parity}",
+        check,
+    )
+
+
+# ----------------------------------------------------------------------
 # Pack assembly
 # ----------------------------------------------------------------------
 def invariant_pack(
@@ -278,6 +348,12 @@ def invariant_pack(
         pack.append(_staircase(kp))
         pack.append(_cardinality(kp, n))
         pack.append(_stable_signature(kp, n))
+    if isinstance(protocol, WeakKPartitionProtocol):
+        pack.append(_single_coordinator(protocol))
+        pack.append(_assignment_staircase(protocol))
+    if isinstance(protocol, GraphBipartitionProtocol):
+        pack.append(_groups_balanced(protocol))
+        pack.append(_free_parity(protocol, n))
     if isinstance(protocol, LeaderElectionProtocol):
         pack.append(_leader_survives(protocol))
         if include_stateful:

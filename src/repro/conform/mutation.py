@@ -125,17 +125,36 @@ def self_test(
     Returns the list of failure descriptions — empty means the harness
     works: the pristine protocol passes differentially, and both the
     differ and the invariant pack flag the mutation.
+
+    With no explicit ``protocol`` the test covers a small default grid:
+    the paper's uniform k-partition (corrupting rule 5 breaks the
+    Lemma 1 conservation law) and the graph bipartition follow-up
+    (corrupting ``(initial, initial') -> (g1, g2)`` into ``(g1, g1)``
+    breaks the ``#g1 == #g2`` balance invariant) — so the harness is
+    proven to catch bugs on both protocol families it guards.
     """
+    if protocol is None:
+        from ..protocols.registry import build_protocol
+
+        failures: list[str] = []
+        for name, params in (
+            ("uniform-k-partition", {"k": 3}),
+            ("graph-bipartition", {}),
+        ):
+            found = self_test(
+                build_protocol(name, **params),
+                n=n,
+                seed=seed,
+                max_interactions=max_interactions,
+            )
+            failures.extend(f"[{name}] {f}" for f in found)
+        return failures
+
     from ..analysis.invariants import InvariantViolation
     from ..engine.batch import BatchEngine
     from .differ import run_differential
     from .invariants import ConformanceMonitor, invariant_pack
     from .schedule import record_schedule
-
-    if protocol is None:
-        from ..protocols.registry import build_protocol
-
-        protocol = build_protocol("uniform-k-partition", k=3)
 
     # Prefer the symmetry-breaking grouping rule (the paper's rule 5):
     # it is guaranteed to fire early in every execution, and its

@@ -98,6 +98,15 @@ class Protocol:
     initial_state:
         The designated initial state ``s0``; every agent starts here
         unless an explicit initial configuration is supplied to an engine.
+    initial_counts_factory:
+        Optional factory ``n -> count_vector`` producing the designated
+        initial configuration for populations of size ``n``.  Protocols
+        whose model distinguishes agents at start — e.g. the weak-fairness
+        base-station construction, where exactly one agent begins as the
+        coordinator — supply it; :meth:`initial_counts` then delegates to
+        the factory instead of placing all ``n`` agents in
+        ``initial_state``.  The factory must return a non-negative vector
+        of length ``num_states`` summing to ``n``.
     stability_predicate_factory:
         Optional factory ``n -> predicate(counts) -> bool`` producing an
         exact stability test for populations of size ``n``.  Protocols
@@ -133,6 +142,7 @@ class Protocol:
         transitions: TransitionTable,
         initial_state: str | None,
         *,
+        initial_counts_factory: Callable[[int], np.ndarray] | None = None,
         stability_predicate_factory: Callable[[int], StabilityPredicate] | None = None,
         batch_stability_predicate_factory: (
             Callable[[int], BatchStabilityPredicate] | None
@@ -165,6 +175,7 @@ class Protocol:
         self._space = space
         self._transitions = transitions
         self._initial_state = initial_state
+        self._initial_counts_factory = initial_counts_factory
         self._stability_factory = stability_predicate_factory
         self._batch_stability_factory = batch_stability_predicate_factory
         self._signature_factory = stability_signature_factory
@@ -230,13 +241,26 @@ class Protocol:
     # ------------------------------------------------------------------
     def initial_counts(self, n: int) -> np.ndarray:
         """Count vector of the designated initial configuration ``C0``."""
+        if n < 1:
+            raise ProtocolError(f"population size must be positive, got {n}")
+        if self._initial_counts_factory is not None:
+            counts = np.asarray(self._initial_counts_factory(n), dtype=np.int64)
+            if counts.shape != (self.num_states,):
+                raise ProtocolError(
+                    f"initial_counts_factory of {self._name!r} returned shape "
+                    f"{counts.shape}, expected ({self.num_states},)"
+                )
+            if (counts < 0).any() or int(counts.sum()) != n:
+                raise ProtocolError(
+                    f"initial_counts_factory of {self._name!r} returned an "
+                    f"invalid configuration for n = {n}"
+                )
+            return counts
         if self._initial_state is None:
             raise ProtocolError(
                 f"protocol {self._name!r} has no designated initial state; "
                 "supply an explicit initial configuration"
             )
-        if n < 1:
-            raise ProtocolError(f"population size must be positive, got {n}")
         counts = np.zeros(self.num_states, dtype=np.int64)
         counts[self._space.index(self._initial_state)] = n
         return counts

@@ -13,12 +13,19 @@ from .base import Engine, SimulationResult, StepCallback
 from .batch import BatchEngine
 from .count_based import CountBasedEngine
 from .ensemble import EnsembleEngine
+from .graph_batch import GraphBatchEngine, GraphBatchSession
 from .hybrid import HybridEngine
 from .jit import JitBatchEngine, JitCountEngine
 from .kernels import KernelBuildError, KernelSet, get_kernels, reset_kernels
 from .parallel import ParallelEnsembleEngine, ShardedEnsembleSession
 from .metrics import GroupSizeRecorder, TimeSeriesRecorder, aggregate_milestones
-from .registry import available_engines, build_engine, register_engine, resolve_engine
+from .registry import (
+    available_engines,
+    build_engine,
+    engine_for_scheduler,
+    register_engine,
+    resolve_engine,
+)
 from .session import EngineSession, SessionState, SessionStatus
 from .runner import (
     InMemoryTrialCache,
@@ -41,6 +48,8 @@ __all__ = [
     "BatchEngine",
     "CountBasedEngine",
     "EnsembleEngine",
+    "GraphBatchEngine",
+    "GraphBatchSession",
     "HybridEngine",
     "JitCountEngine",
     "JitBatchEngine",
@@ -53,6 +62,7 @@ __all__ = [
     "FenwickWeights",
     "available_engines",
     "build_engine",
+    "engine_for_scheduler",
     "register_engine",
     "resolve_engine",
     "TimeSeriesRecorder",

@@ -14,14 +14,15 @@ indexing by ~5x for this access pattern).
 
 The loop lives in :class:`AgentBasedSession` (an
 :class:`~repro.engine.session.EngineSession` stepper); snapshots carry
-the scheduler — including its RNG — plus the unconsumed remainder of
-the current pair block, so a sliced run consumes the exact random
-stream of a straight-through run.
+the scheduler's mutable state (RNG, position — via
+:meth:`~repro.scheduling.base.Scheduler.capture_state`, sharing the
+immutable graph/pair structure) plus the unconsumed remainder of the
+current pair block, so a sliced run consumes the exact random stream of
+a straight-through run.
 """
 
 from __future__ import annotations
 
-import copy
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -192,10 +193,14 @@ class AgentBasedSession(EngineSession):
     # Snapshot / restore
     # ------------------------------------------------------------------
     def _capture(self) -> dict:
+        # Only the scheduler's *mutable* state is captured; immutable
+        # structure (edge arrays, pair tables, the networkx graph) stays
+        # shared with the live scheduler, keeping graph-session
+        # snapshots O(n) instead of O(edges).
         return {
             "counts": list(self.counts),
             "states": list(self._states),
-            "scheduler": copy.deepcopy(self._scheduler),
+            "scheduler_state": self._scheduler.capture_state(),
             "buf_a": self._buf_a[self._pos:],
             "buf_b": self._buf_b[self._pos:],
         }
@@ -203,7 +208,12 @@ class AgentBasedSession(EngineSession):
     def _restore(self, extra: dict) -> None:
         self.counts = list(extra["counts"])
         self._states = list(extra["states"])
-        self._scheduler = extra["scheduler"]
+        if "scheduler_state" in extra:
+            self._scheduler.restore_state(extra["scheduler_state"])
+        else:
+            # Legacy snapshots (pre scheduler_state) carried the whole
+            # deep-copied scheduler object.
+            self._scheduler = extra["scheduler"]
         self._rng = self._scheduler.rng
         self._buf_a = list(extra["buf_a"])
         self._buf_b = list(extra["buf_b"])

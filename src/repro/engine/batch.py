@@ -91,6 +91,22 @@ class BatchSession(EngineSession):
     def _silent_now(self) -> bool:
         return self._W == 0
 
+    def _sample_pairs(self, take: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw the next ``take`` scheduled pairs from ``self._rng``.
+
+        The uniform draw lives here (rather than inline in the loop) so
+        subclasses can swap the pair distribution — the graph engine
+        overrides this with edge sampling — while inheriting the whole
+        advance/snapshot/driven machinery unchanged.  Called once per
+        block refill, so the indirection costs nothing measurable.
+        """
+        rng = self._rng
+        n_total = self._n
+        a_arr = rng.integers(0, n_total, size=take)
+        b_arr = rng.integers(0, n_total - 1, size=take)
+        b_arr += b_arr >= a_arr
+        return a_arr, b_arr
+
     def _advance_inner(self, target: int) -> None:
         counts = self.counts
         states = self._states
@@ -102,8 +118,7 @@ class BatchSession(EngineSession):
         weights = self._weights
         W_active = self._W
         dirty_by_pq = self._dirty_by_pq
-        rng = self._rng
-        n_total = self._n
+        sample_pairs = self._sample_pairs
         track = self._track
         on_effective = self._on_effective
         budget = self._budget
@@ -123,9 +138,7 @@ class BatchSession(EngineSession):
         while not converged and interactions < target:
             if pos >= len(buf_a):
                 take = min(block, budget - interactions)
-                a_arr = rng.integers(0, n_total, size=take)
-                b_arr = rng.integers(0, n_total - 1, size=take)
-                b_arr += b_arr >= a_arr
+                a_arr, b_arr = sample_pairs(take)
                 buf_a = a_arr.tolist()
                 buf_b = b_arr.tolist()
                 pos = 0

@@ -28,8 +28,9 @@ from ..obs.instruments import (
     record_trialset,
 )
 from ..obs.trace import active_trace_writer
+from ..scheduling.spec import SchedulerSpec
 from .base import Engine, SimulationResult
-from .registry import resolve_engine
+from .registry import engine_for_scheduler
 
 __all__ = [
     "TrialSet",
@@ -232,14 +233,18 @@ def trial_fingerprint(
     initial_counts: np.ndarray | None = None,
     max_interactions: int | None = None,
     track_state: str | int | None = None,
+    scheduler: str | None = None,
 ) -> str | None:
     """Digest identifying one :func:`run_trials` call's full input.
 
     Returns ``None`` when the call is not cacheable (a ``Generator`` or
     ``SeedSequence`` seed has hidden stream state that a digest cannot
     capture).  Everything else — protocol behaviour, population,
-    trial count, engine, integer seed, budget, tracking — is hashed
-    into one hex digest, so cache hits are exact-input matches.
+    trial count, engine, integer seed, budget, tracking, scheduler — is
+    hashed into one hex digest, so cache hits are exact-input matches.
+    The ``scheduler`` key enters the payload only for non-uniform
+    schedulers: every digest computed before the scheduler dimension
+    existed stays byte-identical.
     """
     if not (seed is None or isinstance(seed, int)):
         return None
@@ -255,6 +260,8 @@ def trial_fingerprint(
         "max_interactions": max_interactions,
         "track_state": track_state,
     }
+    if scheduler is not None and scheduler != "uniform":
+        payload["scheduler"] = scheduler
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -269,6 +276,7 @@ def run_trials(
     initial_counts: Sequence[int] | np.ndarray | None = None,
     max_interactions: int | None = None,
     track_state: str | int | None = None,
+    scheduler: str | SchedulerSpec | None = None,
     require_convergence: bool = True,
     progress: ProgressCallback | None = None,
     workers: int = 1,
@@ -287,6 +295,13 @@ def run_trials(
         ``run_batch`` method (the ensemble engine) simulate all trials
         of a chunk in one call; the runner detects and uses it
         automatically.
+    scheduler:
+        Scheduler name or :class:`~repro.scheduling.spec.SchedulerSpec`
+        (``None``/``"uniform"`` = the paper's uniform scheduler).
+        Non-uniform schedulers constrain the engine: ``graph:*`` runs
+        on the ``"graph"`` engine (default) or ``"agent"``;
+        ``roundrobin`` requires ``"agent"``.  See
+        :func:`~repro.engine.registry.engine_for_scheduler`.
     seed:
         Master seed; per-trial streams are spawned from it.
     require_convergence:
@@ -320,7 +335,9 @@ def run_trials(
         raise SimulationError(f"trials must be positive, got {trials}")
     if workers < 1:
         raise SimulationError(f"workers must be positive, got {workers}")
-    engine = resolve_engine(engine)
+    spec = None if scheduler is None else SchedulerSpec.parse(scheduler)
+    engine = engine_for_scheduler(engine, spec)
+    scheduler_name = None if spec is None or spec.is_uniform else spec.name
     init = None if initial_counts is None else np.asarray(initial_counts, dtype=np.int64)
     t_start = time.perf_counter()
 
@@ -337,6 +354,7 @@ def run_trials(
             initial_counts=init,
             max_interactions=max_interactions,
             track_state=track_state,
+            scheduler=scheduler_name,
         )
         if key is not None:
             record = cache.get(key)

@@ -16,6 +16,7 @@ from .distribution import run_distribution
 from .lowerbound import run_lowerbound
 from .report import run_report
 from .exact_validation import run_exact_validation
+from .graph_density import run_graph_density
 from .trajectory import run_trajectory
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "run_uniformity_gap",
     "run_engine_ablation",
     "run_exact_validation",
+    "run_graph_density",
     "run_distribution",
     "run_report",
     "run_lowerbound",

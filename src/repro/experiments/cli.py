@@ -49,6 +49,7 @@ from . import (
     fig4_grouping,
     fig5_scaling_n,
     fig6_scaling_k,
+    graph_density,
     state_table,
     trajectory,
     uniformity_gap,
@@ -118,6 +119,12 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ResultTable], Callable, dict, str]] =
         distribution.render_distribution,
         distribution.QUICK_PARAMS,
         "stabilization-time distribution: quantiles and tail (extension)",
+    ),
+    "graph-density": (
+        graph_density.run_graph_density,
+        graph_density.render_graph_density,
+        graph_density.QUICK_PARAMS,
+        "graph bipartition: stabilization vs graph density (extension)",
     ),
     "report": (
         report.run_report,

@@ -4,6 +4,7 @@ its baselines, the R-generalized extension, and classic building blocks."""
 from .approx_partition import ApproximatePartitionProtocol, approximate_k_partition
 from .bipartition import UniformBipartitionProtocol, uniform_bipartition
 from .composition import ParallelComposition, parallel_compose
+from .graph_bipartition import GraphBipartitionProtocol, graph_bipartition
 from .kpartition import (
     INITIAL,
     INITIAL_PRIME,
@@ -15,6 +16,7 @@ from .majority import ApproximateMajorityProtocol, approximate_majority
 from .registry import available_protocols, build_protocol, register_protocol
 from .repeated_bipartition import RepeatedBipartitionProtocol, repeated_bipartition
 from .rgeneralized import RGeneralizedPartitionProtocol, r_generalized_partition
+from .weak_kpartition import FREE, WeakKPartitionProtocol, weak_k_partition
 
 __all__ = [
     "UniformKPartitionProtocol",
@@ -37,6 +39,11 @@ __all__ = [
     "FOLLOWER",
     "ApproximateMajorityProtocol",
     "approximate_majority",
+    "WeakKPartitionProtocol",
+    "weak_k_partition",
+    "FREE",
+    "GraphBipartitionProtocol",
+    "graph_bipartition",
     "available_protocols",
     "build_protocol",
     "register_protocol",

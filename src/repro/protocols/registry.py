@@ -17,11 +17,13 @@ from ..core.errors import ProtocolError, UnknownProtocolError
 from ..core.protocol import Protocol
 from .approx_partition import approximate_k_partition
 from .bipartition import uniform_bipartition
+from .graph_bipartition import graph_bipartition
 from .kpartition import uniform_k_partition
 from .leader_election import leader_election
 from .majority import approximate_majority
 from .repeated_bipartition import repeated_bipartition
 from .rgeneralized import r_generalized_partition
+from .weak_kpartition import weak_k_partition
 
 __all__ = ["PROTOCOL_BUILDERS", "build_protocol", "available_protocols"]
 
@@ -35,6 +37,8 @@ PROTOCOL_BUILDERS: dict[str, Callable[..., Protocol]] = {
     "r-generalized-partition": r_generalized_partition,
     "leader-election": leader_election,
     "approximate-majority": approximate_majority,
+    "weak-k-partition": weak_k_partition,
+    "graph-bipartition": graph_bipartition,
 }
 
 

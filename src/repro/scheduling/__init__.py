@@ -5,11 +5,15 @@ from .adversarial import RoundRobinScheduler, StickyScheduler, WeightedScheduler
 from .base import PairBlock, Scheduler
 from .fairness import PairCoverage, chi_square_uniformity, measure_pair_coverage
 from .graph import GraphScheduler
+from .spec import SchedulerSpec, parse_scheduler, scheduler_names
 from .uniform import UniformScheduler
 
 __all__ = [
     "Scheduler",
     "PairBlock",
+    "SchedulerSpec",
+    "parse_scheduler",
+    "scheduler_names",
     "UniformScheduler",
     "GraphScheduler",
     "WeightedScheduler",

@@ -77,6 +77,15 @@ class StickyScheduler(Scheduler):
         self._stickiness = float(stickiness)
         self._last: tuple[int, int] | None = None
 
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["last"] = self._last
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._last = state["last"]
+
     def next_block(self, size: int, states: np.ndarray | None = None) -> PairBlock:
         n = self._n
         a = np.empty(size, dtype=np.int64)
@@ -110,12 +119,33 @@ class RoundRobinScheduler(Scheduler):
 
     def __init__(self, n: int, seed: SeedLike = None) -> None:
         super().__init__(n, seed)
-        self._pairs = [(a, b) for a in range(n) for b in range(n) if a != b]
+        # The full ordered-pair table, precomputed once as one int64
+        # ndarray: initiator-major, responders ascending with the
+        # initiator skipped — the same enumeration order as
+        # ``[(a, b) for a in range(n) for b in range(n) if a != b]``.
+        a_col = np.repeat(np.arange(n, dtype=np.int64), n - 1)
+        b_col = np.tile(np.arange(n - 1, dtype=np.int64), n)
+        b_col += b_col >= a_col
+        self._pairs = np.column_stack((a_col, b_col))
         self._pos = 0
+
+    @property
+    def pair_table(self) -> np.ndarray:
+        """The precomputed ``(n(n-1), 2)`` ordered-pair table (read-only)."""
+        return self._pairs
 
     def next_block(self, size: int, states: np.ndarray | None = None) -> PairBlock:
         total = len(self._pairs)
         idx = (self._pos + np.arange(size)) % total
         self._pos = int((self._pos + size) % total)
-        pairs = np.asarray([self._pairs[i] for i in idx], dtype=np.int64)
-        return pairs[:, 0], pairs[:, 1]
+        pairs = self._pairs[idx]
+        return pairs[:, 0].copy(), pairs[:, 1].copy()
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["pos"] = self._pos
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._pos = int(state["pos"])

@@ -67,3 +67,21 @@ class Scheduler(ABC):
         engine's closed-form null skipping.
         """
         return False
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """The scheduler's *mutable* run state, as a picklable dict.
+
+        Sessions snapshot this instead of deep-copying the scheduler
+        object, so immutable structure (edge arrays, pair tables,
+        networkx graphs, weight vectors) is shared across snapshots and
+        only the evolving state — the RNG, by default — is copied.
+        Stateful subclasses extend the dict (call ``super()`` first).
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind the scheduler to a :meth:`capture_state` dict, in place."""
+        self._rng.bit_generator.state = state["rng"]

@@ -63,14 +63,34 @@ class GraphScheduler(Scheduler):
         return cls(nx.cycle_graph(n), seed)
 
     @classmethod
-    def random_regular(cls, degree: int, n: int, seed: SeedLike = None) -> "GraphScheduler":
-        """Scheduler over a random d-regular interaction graph."""
-        graph = nx.random_regular_graph(degree, n, seed=0)
+    def random_regular(
+        cls,
+        degree: int,
+        n: int,
+        seed: SeedLike = None,
+        *,
+        graph_seed: int = 0,
+    ) -> "GraphScheduler":
+        """Scheduler over a random d-regular interaction graph.
+
+        Structure and schedule are seeded *separately*: ``graph_seed``
+        determines which d-regular graph is drawn (same value, same
+        edge set — topologies are reproducible independently of the
+        run), while ``seed`` drives only the edge-sampling RNG.
+        Passing a different ``seed`` never changes the topology, and a
+        different ``graph_seed`` never perturbs the schedule stream.
+        """
+        graph = nx.random_regular_graph(degree, n, seed=graph_seed)
         return cls(graph, seed)
 
     @property
     def graph(self) -> nx.Graph:
         return self._graph
+
+    @property
+    def edges(self) -> np.ndarray:
+        """The ``(num_edges, 2)`` int64 edge array (read-only structure)."""
+        return self._edges
 
     @property
     def is_connected(self) -> bool:

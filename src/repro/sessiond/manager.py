@@ -72,6 +72,7 @@ DRIVEN_ENGINES = (
     "ensemble",
     "count-jit",
     "batch-jit",
+    "graph",
 )
 
 #: Default automatic-checkpoint cadence (interactions).

@@ -114,3 +114,59 @@ class TestExecution:
         s = spec()
         assert s.digest[:12] in s.label()
         assert "k=3" in s.label()
+
+
+class TestSchedulerField:
+    """Widening the scheduler grid must not orphan existing stores."""
+
+    def test_uniform_digest_pinned(self):
+        # This is the digest the seed revision (scheduler grid ==
+        # ("uniform",)) produced for the same spec.  If canonicalization
+        # ever perturbs it, every content-addressed result store built
+        # before the graph/roundrobin schedulers landed is orphaned.
+        assert spec().digest == (
+            "9fb8c609c0212ea9bbc12b6d68218778"
+            "fb2a0509a9acddf5fa5f409a2c58178d"
+        )
+
+    def test_scheduler_feeds_the_digest(self):
+        assert (
+            spec(scheduler="roundrobin", engine="agent").digest
+            != spec().digest
+        )
+
+    def test_scheduler_round_trips_through_json(self):
+        s = spec(scheduler="graph:cycle", engine="graph")
+        back = JobSpec.from_json(s.to_json())
+        assert back.scheduler == "graph:cycle"
+        assert back.digest == s.digest
+
+    def test_non_canonical_name_rejected(self):
+        # "round-robin" parses (CLI convenience alias) but would give
+        # the same job two digests, so specs demand the canonical form.
+        with pytest.raises(CampaignError, match="canonical"):
+            spec(scheduler="round-robin", engine="agent")
+        with pytest.raises(CampaignError, match="canonical"):
+            spec(scheduler="graph:regular:4@0", engine="graph")
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(CampaignError, match="scheduler"):
+            spec(scheduler="graph:petersen")
+
+    def test_roundrobin_requires_the_agent_engine(self):
+        spec(scheduler="roundrobin", engine="agent")  # fine
+        with pytest.raises(CampaignError, match="agent"):
+            spec(scheduler="roundrobin", engine="count")
+        with pytest.raises(CampaignError, match="agent"):
+            spec(scheduler="roundrobin", engine="graph")
+
+    def test_graph_allows_agent_or_graph_engines_only(self):
+        spec(scheduler="graph:cycle", engine="agent")  # fine
+        spec(scheduler="graph:regular:4", engine="graph")  # fine
+        for engine in ("count", "batch", "ensemble", "count-jit"):
+            with pytest.raises(CampaignError, match="engine"):
+                spec(scheduler="graph:cycle", engine=engine)
+
+    def test_uniform_spec_runs_on_any_engine(self):
+        for engine in ("count", "batch", "agent", "hybrid"):
+            assert spec(engine=engine).scheduler == "uniform"

@@ -85,3 +85,30 @@ class TestExperimentsWiring:
         assert rc == 0
         assert "[conform]" in out
         assert "no violations" in out
+
+
+class TestDiffScheduler:
+    def test_graph_scheduler_flag(self, capsys):
+        rc = conform_main(
+            ["diff", "--protocol", "graph-bipartition", "--n", "20",
+             "--seed", "3", "--scheduler", "graph:cycle",
+             "--max-interactions", "500000"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no divergence" in out
+
+    def test_roundrobin_scheduler_flag(self, capsys):
+        rc = conform_main(
+            ["diff", "--protocol", "weak-k-partition", "--param", "k=3",
+             "--n", "30", "--seed", "4", "--scheduler", "roundrobin"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no divergence" in out
+
+    def test_unknown_scheduler_fails_loudly(self):
+        with pytest.raises(SystemExit):
+            conform_main(
+                ["diff", "--n", "10", "--scheduler", "graph:petersen"]
+            )

@@ -133,3 +133,62 @@ class TestValidation:
         sched = record_schedule(uniform_k_partition(4), 10, seed=0)
         with pytest.raises(SimulationError, match="states"):
             run_differential(proto, schedule=sched)
+
+
+class TestSchedulerGrid:
+    """The (protocol, fairness, graph) grid reaches every engine path."""
+
+    def test_graph_scheduler_recording_replays_clean(self):
+        from repro.protocols import graph_bipartition
+
+        report = run_differential(
+            graph_bipartition(),
+            20,
+            seed=20,
+            scheduler="graph:cycle",
+            max_interactions=500_000,
+        )
+        assert report.ok
+        assert report.engines == list(ENGINE_PATHS)
+        assert report.effective_steps > 0
+
+    def test_random_regular_clean(self):
+        from repro.protocols import graph_bipartition
+
+        report = run_differential(
+            graph_bipartition(),
+            16,
+            seed=21,
+            scheduler="graph:regular:4",
+            max_interactions=500_000,
+        )
+        assert report.ok
+
+    def test_roundrobin_recording_replays_clean(self):
+        from repro.protocols import weak_k_partition
+
+        report = run_differential(
+            weak_k_partition(3), 30, seed=22, scheduler="roundrobin"
+        )
+        assert report.ok
+        # Every effective interaction commits one agent: n - 1 of them.
+        assert report.effective_steps == 29
+
+    def test_scheduler_ignored_when_schedule_supplied(self, proto):
+        sched = record_schedule(proto, 20, seed=23)
+        report = run_differential(
+            proto, schedule=sched, scheduler="graph:cycle"
+        )
+        assert report.ok
+        assert report.steps_replayed == sched.interactions
+
+    def test_live_scheduler_instance_accepted(self, proto):
+        from repro.scheduling import StickyScheduler
+
+        report = run_differential(
+            proto,
+            12,
+            seed=24,
+            scheduler=StickyScheduler(12, 0.5, seed=24),
+        )
+        assert report.ok

@@ -87,3 +87,46 @@ class TestRunFuzz:
     def test_default_corpus_clean(self, tmp_path):
         findings = run_fuzz(reproducer_dir=tmp_path)
         assert findings == []
+
+
+class TestScenarioGrid:
+    """The corpus spans the (protocol, fairness, graph) grid."""
+
+    def test_covers_graph_schedulers(self):
+        schedulers = {c.scheduler for c in default_corpus()}
+        assert {"graph:complete", "graph:cycle", "graph:regular:4"} <= schedulers
+
+    def test_covers_followup_protocols(self):
+        protos = {c.protocol for c in default_corpus()}
+        assert "weak-k-partition" in protos
+        assert "graph-bipartition" in protos
+
+    def test_weak_kpartition_fuzzed_under_round_robin(self):
+        cases = [
+            c
+            for c in default_corpus()
+            if c.protocol == "weak-k-partition" and c.scheduler == "round-robin"
+        ]
+        assert cases  # the discriminating weak-fairness scenario
+
+    def test_graph_case_engine_split_is_clean(self):
+        # Check 4: GraphBatchEngine vs agent+GraphScheduler bit-identity
+        # on a fuzzed graph case.
+        cases = [
+            FuzzCase(
+                protocol="graph-bipartition",
+                n=10,
+                seed=9,
+                scheduler="graph:cycle",
+                max_interactions=500_000,
+            )
+        ]
+        assert run_fuzz(cases) == []
+
+    def test_odd_n_graph_case_is_stable_not_silent(self):
+        # The corpus keeps one odd-n graph case so the
+        # stable-but-not-silent regime is fuzzed on restricted graphs.
+        assert any(
+            c.protocol == "graph-bipartition" and c.n % 2 == 1
+            for c in default_corpus()
+        )

@@ -68,3 +68,26 @@ class TestSelfTest:
 
     def test_small_population_still_passes(self):
         assert self_test(n=24, seed=5) == []
+
+    def test_default_grid_covers_both_protocol_families(self, monkeypatch):
+        # self_test imports run_differential from the differ module at
+        # call time, so spy there.
+        import repro.conform.differ as differ
+
+        calls = []
+        orig = differ.run_differential
+
+        def spy(protocol, *args, **kwargs):
+            calls.append(protocol.name)
+            return orig(protocol, *args, **kwargs)
+
+        monkeypatch.setattr(differ, "run_differential", spy)
+        assert self_test(n=24, seed=5) == []
+        names = set(calls)
+        assert any("partition" in name for name in names)
+        assert "graph-bipartition" in names
+
+    def test_explicit_protocol_skips_the_grid(self):
+        from repro.protocols import graph_bipartition
+
+        assert self_test(graph_bipartition(), n=24, seed=5) == []

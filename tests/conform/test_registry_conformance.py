@@ -30,6 +30,8 @@ CASES = {
     "approximate-majority": dict(
         params={}, n=11, initial_counts=lambda p: [7, 4, 0]
     ),
+    "weak-k-partition": dict(params={"k": 3}, n=13),
+    "graph-bipartition": dict(params={}, n=9),
 }
 
 

@@ -130,3 +130,85 @@ class TestRun:
     def test_elapsed_recorded(self, proto):
         r = AgentBasedEngine().run(proto, 9, seed=13)
         assert r.elapsed >= 0.0
+
+
+class TestSnapshotUnderSchedulers:
+    """Satellite regression: snapshots capture scheduler *state*, not the
+    scheduler object.  The old ``copy.deepcopy(self._scheduler)`` capture
+    serialized the whole networkx graph (or pair table) per snapshot and
+    re-created a detached scheduler on restore."""
+
+    def test_snapshot_extra_has_state_not_a_scheduler_object(self):
+        from repro.protocols import graph_bipartition
+        from repro.scheduling import GraphScheduler
+
+        engine = AgentBasedEngine(
+            scheduler_factory=lambda n, rng: GraphScheduler.cycle(n, rng)
+        )
+        session = engine.start(graph_bipartition(), 10, seed=0)
+        session.advance(100)
+        extra = session.snapshot().extra
+        assert "scheduler" not in extra
+        # GraphScheduler's mutable state is its generator only; the
+        # O(edges) topology stays shared with the live scheduler.
+        assert set(extra["scheduler_state"]) == {"rng"}
+
+    @pytest.mark.parametrize("topology", ["cycle", "regular"])
+    def test_sliced_restore_bit_identical_under_graph_scheduler(
+        self, topology
+    ):
+        from repro.engine import SessionState
+        from repro.protocols import graph_bipartition
+        from repro.scheduling import GraphScheduler
+
+        def factory(n, rng, t=topology):
+            if t == "cycle":
+                return GraphScheduler.cycle(n, rng)
+            return GraphScheduler.random_regular(4, n, rng)
+
+        engine = AgentBasedEngine(scheduler_factory=factory)
+        proto = graph_bipartition()
+        whole = engine.run(proto, 14, seed=21, max_interactions=2_000_000)
+
+        session = engine.start(proto, 14, seed=21, max_interactions=2_000_000)
+        for cut in (3, 50, 4096, 10_000):
+            if session.advance(cut).terminal:
+                break
+            blob = session.snapshot().to_bytes()
+            session = engine.start(
+                proto, 14, seed=77, max_interactions=2_000_000
+            )
+            session.restore(SessionState.from_bytes(blob))
+        while not session.advance(50_000).terminal:
+            pass
+        r = session.result()
+        assert r.interactions == whole.interactions
+        assert r.effective_interactions == whole.effective_interactions
+        assert np.array_equal(r.final_counts, whole.final_counts)
+
+    def test_sliced_restore_bit_identical_under_round_robin(self):
+        from repro.protocols import weak_k_partition
+        from repro.scheduling import RoundRobinScheduler
+
+        engine = AgentBasedEngine(
+            scheduler_factory=lambda n, rng: RoundRobinScheduler(n)
+        )
+        proto = weak_k_partition(3)
+        whole = engine.run(proto, 31, seed=0, max_interactions=100_000)
+        assert whole.converged
+
+        session = engine.start(proto, 31, seed=0, max_interactions=100_000)
+        status = session.advance(17)
+        assert not status.terminal
+        blob = session.snapshot().to_bytes()
+        resumed = engine.start(proto, 31, seed=5, max_interactions=100_000)
+        from repro.engine import SessionState
+
+        resumed.restore(SessionState.from_bytes(blob))
+        while not resumed.advance(1_000).terminal:
+            pass
+        r = resumed.result()
+        # The sweep position ("pos") travels in the snapshot, so the
+        # resumed run replays the identical deterministic schedule.
+        assert r.interactions == whole.interactions
+        assert np.array_equal(r.final_counts, whole.final_counts)

@@ -1,0 +1,192 @@
+"""Tests for the graph-restricted batch engine.
+
+The load-bearing property is bit-identity: :class:`GraphBatchEngine`
+must reproduce ``AgentBasedEngine`` + :class:`GraphScheduler` draw for
+draw, so the conformance differ can lockstep the two paths.  The rest
+pins the session contract (budget exhaustion, sliced snapshot/restore
+through bytes, topology-mismatch rejection) and the
+``engine_for_scheduler`` router.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.engine import (
+    AgentBasedEngine,
+    CountBasedEngine,
+    GraphBatchEngine,
+    SessionState,
+    engine_for_scheduler,
+    resolve_engine,
+)
+from repro.protocols import graph_bipartition, uniform_k_partition
+from repro.scheduling import SchedulerSpec
+
+PROTO = uniform_k_partition(3)
+GRAPH_PROTO = graph_bipartition()
+
+
+def science(result) -> dict:
+    """Result record minus timing and the engine's own name."""
+    record = result.to_record()
+    record.pop("elapsed")
+    record.pop("engine")
+    return record
+
+
+class TestBitIdentity:
+    """The engine IS the scheduler, vectorized — same stream, same run."""
+
+    @pytest.mark.parametrize(
+        ("scheduler", "n"),
+        [
+            ("graph:complete", 24),
+            ("graph:cycle", 16),
+            ("graph:regular:4", 18),
+            ("graph:regular:4@3", 18),
+        ],
+    )
+    def test_matches_agent_engine_with_graph_scheduler(self, scheduler, n):
+        spec = SchedulerSpec.parse(scheduler)
+        agent = AgentBasedEngine(scheduler_factory=spec.build).run(
+            GRAPH_PROTO, n, seed=11, max_interactions=2_000_000
+        )
+        graph = GraphBatchEngine(scheduler).run(
+            GRAPH_PROTO, n, seed=11, max_interactions=2_000_000
+        )
+        assert science(agent) == science(graph)
+        assert agent.interactions == graph.interactions
+        assert agent.effective_interactions == graph.effective_interactions
+        assert np.array_equal(agent.final_counts, graph.final_counts)
+
+    def test_bit_identity_holds_for_the_source_protocol_too(self):
+        spec = SchedulerSpec.parse("graph:cycle")
+        agent = AgentBasedEngine(scheduler_factory=spec.build).run(
+            PROTO, 12, seed=12, max_interactions=300_000
+        )
+        graph = GraphBatchEngine("graph:cycle").run(
+            PROTO, 12, seed=12, max_interactions=300_000
+        )
+        assert science(agent) == science(graph)
+
+
+class TestSessionContract:
+    def test_budget_exhaustion_is_exact(self):
+        r = GraphBatchEngine("graph:cycle").run(
+            GRAPH_PROTO, 30, seed=0, max_interactions=77
+        )
+        assert not r.converged
+        assert r.interactions == 77
+
+    def test_sliced_snapshot_restore_bit_identical(self):
+        engine = GraphBatchEngine("graph:regular:4")
+        whole = engine.run(GRAPH_PROTO, 20, seed=13, max_interactions=500_000)
+
+        session = engine.start(
+            GRAPH_PROTO, 20, seed=13, max_interactions=500_000
+        )
+        for cut in (1, 7, 4096, 5000):
+            if session.advance(cut).terminal:
+                break
+            blob = session.snapshot().to_bytes()
+            session = engine.start(
+                GRAPH_PROTO, 20, seed=999, max_interactions=500_000
+            )
+            session.restore(SessionState.from_bytes(blob))
+        while not session.advance(10_000).terminal:
+            pass
+        assert science(session.result()) == science(whole)
+
+    def test_restore_rejects_other_topology(self):
+        blob = (
+            GraphBatchEngine("graph:cycle")
+            .start(GRAPH_PROTO, 12, seed=0)
+            .snapshot()
+            .to_bytes()
+        )
+        target = GraphBatchEngine("graph:complete").start(
+            GRAPH_PROTO, 12, seed=0
+        )
+        with pytest.raises(SimulationError, match="snapshot was taken on scheduler"):
+            target.restore(SessionState.from_bytes(blob))
+
+
+class TestConstruction:
+    def test_rejects_non_graph_scheduler(self):
+        with pytest.raises(SimulationError, match="graph"):
+            GraphBatchEngine("uniform")
+        with pytest.raises(SimulationError, match="graph"):
+            GraphBatchEngine("roundrobin")
+
+    def test_edge_array_cached_and_read_only(self):
+        engine = GraphBatchEngine("graph:cycle")
+        edges = engine.edge_array(10)
+        assert edges is engine.edge_array(10)
+        assert edges.dtype == np.int64
+        with pytest.raises(ValueError):
+            edges[0, 0] = 99
+
+    def test_edge_array_matches_the_spec(self):
+        engine = GraphBatchEngine("graph:regular:4@2")
+        spec = SchedulerSpec.parse("graph:regular:4@2")
+        assert np.array_equal(engine.edge_array(16), spec.edge_array(16))
+
+    def test_accepts_a_parsed_spec(self):
+        spec = SchedulerSpec.parse("graph:cycle")
+        assert GraphBatchEngine(spec).spec is spec
+
+
+class TestRouter:
+    """engine_for_scheduler: the single place run_trials/CLI resolve from."""
+
+    def test_uniform_passthrough(self):
+        engine = CountBasedEngine()
+        assert engine_for_scheduler(engine, None) is engine
+        assert engine_for_scheduler(engine, "uniform") is engine
+        assert engine_for_scheduler(None, None).name == "count"
+
+    def test_graph_defaults_to_graph_engine(self):
+        engine = engine_for_scheduler(None, "graph:cycle")
+        assert isinstance(engine, GraphBatchEngine)
+        assert engine.spec.name == "graph:cycle"
+
+    def test_graph_with_agent_name_uses_scheduler_factory(self):
+        engine = engine_for_scheduler("agent", "graph:cycle")
+        assert isinstance(engine, AgentBasedEngine)
+        r = engine.run(GRAPH_PROTO, 10, seed=1, max_interactions=500_000)
+        ref = GraphBatchEngine("graph:cycle").run(
+            GRAPH_PROTO, 10, seed=1, max_interactions=500_000
+        )
+        assert science(r) == science(ref)
+
+    def test_roundrobin_defaults_to_agent(self):
+        engine = engine_for_scheduler(None, "roundrobin")
+        assert isinstance(engine, AgentBasedEngine)
+
+    def test_roundrobin_rejects_graph_engine(self):
+        with pytest.raises(SimulationError, match="graph"):
+            engine_for_scheduler("graph", "roundrobin")
+
+    def test_uniform_only_engines_rejected_for_graph(self):
+        with pytest.raises(SimulationError, match="uniform"):
+            engine_for_scheduler("count", "graph:cycle")
+        with pytest.raises(SimulationError, match="uniform"):
+            engine_for_scheduler("batch", "roundrobin")
+
+    def test_matching_graph_engine_instance_passes_through(self):
+        engine = GraphBatchEngine("graph:cycle")
+        assert engine_for_scheduler(engine, "graph:cycle") is engine
+
+    def test_mismatched_graph_engine_instance_rejected(self):
+        engine = GraphBatchEngine("graph:cycle")
+        with pytest.raises(SimulationError, match="configured for"):
+            engine_for_scheduler(engine, "graph:complete")
+
+    def test_plain_agent_instance_gets_rebuilt_with_factory(self):
+        rebuilt = engine_for_scheduler(AgentBasedEngine(), "graph:cycle")
+        assert isinstance(rebuilt, AgentBasedEngine)
+        r = rebuilt.run(GRAPH_PROTO, 10, seed=2, max_interactions=500_000)
+        assert r.converged

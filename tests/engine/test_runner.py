@@ -317,6 +317,7 @@ class TestEngineResolution:
             "count-jit",
             "ensemble",
             "ensemble-parallel",
+            "graph",
             "hybrid",
         )
         for name in names:

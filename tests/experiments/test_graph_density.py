@@ -1,0 +1,78 @@
+"""Tests for the convergence-vs-graph-density experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS
+from repro.experiments.graph_density import (
+    _scheduler_sweep,
+    render_graph_density,
+    run_graph_density,
+)
+
+
+class TestSweep:
+    def test_sparse_to_dense_with_cycle_and_complete_anchors(self):
+        sweep = _scheduler_sweep(20, (4, 8))
+        assert sweep[0] == ("graph:cycle", 2)
+        assert sweep[-1] == ("graph:complete", 19)
+        assert ("graph:regular:4", 4) in sweep
+        degrees = [d for _, d in sweep]
+        assert degrees == sorted(degrees)
+
+    def test_infeasible_degrees_skipped(self):
+        # n*d odd -> no d-regular graph; d >= n-1 -> that's the
+        # complete anchor; d <= 2 -> that's the cycle anchor.
+        sweep = _scheduler_sweep(15, (3, 4, 2, 14, 20))
+        assert sweep == [
+            ("graph:cycle", 2),
+            ("graph:regular:4", 4),
+            ("graph:complete", 14),
+        ]
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_graph_density(
+            n=24, degrees=(4,), trials=3, max_interactions=2_000_000
+        )
+
+    def test_one_row_per_density_point(self, table):
+        assert [r["scheduler"] for r in table.rows] == [
+            "graph:cycle",
+            "graph:regular:4",
+            "graph:complete",
+        ]
+
+    def test_all_trials_converge_at_small_n(self, table):
+        for row in table.rows:
+            assert row["converged"] == row["trials"] == 3
+
+    def test_density_column_normalized(self, table):
+        assert table.rows[-1]["density"] == pytest.approx(1.0)
+        assert 0 < table.rows[0]["density"] < 1
+
+    def test_denser_graphs_stabilize_faster(self, table):
+        # The small-n regime: the cycle pays a free-token random walk
+        # that the complete graph does not.  (At larger n the dense
+        # graphs' flavour-reset churn overtakes — module docstring.)
+        assert (
+            table.rows[0]["mean_interactions"]
+            > table.rows[-1]["mean_interactions"]
+        )
+
+    def test_render(self, table):
+        out = render_graph_density(table)
+        assert "density" in out
+        assert "graph:cycle" in out
+
+
+class TestCLI:
+    def test_registered(self):
+        assert "graph-density" in EXPERIMENTS
+        runner, renderer, quick, description = EXPERIMENTS["graph-density"]
+        assert runner is run_graph_density
+        assert renderer is render_graph_density
+        assert "density" in description

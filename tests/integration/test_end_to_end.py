@@ -39,6 +39,8 @@ class TestPublicApi:
             "r-generalized-partition": {"ratio": (1, 2)},
             "leader-election": {},
             "approximate-majority": {},
+            "weak-k-partition": {"k": 3},
+            "graph-bipartition": {},
         }
         assert set(params) == set(available_protocols())
         for name, kw in params.items():

@@ -63,6 +63,8 @@ class TestBuild:
             "r-generalized-partition": {"ratio": (1, 2)},
             "leader-election": {},
             "approximate-majority": {},
+            "weak-k-partition": {"k": 3},
+            "graph-bipartition": {},
         }
         assert set(samples) == set(PROTOCOL_BUILDERS)
         for name, params in samples.items():

@@ -60,6 +60,55 @@ class TestSampling:
         a, _ = sched.next_block(1_000)
         assert 300 < int((a == 0).sum()) < 700
 
+    def test_random_regular_graph_seed_selects_topology(self):
+        # Regression: the constructor hardcoded seed=0 into
+        # nx.random_regular_graph, so every "random" regular topology
+        # was the same graph no matter what the caller asked for.
+        edge_sets = {
+            frozenset(
+                frozenset(e)
+                for e in GraphScheduler.random_regular(
+                    3, 20, graph_seed=gs
+                ).graph.edges
+            )
+            for gs in range(4)
+        }
+        assert len(edge_sets) > 1
+
+    def test_random_regular_graph_seed_is_reproducible(self):
+        a = GraphScheduler.random_regular(3, 20, seed=1, graph_seed=5)
+        b = GraphScheduler.random_regular(3, 20, seed=2, graph_seed=5)
+        # Same topology (graph_seed), different schedule stream (seed).
+        assert np.array_equal(a.edges, b.edges)
+        assert not np.array_equal(
+            np.column_stack(a.next_block(64)),
+            np.column_stack(b.next_block(64)),
+        )
+
+    def test_random_regular_default_topology_unchanged(self):
+        # Backward compatibility: the old hardcoded topology was
+        # graph_seed=0, which stays the default.
+        old = GraphScheduler.random_regular(3, 10, seed=0)
+        explicit = GraphScheduler.random_regular(3, 10, seed=0, graph_seed=0)
+        assert np.array_equal(old.edges, explicit.edges)
+
+
+class TestCaptureRestore:
+    def test_capture_restore_replays_the_stream(self):
+        sched = GraphScheduler.cycle(8, seed=5)
+        sched.next_block(100)
+        state = sched.capture_state()
+        first = np.column_stack(sched.next_block(64))
+        sched.restore_state(state)
+        again = np.column_stack(sched.next_block(64))
+        assert np.array_equal(first, again)
+
+    def test_capture_state_has_no_graph_payload(self):
+        # Session snapshots deep-copy the captured dict; the immutable
+        # topology must stay shared, not serialized per snapshot.
+        state = GraphScheduler.cycle(8, seed=6).capture_state()
+        assert set(state) == {"rng"}
+
 
 class TestProtocolOnGraphs:
     """The paper's protocol on restricted (connected) interaction graphs.
