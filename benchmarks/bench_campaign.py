@@ -1,0 +1,166 @@
+"""Benchmark: campaign service v2 under load (latency, throughput, 429s).
+
+Three load points against a live :class:`AsyncCampaignService`, all
+driven by the harness in ``repro.campaign.loadgen``:
+
+* ``closed_loop_1000`` — 1000 concurrent keep-alive clients cycling
+  submit/status/result: the acceptance point.  Gates: zero 5xx, zero
+  transport errors, and p50/p99 latency on the record.
+* ``open_loop_backpressure`` — fixed-rate submissions against a small
+  ``queue_limit``: proves saturation surfaces as 429 + ``Retry-After``
+  (and still zero 5xx), not as buried queues or dropped connections.
+* ``drain_throughput`` — end-to-end jobs/second through the worker
+  pool for a burst of tiny jobs.
+
+Results go to ``BENCH_campaign.json`` at the repository root with the
+same provenance block as ``BENCH_ensemble.json`` (git revision, CPU
+count, NumPy/Numba versions, active kernel backend), so numbers from
+different machines are never silently comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign import AsyncCampaignService, make_specs
+from repro.campaign.loadgen import run_closed_loop, run_open_loop
+from repro.engine import get_kernels
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+
+#: The acceptance concurrency: this many clients hold connections with
+#: requests in flight simultaneously.
+CLIENTS = 1000
+
+
+def _provenance() -> dict:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=RESULT_PATH.parent,
+            check=True,
+        ).stdout.strip()
+    except Exception:  # noqa: BLE001 — provenance is best effort
+        rev = "unknown"
+    try:
+        import numba
+
+        numba_version = numba.__version__
+    except Exception:  # noqa: BLE001 — absence is normal
+        numba_version = None
+    return {
+        "git_rev": rev,
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "numba": numba_version,
+        "kernel_backend": get_kernels().backend,
+    }
+
+
+def _record(point: str, payload: dict) -> None:
+    data = {}
+    if RESULT_PATH.exists():
+        try:
+            data = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[point] = payload
+    data["provenance"] = _provenance()
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_closed_loop_1000_clients(tmp_path):
+    """1000 concurrent submit/status/result clients, zero 5xx."""
+    service = AsyncCampaignService(
+        tmp_path / "bench.db", workers=1, queue_limit=100_000,
+        poll_interval=0.02,
+    ).start()
+    try:
+        report = run_closed_loop(
+            service.url,
+            clients=CLIENTS,
+            duration=6.0,
+            specs=make_specs(2 * CLIENTS, seed0=1),
+            tenant="bench",
+        )
+    finally:
+        service.stop()
+    print(report.summary())
+    assert report.server_errors == 0, report.to_record()
+    assert report.transport_errors == 0, report.to_record()
+    assert report.max_in_flight >= CLIENTS * 0.9, report.max_in_flight
+    assert report.requests > CLIENTS, report.requests
+    _record("closed_loop_1000", report.to_record())
+
+
+def test_open_loop_backpressure(tmp_path):
+    """Saturating a bounded queue yields 429s, never 5xx."""
+    service = AsyncCampaignService(
+        tmp_path / "bench.db", workers=1, queue_limit=32,
+        poll_interval=0.02,
+    ).start()
+    try:
+        report = run_open_loop(
+            service.url,
+            rate=400.0,
+            duration=4.0,
+            specs=make_specs(2000, seed0=50_000, n=64, trials=2),
+            tenant="bench",
+            status_every=8,
+        )
+    finally:
+        service.stop()
+    print(report.summary())
+    assert report.server_errors == 0, report.to_record()
+    assert report.rejected > 0, report.to_record()
+    assert report.by_code.get(200, 0) > 0, report.to_record()
+    _record("open_loop_backpressure", report.to_record())
+
+
+def test_drain_throughput(tmp_path):
+    """Jobs/second end to end through the v2 worker pool."""
+    jobs = 200
+    service = AsyncCampaignService(
+        tmp_path / "bench.db", workers=2, queue_limit=100_000,
+        poll_interval=0.01,
+    ).start()
+    try:
+        import urllib.request
+
+        def http(path, body=None):
+            data = None if body is None else json.dumps(body).encode()
+            req = urllib.request.Request(
+                service.url + path, data=data,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return json.loads(resp.read())
+
+        t0 = time.perf_counter()
+        http("/submit", {"specs": make_specs(jobs, seed0=90_000), "tenant": "bench"})
+        while True:
+            counts = http("/status?tenant=bench")["jobs"]
+            if counts["done"] + counts["failed"] >= jobs:
+                break
+            time.sleep(0.05)
+        elapsed = time.perf_counter() - t0
+    finally:
+        service.stop()
+    assert counts["failed"] == 0, counts
+    payload = {
+        "jobs": jobs,
+        "workers": 2,
+        "seconds": round(elapsed, 3),
+        "jobs_per_second": round(jobs / elapsed, 1),
+    }
+    print(payload)
+    assert payload["jobs_per_second"] > 0
+    _record("drain_throughput", payload)

@@ -5,9 +5,13 @@ are content-addressed (:class:`JobSpec`), a SQLite store records every
 job's status and results across invocations (:class:`CampaignStore`),
 an executor drains the queue with retries and Ctrl-C checkpointing
 (:func:`run_campaign`), figure grids decompose into independent jobs
-(:func:`experiment_specs`), and a stdlib HTTP daemon serves
-submit/status/result/metrics for detached operation
-(:class:`CampaignService`).  See ``docs/campaign.md``.
+(:func:`experiment_specs`), and an HTTP daemon serves
+submit/status/result/metrics for detached operation — the asyncio
+multi-tenant service v2 (:class:`AsyncCampaignService`: worker pool,
+streaming status, 429 backpressure) or the legacy synchronous v1
+(:class:`CampaignService`).  A load harness (:func:`run_closed_loop`,
+:func:`run_open_loop`) drives either at campaign scale.  See
+``docs/campaign.md``.
 """
 
 from .executor import (
@@ -18,9 +22,11 @@ from .executor import (
     run_campaign,
 )
 from .grids import GRID_EXPERIMENTS, experiment_specs
+from .loadgen import LoadReport, make_specs, run_closed_loop, run_open_loop
 from .service import CampaignService
+from .service_v2 import AsyncCampaignService
 from .spec import JobSpec
-from .store import CampaignStore, JobRecord, StoreTrialCache
+from .store import DEFAULT_TENANT, CampaignStore, JobRecord, StoreTrialCache
 
 __all__ = [
     "JobSpec",
@@ -29,6 +35,12 @@ __all__ = [
     "StoreTrialCache",
     "CampaignReport",
     "CampaignService",
+    "AsyncCampaignService",
+    "DEFAULT_TENANT",
+    "LoadReport",
+    "make_specs",
+    "run_closed_loop",
+    "run_open_loop",
     "execute_spec",
     "execute_spec_resumable",
     "fetch_trial_set",

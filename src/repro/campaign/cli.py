@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from ..experiments.common import DEFAULT_SEED, ProgressPrinter
 from .executor import run_campaign
@@ -121,14 +122,57 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     p_gc.add_argument("--no-vacuum", action="store_true")
 
     p_serve = sub.add_parser(
-        "serve", parents=[common], help="run the HTTP service daemon"
+        "serve", parents=[common], help="run the HTTP service daemon (v2)"
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8642)
     p_serve.add_argument(
+        "--v1", action="store_true",
+        help="run the legacy synchronous ThreadingHTTPServer daemon",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="v2 drain-pool width (0 = serve submit/status only)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="v2 submit-queue bound: saturated submissions get 429 (default 256)",
+    )
+    p_serve.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="v2 job executor (default thread)",
+    )
+    p_serve.add_argument(
         "--no-worker", action="store_true",
         help="serve submit/status only; drain with 'campaign run' elsewhere",
     )
+
+    p_load = sub.add_parser(
+        "load", parents=[common],
+        help="drive a running service with the load harness",
+    )
+    p_load.add_argument(
+        "--url", required=True, metavar="URL",
+        help="service base URL, e.g. http://127.0.0.1:8642",
+    )
+    p_load.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: N keep-alive clients; open: fixed request rate",
+    )
+    p_load.add_argument("--clients", type=int, default=100,
+                        help="closed-loop concurrency (default 100)")
+    p_load.add_argument("--rate", type=float, default=200.0,
+                        help="open-loop requests/second (default 200)")
+    p_load.add_argument("--duration", type=float, default=5.0,
+                        help="seconds to run (default 5)")
+    p_load.add_argument("--submissions", type=int, default=64,
+                        help="distinct tiny job specs to submit (0 = status-only)")
+    p_load.add_argument("--tenant", default="loadgen",
+                        help="tenant namespace for submitted jobs")
+    p_load.add_argument("--seed0", type=int, default=1,
+                        help="first spec seed (distinct seeds → distinct jobs)")
+    p_load.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
     return parser
 
 
@@ -233,12 +277,60 @@ def _cmd_gc(store: CampaignStore, args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(store: CampaignStore, args: argparse.Namespace) -> int:
-    service = CampaignService(
-        store.path, host=args.host, port=args.port, worker=not args.no_worker
-    )
-    print(f"campaign service on {service.url} (db {store.path}); Ctrl-C to stop")
-    service.serve_forever()
+    if args.v1:
+        service = CampaignService(
+            store.path, host=args.host, port=args.port,
+            worker=not args.no_worker,
+        )
+        service.start()
+        print(
+            f"campaign service v1 on {service.url} (db {store.path}); "
+            "Ctrl-C to stop"
+        )
+    else:
+        from .service_v2 import AsyncCampaignService
+
+        service = AsyncCampaignService(
+            store.path, host=args.host, port=args.port,
+            workers=0 if args.no_worker else args.workers,
+            queue_limit=args.queue_limit,
+            executor=args.executor,
+        )
+        service.start()
+        print(
+            f"campaign service v2 on {service.url} (db {store.path}, "
+            f"{service.workers} worker(s), queue_limit={service.queue_limit}); "
+            "Ctrl-C to stop"
+        )
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
     return 0
+
+
+def _cmd_load(store: CampaignStore, args: argparse.Namespace) -> int:
+    from .loadgen import make_specs, run_closed_loop, run_open_loop
+
+    specs = make_specs(args.submissions, seed0=args.seed0) if args.submissions else []
+    if args.mode == "closed":
+        report = run_closed_loop(
+            args.url, clients=args.clients, duration=args.duration,
+            specs=specs, tenant=args.tenant,
+        )
+    else:
+        report = run_open_loop(
+            args.url, rate=args.rate, duration=args.duration,
+            specs=specs, tenant=args.tenant,
+        )
+    if args.json:
+        print(json.dumps(report.to_record(), indent=2))
+    else:
+        print(report.summary())
+    return 1 if report.server_errors or report.transport_errors else 0
 
 
 def campaign_main(argv: list[str] | None = None) -> int:
@@ -251,6 +343,7 @@ def campaign_main(argv: list[str] | None = None) -> int:
         "status": _cmd_status,
         "gc": _cmd_gc,
         "serve": _cmd_serve,
+        "load": _cmd_load,
     }
     try:
         return commands[args.verb](store, args)

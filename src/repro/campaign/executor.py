@@ -32,7 +32,7 @@ from ..engine.registry import engine_for_scheduler
 from ..engine.runner import TrialSet, finalize_trials, trial_fingerprint
 from ..engine.session import SessionState
 from .spec import JobSpec
-from .store import CampaignStore, JobRecord
+from .store import DEFAULT_TENANT, CampaignStore, JobRecord
 
 __all__ = [
     "CampaignReport",
@@ -105,6 +105,7 @@ def execute_spec_resumable(
     digest: str,
     checkpoint_interactions: int = DEFAULT_CHECKPOINT_INTERACTIONS,
     on_slice: Callable[[int, int], None] | None = None,
+    tenant: str = DEFAULT_TENANT,
 ) -> dict:
     """Run one job spec with mid-trial checkpointing; resume if possible.
 
@@ -130,7 +131,7 @@ def execute_spec_resumable(
     engine = engine_for_scheduler(spec.engine, spec.scheduler)
     t0 = time.perf_counter()
 
-    ckpt = store.load_checkpoint(digest)
+    ckpt = store.load_checkpoint(digest, tenant=tenant)
     completed: list[dict] = list(ckpt["completed"]) if ckpt else []
     resume_index = ckpt["trial_index"] if ckpt else 0
     session_bytes: bytes | None = ckpt["session"] if ckpt else None
@@ -154,6 +155,7 @@ def execute_spec_resumable(
                 trial_index=0,
                 completed=[],
                 session=session.snapshot().to_bytes(),
+                tenant=tenant,
             )
             if on_slice is not None:
                 on_slice(0, session.interactions)
@@ -171,6 +173,7 @@ def execute_spec_resumable(
                     trial_index=t,
                     completed=completed,
                     session=session.snapshot().to_bytes(),
+                    tenant=tenant,
                 )
                 if on_slice is not None:
                     on_slice(t, session.interactions)
@@ -178,7 +181,8 @@ def execute_spec_resumable(
             results.append(result)
             completed.append(result.to_record())
             store.save_checkpoint(
-                digest, trial_index=t + 1, completed=completed, session=None
+                digest, trial_index=t + 1, completed=completed, session=None,
+                tenant=tenant,
             )
 
     ts = finalize_trials(
@@ -244,15 +248,21 @@ class CampaignReport:
         return " ".join(parts)
 
 
-def _commit_success(store: CampaignStore, digest: str, payload: dict) -> None:
+def _commit_success(
+    store: CampaignStore,
+    digest: str,
+    payload: dict,
+    tenant: str = DEFAULT_TENANT,
+) -> None:
     store.mark_done(
         digest,
         summary=payload["summary"],
         record=payload["record"],
         wall_time=payload["wall_time"],
+        tenant=tenant,
     )
     if payload.get("trial_key"):
-        store.trial_cache().put(payload["trial_key"], payload["record"])
+        store.trial_cache(tenant).put(payload["trial_key"], payload["record"])
 
 
 def _handle_failure(
@@ -264,12 +274,12 @@ def _handle_failure(
     progress: Callable[[str], None] | None,
 ) -> None:
     if job.attempts <= retries:
-        store.reset_to_pending(job.digest)
+        store.reset_to_pending(job.digest, tenant=job.tenant)
         report.retried += 1
         if progress is not None:
             progress(f"retry {job.attempts}/{retries + 1} {job.spec.label()}: {error}")
     else:
-        store.mark_failed(job.digest, error)
+        store.mark_failed(job.digest, error, tenant=job.tenant)
         report.failed += 1
         report.errors.append(f"{job.digest[:12]}: {error}")
         if progress is not None:
@@ -342,18 +352,19 @@ def _drain_serial(
                 store,
                 digest=job.digest,
                 checkpoint_interactions=checkpoint_interactions,
+                tenant=job.tenant,
             )
         except KeyboardInterrupt:
             # The job goes back to pending; its checkpoint row survives,
             # so the next drain resumes it mid-trial.
-            store.reset_to_pending(job.digest)
+            store.reset_to_pending(job.digest, tenant=job.tenant)
             raise
         except Exception as exc:  # noqa: BLE001 — any job error is recorded
             _handle_failure(
                 store, job, _format_error(exc), retries, report, progress
             )
             continue
-        _commit_success(store, job.digest, payload)
+        _commit_success(store, job.digest, payload, job.tenant)
         report.executed += 1
         if payload.get("resumed"):
             report.resumed += 1
@@ -398,7 +409,7 @@ def _drain_pool(
                         )
                         continue
                     payload = future.result()
-                    _commit_success(store, job.digest, payload)
+                    _commit_success(store, job.digest, payload, job.tenant)
                     report.executed += 1
                     if progress is not None:
                         progress(
@@ -409,7 +420,7 @@ def _drain_pool(
         # jobs were claimed (status running) but their results are lost.
         for future, job in in_flight.items():
             future.cancel()
-            store.reset_to_pending(job.digest)
+            store.reset_to_pending(job.digest, tenant=job.tenant)
         raise
 
 

@@ -30,7 +30,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from ..core.errors import CampaignError, ReproError
-from ..obs import Telemetry, set_telemetry
+from ..core.httputil import BadRequest, parse_content_length, parse_limit
+from ..obs import Telemetry, get_telemetry, set_telemetry
 from .executor import execute_spec
 from .grids import experiment_specs
 from .spec import JobSpec
@@ -102,6 +103,7 @@ class CampaignService:
         self._previous_telemetry = None
         self.poll_interval = poll_interval
         self._want_worker = worker
+        self._worker_beat: float | None = None
         self._stop = threading.Event()
         self._worker_thread: threading.Thread | None = None
         self._server_thread: threading.Thread | None = None
@@ -156,7 +158,11 @@ class CampaignService:
         if self._server_thread is not None:
             self._server_thread.join(timeout=10)
         if self._previous_telemetry is not None:
-            set_telemetry(self._previous_telemetry)
+            # Only restore if our telemetry is still the installed one —
+            # a later service may have replaced it, and re-installing our
+            # saved predecessor would leak a stale hook process-wide.
+            if get_telemetry() is self.telemetry:
+                set_telemetry(self._previous_telemetry)
             self._previous_telemetry = None
 
     # ------------------------------------------------------------------
@@ -165,6 +171,7 @@ class CampaignService:
     def _worker_loop(self) -> None:
         self.store.recover_running()
         while not self._stop.is_set():
+            self._worker_beat = time.time()
             job = self.store.claim_next()
             if job is None:
                 self._stop.wait(self.poll_interval)
@@ -172,20 +179,44 @@ class CampaignService:
             try:
                 payload = execute_spec(job.spec.canonical())
             except Exception as exc:  # noqa: BLE001 — recorded, not fatal
-                self.store.mark_failed(job.digest, f"{type(exc).__name__}: {exc}")
-                self.metrics.bump("failed")
+                self._record_failure(job, f"{type(exc).__name__}: {exc}")
                 continue
-            self.store.mark_done(
-                job.digest,
-                summary=payload["summary"],
-                record=payload["record"],
-                wall_time=payload["wall_time"],
-            )
-            if payload.get("trial_key"):
-                self.store.trial_cache().put(payload["trial_key"], payload["record"])
+            # The post-execute path (result commit + cache write) must
+            # not kill the worker either: a store hiccup here used to
+            # leave the job stuck in 'running' forever with /healthz
+            # green and the worker thread dead.
+            try:
+                self.store.mark_done(
+                    job.digest,
+                    summary=payload["summary"],
+                    record=payload["record"],
+                    wall_time=payload["wall_time"],
+                    tenant=job.tenant,
+                )
+                if payload.get("trial_key"):
+                    self.store.trial_cache(job.tenant).put(
+                        payload["trial_key"], payload["record"]
+                    )
+            except Exception as exc:  # noqa: BLE001 — recorded, not fatal
+                self._record_failure(
+                    job, f"result commit failed: {type(exc).__name__}: {exc}"
+                )
+                continue
             self.metrics.bump("executed")
             self.metrics.bump("wall_time_total", payload["wall_time"])
         # Checkpoint: a claim made but not finished returns to pending.
+
+    def _record_failure(self, job, error: str) -> None:
+        """Mark one job failed without ever killing the worker thread."""
+        try:
+            self.store.mark_failed(job.digest, error, tenant=job.tenant)
+        except Exception:  # noqa: BLE001 — the job re-queues via recovery
+            pass
+        self.metrics.bump("failed")
+
+    def worker_alive(self) -> bool:
+        """True when the drain thread is configured and still running."""
+        return self._worker_thread is not None and self._worker_thread.is_alive()
 
     # ------------------------------------------------------------------
     # Request handling (called from handler threads)
@@ -200,6 +231,11 @@ class CampaignService:
                 "jobs": counts,
                 "queue_depth": counts["pending"] + counts["running"],
                 "worker": self._want_worker,
+                "worker_alive": self.worker_alive(),
+                "worker_last_beat_age": (
+                    None if self._worker_beat is None
+                    else time.time() - self._worker_beat
+                ),
                 "trial_cache_entries": self.store.trial_cache_size(),
                 "uptime_seconds": time.time() - self.metrics.started_at,
             }
@@ -212,7 +248,10 @@ class CampaignService:
             status = query.get("status")
             if status is not None and status not in JOB_STATUSES:
                 return 400, {"error": f"unknown status {status!r}"}
-            limit = min(int(query.get("limit", "100")), 1000)
+            try:
+                limit = parse_limit(query.get("limit"))
+            except BadRequest as exc:
+                return 400, {"error": str(exc)}
             jobs = self.store.list_jobs(status=status, limit=limit)
             return 200, {
                 "jobs": [
@@ -301,7 +340,15 @@ def _make_handler(service: CampaignService) -> type[BaseHTTPRequestHandler]:
             self._respond(code, payload)
 
         def do_POST(self) -> None:  # noqa: N802 — http.server API
-            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                length = parse_content_length(self.headers)
+            except BadRequest as exc:
+                # A malformed header used to raise out of the handler
+                # and drop the connection with no response at all.
+                # The body length is unknowable, so close afterwards.
+                self.close_connection = True
+                self._respond(400, {"error": str(exc)})
+                return
             raw = self.rfile.read(length) if length else b"{}"
             try:
                 body = json.loads(raw or b"{}")

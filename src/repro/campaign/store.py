@@ -1,10 +1,10 @@
 """SQLite-backed job store: durable campaign state across invocations.
 
 One database holds every job ever submitted, keyed by the spec's
-content digest.  Jobs move ``pending -> running -> done | failed``;
-``done`` rows carry the full per-trial record (for bit-identical cache
-hits) plus compact summary statistics and provenance (git revision,
-package version, wall time).
+content digest within a **tenant namespace**.  Jobs move
+``pending -> running -> done | failed``; ``done`` rows carry the full
+per-trial record (for bit-identical cache hits) plus compact summary
+statistics and provenance (git revision, package version, wall time).
 
 Concurrency model: WAL journaling allows any number of concurrent
 readers alongside one writer; every thread gets its own connection
@@ -18,11 +18,19 @@ holds each running job's partial progress — completed-trial records
 plus the in-flight trial's serialized
 :class:`~repro.engine.session.SessionState` — so a killed executor
 resumes mid-trial instead of restarting the job from scratch.
+
+Tenancy: every table carries a ``tenant`` column (auth-less
+namespacing for the multi-tenant service v2); the ``"default"``
+tenant is what every pre-tenant API call operates on, so existing
+digests, cache keys and call sites are untouched.  Pre-tenant
+databases (schema v1) are migrated in place on first open — rows
+land under the default tenant with their bytes unchanged.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import sqlite3
 import subprocess
 import threading
@@ -31,16 +39,32 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .. import __version__ as _PACKAGE_VERSION
-from ..core.errors import CampaignError
+from ..core.errors import CampaignError, StoreClosedError
 from .spec import JobSpec
 
-__all__ = ["CampaignStore", "JobRecord", "StoreTrialCache", "JOB_STATUSES"]
+__all__ = [
+    "CampaignStore",
+    "JobRecord",
+    "StoreTrialCache",
+    "JOB_STATUSES",
+    "DEFAULT_TENANT",
+]
 
 JOB_STATUSES = ("pending", "running", "done", "failed")
 
+#: The namespace all pre-tenant call sites read and write.
+DEFAULT_TENANT = "default"
+
+#: Schema generation recorded in ``PRAGMA user_version``.  0 is a
+#: fresh (or pre-versioning v1) database; 2 is the tenant-aware layout.
+_SCHEMA_VERSION = 2
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
-    digest          TEXT PRIMARY KEY,
+    tenant          TEXT NOT NULL DEFAULT 'default',
+    digest          TEXT NOT NULL,
     spec            TEXT NOT NULL,
     status          TEXT NOT NULL DEFAULT 'pending'
                     CHECK (status IN ('pending', 'running', 'done', 'failed')),
@@ -54,22 +78,55 @@ CREATE TABLE IF NOT EXISTS jobs (
     wall_time       REAL,
     created_at      REAL NOT NULL,
     started_at      REAL,
-    finished_at     REAL
+    finished_at     REAL,
+    PRIMARY KEY (tenant, digest)
 );
+CREATE INDEX IF NOT EXISTS jobs_by_tenant_status ON jobs (tenant, status, created_at);
 CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status, created_at);
 CREATE INDEX IF NOT EXISTS jobs_by_campaign ON jobs (campaign);
 CREATE TABLE IF NOT EXISTS trial_cache (
-    key        TEXT PRIMARY KEY,
+    tenant     TEXT NOT NULL DEFAULT 'default',
+    key        TEXT NOT NULL,
     record     TEXT NOT NULL,
-    created_at REAL NOT NULL
+    created_at REAL NOT NULL,
+    PRIMARY KEY (tenant, key)
 );
 CREATE TABLE IF NOT EXISTS checkpoints (
-    digest      TEXT PRIMARY KEY,
+    tenant      TEXT NOT NULL DEFAULT 'default',
+    digest      TEXT NOT NULL,
     trial_index INTEGER NOT NULL,
     completed   TEXT NOT NULL,
     session     BLOB,
-    updated_at  REAL NOT NULL
+    updated_at  REAL NOT NULL,
+    PRIMARY KEY (tenant, digest)
 );
+"""
+
+#: v1 tables (digest-keyed, no tenant column) copied verbatim into the
+#: v2 layout under the default tenant.  Column lists are explicit so a
+#: copy never silently reorders.
+_MIGRATE_V1_TO_V2 = """
+ALTER TABLE jobs RENAME TO jobs_v1;
+ALTER TABLE trial_cache RENAME TO trial_cache_v1;
+ALTER TABLE checkpoints RENAME TO checkpoints_v1;
+DROP INDEX IF EXISTS jobs_by_status;
+DROP INDEX IF EXISTS jobs_by_campaign;
+""" + _SCHEMA + """
+INSERT INTO jobs (tenant, digest, spec, status, attempts, error, summary,
+                  record, campaign, git_rev, package_version, wall_time,
+                  created_at, started_at, finished_at)
+    SELECT 'default', digest, spec, status, attempts, error, summary,
+           record, campaign, git_rev, package_version, wall_time,
+           created_at, started_at, finished_at FROM jobs_v1;
+INSERT INTO trial_cache (tenant, key, record, created_at)
+    SELECT 'default', key, record, created_at FROM trial_cache_v1;
+INSERT INTO checkpoints (tenant, digest, trial_index, completed, session,
+                         updated_at)
+    SELECT 'default', digest, trial_index, completed, session, updated_at
+    FROM checkpoints_v1;
+DROP TABLE jobs_v1;
+DROP TABLE trial_cache_v1;
+DROP TABLE checkpoints_v1;
 """
 
 
@@ -84,6 +141,16 @@ def _git_rev() -> str | None:
         return None
     rev = out.stdout.strip()
     return rev if out.returncode == 0 and rev else None
+
+
+def _check_tenant(tenant: str) -> str:
+    """Validate a tenant name (it lands in SQL rows and URLs)."""
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise CampaignError(
+            f"invalid tenant {tenant!r}: expected 1-64 characters from "
+            "[A-Za-z0-9._-]"
+        )
+    return tenant
 
 
 @dataclass(slots=True)
@@ -103,6 +170,7 @@ class JobRecord:
     created_at: float
     started_at: float | None
     finished_at: float | None
+    tenant: str = DEFAULT_TENANT
 
     @classmethod
     def _from_row(cls, row: sqlite3.Row) -> "JobRecord":
@@ -120,6 +188,7 @@ class JobRecord:
             created_at=row["created_at"],
             started_at=row["started_at"],
             finished_at=row["finished_at"],
+            tenant=row["tenant"],
         )
 
 
@@ -129,17 +198,20 @@ class StoreTrialCache:
     Installed with :func:`~repro.engine.runner.use_trial_cache`, it
     makes every ``run_trials`` call inside an experiment sweep check
     the database first — the mechanism behind incremental
-    ``repro-experiments all`` re-runs.
+    ``repro-experiments all`` re-runs.  Scoped to one tenant; the
+    default tenant preserves every pre-tenant cache key.
     """
 
-    def __init__(self, store: "CampaignStore") -> None:
+    def __init__(self, store: "CampaignStore", tenant: str = DEFAULT_TENANT) -> None:
         self._store = store
+        self.tenant = _check_tenant(tenant)
         self.hits = 0
         self.misses = 0
 
     def get(self, key: str) -> dict | None:
         row = self._store._query(
-            "SELECT record FROM trial_cache WHERE key = ?", (key,)
+            "SELECT record FROM trial_cache WHERE tenant = ? AND key = ?",
+            (self.tenant, key),
         ).fetchone()
         if row is None:
             self.misses += 1
@@ -150,9 +222,9 @@ class StoreTrialCache:
     def put(self, key: str, record: dict) -> None:
         with self._store._write() as conn:
             conn.execute(
-                "INSERT OR REPLACE INTO trial_cache (key, record, created_at) "
-                "VALUES (?, ?, ?)",
-                (key, json.dumps(record), time.time()),
+                "INSERT OR REPLACE INTO trial_cache "
+                "(tenant, key, record, created_at) VALUES (?, ?, ?, ?)",
+                (self.tenant, key, json.dumps(record), time.time()),
             )
 
 
@@ -165,14 +237,20 @@ class CampaignStore:
         self._local = threading.local()
         self._conns: list[sqlite3.Connection] = []
         self._conns_lock = threading.Lock()
-        # Create the schema eagerly so read-only callers see tables.
-        with self._write():
-            pass
+        self._closed = False
+        # Create/migrate the schema eagerly (before any handler thread
+        # exists) so read-only callers see tables.
+        self._conn()
 
     # ------------------------------------------------------------------
     # Connections
     # ------------------------------------------------------------------
     def _conn(self) -> sqlite3.Connection:
+        if self._closed:
+            raise StoreClosedError(
+                f"campaign store {self.path} is closed; "
+                "create a new CampaignStore to reopen it"
+            )
         conn = getattr(self._local, "conn", None)
         if conn is None:
             conn = sqlite3.connect(self.path, timeout=30.0)
@@ -180,12 +258,50 @@ class CampaignStore:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute("PRAGMA busy_timeout=30000")
-            conn.executescript(_SCHEMA)
+            self._ensure_schema(conn)
             conn.commit()
-            self._local.conn = conn
             with self._conns_lock:
+                if self._closed:
+                    # close() ran while this connection was being set
+                    # up; do not leak it past the store's lifetime.
+                    conn.close()
+                    raise StoreClosedError(
+                        f"campaign store {self.path} is closed; "
+                        "create a new CampaignStore to reopen it"
+                    )
                 self._conns.append(conn)
+            self._local.conn = conn
         return conn
+
+    @staticmethod
+    def _ensure_schema(conn: sqlite3.Connection) -> None:
+        """Create the v2 schema, migrating a v1 database in place.
+
+        A v1 layout is recognized structurally (a ``jobs`` table with
+        no ``tenant`` column); the rebuild runs inside one immediate
+        transaction so concurrent openers serialize behind it and the
+        check-then-migrate pair cannot race.
+        """
+        cols = [r[1] for r in conn.execute("PRAGMA table_info(jobs)")]
+        if cols and "tenant" not in cols:
+            # Statements run one by one: executescript would implicitly
+            # commit the open transaction and break atomicity.
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                # Re-check under the write lock: another process may
+                # have migrated while we waited.
+                cols = [r[1] for r in conn.execute("PRAGMA table_info(jobs)")]
+                if cols and "tenant" not in cols:
+                    for stmt in _MIGRATE_V1_TO_V2.split(";"):
+                        if stmt.strip():
+                            conn.execute(stmt)
+                conn.execute("COMMIT")
+            except sqlite3.Error:
+                conn.execute("ROLLBACK")
+                raise
+        else:
+            conn.executescript(_SCHEMA)
+        conn.execute(f"PRAGMA user_version={_SCHEMA_VERSION}")
 
     def _query(self, sql: str, args: tuple = ()) -> sqlite3.Cursor:
         return self._conn().execute(sql, args)
@@ -194,8 +310,22 @@ class CampaignStore:
         """Context manager: one committed transaction on this thread."""
         return self._conn()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Close every registered connection; idempotent.
+
+        After close, any store method raises
+        :class:`~repro.core.errors.StoreClosedError` — including on
+        handler threads that never opened a connection before, so a
+        shutdown race can no longer leak fresh connections.
+        """
         with self._conns_lock:
+            if self._closed:
+                return
+            self._closed = True
             for conn in self._conns:
                 try:
                     conn.close()
@@ -207,35 +337,47 @@ class CampaignStore:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, spec: JobSpec, *, campaign: str | None = None) -> tuple[str, bool]:
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        campaign: str | None = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> tuple[str, bool]:
         """Record a job; returns ``(digest, created)``.
 
-        Submission is idempotent by digest: re-submitting an existing
-        job (any status) changes nothing and returns ``created=False``
-        — that is the job-level cache hit.
+        Submission is idempotent by ``(tenant, digest)``: re-submitting
+        an existing job (any status) changes nothing and returns
+        ``created=False`` — that is the job-level cache hit.
         """
         digest = spec.digest
+        _check_tenant(tenant)
         with self._write() as conn:
             cur = conn.execute(
-                "INSERT OR IGNORE INTO jobs (digest, spec, campaign, created_at) "
-                "VALUES (?, ?, ?, ?)",
-                (digest, spec.to_json(), campaign, time.time()),
+                "INSERT OR IGNORE INTO jobs (tenant, digest, spec, campaign, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (tenant, digest, spec.to_json(), campaign, time.time()),
             )
         return digest, cur.rowcount == 1
 
     def submit_many(
-        self, specs: list[JobSpec], *, campaign: str | None = None
+        self,
+        specs: list[JobSpec],
+        *,
+        campaign: str | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> dict[str, int]:
         """Submit a batch; returns ``{"created": .., "existing": .., "done": ..}``."""
         created = existing = done = 0
         for spec in specs:
-            digest, was_new = self.submit(spec, campaign=campaign)
+            digest, was_new = self.submit(spec, campaign=campaign, tenant=tenant)
             if was_new:
                 created += 1
             else:
                 existing += 1
                 row = self._query(
-                    "SELECT status FROM jobs WHERE digest = ?", (digest,)
+                    "SELECT status FROM jobs WHERE tenant = ? AND digest = ?",
+                    (tenant, digest),
                 ).fetchone()
                 if row is not None and row["status"] == "done":
                     done += 1
@@ -244,22 +386,34 @@ class CampaignStore:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def claim_next(self) -> JobRecord | None:
-        """Atomically move the oldest pending job to ``running``."""
+    def claim_next(self, *, tenant: str | None = None) -> JobRecord | None:
+        """Atomically move the oldest pending job to ``running``.
+
+        ``tenant=None`` (the default) claims across all tenants —
+        workers drain one global queue; pass a tenant to drain one
+        namespace only.
+        """
         conn = self._conn()
+        where = "status = 'pending'"
+        args: tuple = ()
+        if tenant is not None:
+            _check_tenant(tenant)
+            where += " AND tenant = ?"
+            args = (tenant,)
         try:
             conn.execute("BEGIN IMMEDIATE")
             row = conn.execute(
-                "SELECT * FROM jobs WHERE status = 'pending' "
-                "ORDER BY created_at, digest LIMIT 1"
+                f"SELECT * FROM jobs WHERE {where} "
+                "ORDER BY created_at, tenant, digest LIMIT 1",
+                args,
             ).fetchone()
             if row is None:
                 conn.execute("COMMIT")
                 return None
             conn.execute(
                 "UPDATE jobs SET status = 'running', started_at = ?, "
-                "attempts = attempts + 1 WHERE digest = ?",
-                (time.time(), row["digest"]),
+                "attempts = attempts + 1 WHERE tenant = ? AND digest = ?",
+                (time.time(), row["tenant"], row["digest"]),
             )
             conn.execute("COMMIT")
         except sqlite3.Error:
@@ -277,12 +431,13 @@ class CampaignStore:
         summary: dict,
         record: dict,
         wall_time: float,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         with self._write() as conn:
             conn.execute(
                 "UPDATE jobs SET status = 'done', summary = ?, record = ?, "
                 "wall_time = ?, finished_at = ?, error = NULL, "
-                "git_rev = ?, package_version = ? WHERE digest = ?",
+                "git_rev = ?, package_version = ? WHERE tenant = ? AND digest = ?",
                 (
                     json.dumps(summary),
                     json.dumps(record),
@@ -290,27 +445,38 @@ class CampaignStore:
                     time.time(),
                     _git_rev(),
                     _PACKAGE_VERSION,
+                    tenant,
                     digest,
                 ),
             )
-            conn.execute("DELETE FROM checkpoints WHERE digest = ?", (digest,))
+            conn.execute(
+                "DELETE FROM checkpoints WHERE tenant = ? AND digest = ?",
+                (tenant, digest),
+            )
 
-    def mark_failed(self, digest: str, error: str) -> None:
+    def mark_failed(
+        self, digest: str, error: str, *, tenant: str = DEFAULT_TENANT
+    ) -> None:
         with self._write() as conn:
             conn.execute(
                 "UPDATE jobs SET status = 'failed', error = ?, finished_at = ? "
-                "WHERE digest = ?",
-                (error, time.time(), digest),
+                "WHERE tenant = ? AND digest = ?",
+                (error, time.time(), tenant, digest),
             )
-            conn.execute("DELETE FROM checkpoints WHERE digest = ?", (digest,))
+            conn.execute(
+                "DELETE FROM checkpoints WHERE tenant = ? AND digest = ?",
+                (tenant, digest),
+            )
 
-    def reset_to_pending(self, digest: str) -> None:
+    def reset_to_pending(
+        self, digest: str, *, tenant: str = DEFAULT_TENANT
+    ) -> None:
         """Checkpoint one job back to the queue (Ctrl-C, retry)."""
         with self._write() as conn:
             conn.execute(
                 "UPDATE jobs SET status = 'pending', started_at = NULL "
-                "WHERE digest = ?",
-                (digest,),
+                "WHERE tenant = ? AND digest = ?",
+                (tenant, digest),
             )
 
     def recover_running(self) -> int:
@@ -318,7 +484,7 @@ class CampaignStore:
 
         Call at executor startup: any ``running`` row necessarily
         belongs to a process that died mid-job (live executors reset
-        their claims on the way out).
+        their claims on the way out).  Spans all tenants.
         """
         with self._write() as conn:
             cur = conn.execute(
@@ -337,6 +503,7 @@ class CampaignStore:
         trial_index: int,
         completed: list[dict],
         session: bytes | None,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         """Persist a job's partial progress (idempotent per digest).
 
@@ -349,12 +516,21 @@ class CampaignStore:
         with self._write() as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO checkpoints "
-                "(digest, trial_index, completed, session, updated_at) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (digest, trial_index, json.dumps(completed), session, time.time()),
+                "(tenant, digest, trial_index, completed, session, updated_at) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    tenant,
+                    digest,
+                    trial_index,
+                    json.dumps(completed),
+                    session,
+                    time.time(),
+                ),
             )
 
-    def load_checkpoint(self, digest: str) -> dict | None:
+    def load_checkpoint(
+        self, digest: str, *, tenant: str = DEFAULT_TENANT
+    ) -> dict | None:
         """The saved progress of a job, or None when it never checkpointed.
 
         Returns ``{"trial_index": int, "completed": list[dict],
@@ -362,8 +538,8 @@ class CampaignStore:
         """
         row = self._query(
             "SELECT trial_index, completed, session FROM checkpoints "
-            "WHERE digest = ?",
-            (digest,),
+            "WHERE tenant = ? AND digest = ?",
+            (tenant, digest),
         ).fetchone()
         if row is None:
             return None
@@ -373,9 +549,14 @@ class CampaignStore:
             "session": row["session"],
         }
 
-    def clear_checkpoint(self, digest: str) -> None:
+    def clear_checkpoint(
+        self, digest: str, *, tenant: str = DEFAULT_TENANT
+    ) -> None:
         with self._write() as conn:
-            conn.execute("DELETE FROM checkpoints WHERE digest = ?", (digest,))
+            conn.execute(
+                "DELETE FROM checkpoints WHERE tenant = ? AND digest = ?",
+                (tenant, digest),
+            )
 
     def checkpoint_count(self) -> int:
         row = self._query("SELECT COUNT(*) AS c FROM checkpoints").fetchone()
@@ -384,42 +565,87 @@ class CampaignStore:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def get(self, digest: str) -> JobRecord | None:
-        row = self._query("SELECT * FROM jobs WHERE digest = ?", (digest,)).fetchone()
+    def get(
+        self, digest: str, *, tenant: str = DEFAULT_TENANT
+    ) -> JobRecord | None:
+        row = self._query(
+            "SELECT * FROM jobs WHERE tenant = ? AND digest = ?",
+            (tenant, digest),
+        ).fetchone()
         return None if row is None else JobRecord._from_row(row)
 
-    def result_record(self, digest: str) -> dict | None:
+    def result_record(
+        self, digest: str, *, tenant: str = DEFAULT_TENANT
+    ) -> dict | None:
         """The full :meth:`TrialSet.to_record` payload of a done job."""
         row = self._query(
-            "SELECT record FROM jobs WHERE digest = ? AND status = 'done'", (digest,)
+            "SELECT record FROM jobs "
+            "WHERE tenant = ? AND digest = ? AND status = 'done'",
+            (tenant, digest),
         ).fetchone()
         return None if row is None or row["record"] is None else json.loads(row["record"])
 
-    def counts(self) -> dict[str, int]:
-        """Job counts by status (every status present, zeros included)."""
+    def counts(self, *, tenant: str | None = None) -> dict[str, int]:
+        """Job counts by status (every status present, zeros included).
+
+        ``tenant=None`` aggregates across all tenants.
+        """
         out = {status: 0 for status in JOB_STATUSES}
-        for row in self._query("SELECT status, COUNT(*) AS c FROM jobs GROUP BY status"):
+        if tenant is None:
+            cur = self._query(
+                "SELECT status, COUNT(*) AS c FROM jobs GROUP BY status"
+            )
+        else:
+            _check_tenant(tenant)
+            cur = self._query(
+                "SELECT status, COUNT(*) AS c FROM jobs WHERE tenant = ? "
+                "GROUP BY status",
+                (tenant,),
+            )
+        for row in cur:
             out[row["status"]] = row["c"]
         return out
 
+    def tenants(self) -> list[str]:
+        """Every tenant with at least one job, sorted."""
+        cur = self._query("SELECT DISTINCT tenant FROM jobs ORDER BY tenant")
+        return [row["tenant"] for row in cur.fetchall()]
+
     def list_jobs(
-        self, *, status: str | None = None, limit: int = 100
+        self,
+        *,
+        status: str | None = None,
+        limit: int = 100,
+        tenant: str | None = None,
     ) -> list[JobRecord]:
         if status is not None and status not in JOB_STATUSES:
             raise CampaignError(f"unknown status {status!r}; expected one of {JOB_STATUSES}")
-        if status is None:
-            cur = self._query(
-                "SELECT * FROM jobs ORDER BY created_at, digest LIMIT ?", (limit,)
-            )
-        else:
-            cur = self._query(
-                "SELECT * FROM jobs WHERE status = ? ORDER BY created_at, digest LIMIT ?",
-                (status, limit),
-            )
+        where = []
+        args: list[object] = []
+        if status is not None:
+            where.append("status = ?")
+            args.append(status)
+        if tenant is not None:
+            _check_tenant(tenant)
+            where.append("tenant = ?")
+            args.append(tenant)
+        clause = f"WHERE {' AND '.join(where)} " if where else ""
+        cur = self._query(
+            f"SELECT * FROM jobs {clause}"
+            "ORDER BY created_at, tenant, digest LIMIT ?",
+            tuple(args) + (limit,),
+        )
         return [JobRecord._from_row(row) for row in cur.fetchall()]
 
-    def trial_cache_size(self) -> int:
-        row = self._query("SELECT COUNT(*) AS c FROM trial_cache").fetchone()
+    def trial_cache_size(self, *, tenant: str | None = None) -> int:
+        if tenant is None:
+            row = self._query("SELECT COUNT(*) AS c FROM trial_cache").fetchone()
+        else:
+            _check_tenant(tenant)
+            row = self._query(
+                "SELECT COUNT(*) AS c FROM trial_cache WHERE tenant = ?",
+                (tenant,),
+            ).fetchone()
         return row["c"]
 
     # ------------------------------------------------------------------
@@ -444,8 +670,9 @@ class CampaignStore:
                 cur = conn.execute("DELETE FROM jobs WHERE status = 'failed'")
                 removed["failed"] = cur.rowcount
             cur = conn.execute(
-                "DELETE FROM checkpoints WHERE digest NOT IN "
-                "(SELECT digest FROM jobs)"
+                "DELETE FROM checkpoints WHERE NOT EXISTS "
+                "(SELECT 1 FROM jobs WHERE jobs.tenant = checkpoints.tenant "
+                "AND jobs.digest = checkpoints.digest)"
             )
             removed["checkpoints"] = cur.rowcount
             if done_older_than is not None:
@@ -463,6 +690,6 @@ class CampaignStore:
             self._conn().execute("VACUUM")
         return removed
 
-    def trial_cache(self) -> StoreTrialCache:
-        """A runner-compatible cache view over this store."""
-        return StoreTrialCache(self)
+    def trial_cache(self, tenant: str = DEFAULT_TENANT) -> StoreTrialCache:
+        """A runner-compatible cache view over this store (one tenant)."""
+        return StoreTrialCache(self, tenant)

@@ -22,6 +22,7 @@ __all__ = [
     "UnknownEngineError",
     "UnknownProtocolError",
     "CampaignError",
+    "StoreClosedError",
 ]
 
 
@@ -94,3 +95,12 @@ class UnknownProtocolError(ProtocolError, ValueError):
 
 class CampaignError(ReproError):
     """The campaign subsystem (job store / executor / service) failed."""
+
+
+class StoreClosedError(CampaignError):
+    """A store method was called after :meth:`CampaignStore.close`.
+
+    Handler threads of a shutting-down service can race the owner's
+    ``close()``; a named error makes that window loud instead of
+    leaking fresh SQLite connections onto a closed store.
+    """

@@ -1,0 +1,74 @@
+"""Shared request-parsing helpers for the stdlib HTTP daemons.
+
+The campaign and session services grew the same two parsing bugs
+independently — ``int(query["limit"])`` and ``int(Content-Length)``
+turning malformed client input into unhandled ``ValueError`` (a 500,
+or a dropped connection).  Both daemons now parse through this module
+so a bad request is a :class:`BadRequest` (rendered as a JSON 400)
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = ["BadRequest", "parse_limit", "parse_content_length"]
+
+#: Upper bound every ``?limit=`` clamp shares across services.
+MAX_LIMIT = 1000
+
+#: Request bodies above this are rejected outright (64 MiB — far above
+#: any legitimate grid submission, far below a memory-exhaustion write).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """Client input failed validation; render as an HTTP 400."""
+
+
+def parse_limit(
+    raw: str | None, *, default: int = 100, maximum: int = MAX_LIMIT
+) -> int:
+    """Validate and clamp a ``?limit=`` query value.
+
+    ``None`` (absent) yields ``default``; a non-integer or non-positive
+    value raises :class:`BadRequest`; anything above ``maximum`` is
+    clamped.  Never lets an unvalidated value reach SQL.
+    """
+    if raw is None:
+        return min(default, maximum)
+    try:
+        value = int(raw)
+    except ValueError:
+        raise BadRequest(f"limit must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise BadRequest(f"limit must be positive, got {value}")
+    return min(value, maximum)
+
+
+def parse_content_length(headers: Mapping[str, str] | None, raw: str | None = None) -> int:
+    """Validate a ``Content-Length`` header value.
+
+    Accepts either a headers mapping or the raw header string (pass
+    ``headers=None``).  Absent means 0.  A malformed or negative value
+    raises :class:`BadRequest` instead of an unhandled ``ValueError``
+    that drops the connection without a response; an absurdly large
+    one is rejected before any read.
+    """
+    if headers is not None:
+        raw = headers.get("Content-Length")
+    if raw is None or raw == "":
+        return 0
+    try:
+        length = int(raw)
+    except ValueError:
+        raise BadRequest(
+            f"malformed Content-Length header: {raw!r}"
+        ) from None
+    if length < 0:
+        raise BadRequest(f"negative Content-Length: {length}")
+    if length > MAX_BODY_BYTES:
+        raise BadRequest(
+            f"Content-Length {length} exceeds the {MAX_BODY_BYTES}-byte cap"
+        )
+    return length

@@ -39,6 +39,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from ..core.errors import ReproError, SimulationError
+from ..core.httputil import BadRequest, parse_content_length, parse_limit
 from ..obs import Telemetry, set_telemetry
 from .bisect import bisect_divergence
 from .manager import SessionManager
@@ -170,8 +171,12 @@ class SessionService:
             body["store"] = self.manager.store.stats()
             body["telemetry"] = self.telemetry.snapshot()
             return 200, body
+        try:
+            limit = parse_limit(query.get("limit"), default=1000)
+        except BadRequest as exc:
+            return 400, {"error": str(exc)}
         if path == "/sessions":
-            return 200, {"sessions": self.manager.sessions()}
+            return 200, {"sessions": self.manager.sessions()[:limit]}
         sid, _, tail = path.removeprefix("/sessions/").partition("/")
         if path.startswith("/sessions/") and sid:
             try:
@@ -180,7 +185,7 @@ class SessionService:
                 if tail == "snapshots":
                     return 200, {
                         "session": sid,
-                        "snapshots": self.manager.snapshots(sid),
+                        "snapshots": self.manager.snapshots(sid)[:limit],
                     }
                 if tail == "result":
                     return 200, self.manager.result(sid)
@@ -275,7 +280,15 @@ def _make_handler(service: SessionService) -> type[BaseHTTPRequestHandler]:
             self._respond(code, payload)
 
         def do_POST(self) -> None:  # noqa: N802 — http.server API
-            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                length = parse_content_length(self.headers)
+            except BadRequest as exc:
+                # A malformed header used to raise out of the handler
+                # and drop the connection with no response at all.
+                # The body length is unknowable, so close afterwards.
+                self.close_connection = True
+                self._respond(400, {"error": str(exc)})
+                return
             raw = self.rfile.read(length) if length else b"{}"
             try:
                 body = json.loads(raw or b"{}")

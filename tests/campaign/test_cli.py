@@ -130,3 +130,70 @@ class TestIncrementalExperiments:
         assert experiments_main([*self.ARGS, "--cache", db]) == 0
         out = capsys.readouterr().out
         assert f"{grid_size()}/{grid_size()} hits (100%)" in out
+
+
+class TestServeAndLoadParsers:
+    """Parser coverage for the v2 serve flags and the load verb."""
+
+    def _parse(self, argv):
+        from repro.campaign.cli import build_campaign_parser
+
+        return build_campaign_parser().parse_args(argv)
+
+    def test_serve_defaults_to_v2(self):
+        args = self._parse(["serve"])
+        assert args.v1 is False
+        assert args.workers == 2
+        assert args.queue_limit == 256
+        assert args.executor == "thread"
+
+    def test_serve_v1_flag(self):
+        assert self._parse(["serve", "--v1"]).v1 is True
+
+    def test_serve_v2_flags(self):
+        args = self._parse([
+            "serve", "--workers", "4", "--queue-limit", "8",
+            "--executor", "process",
+        ])
+        assert args.workers == 4
+        assert args.queue_limit == 8
+        assert args.executor == "process"
+
+    def test_load_requires_url(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            self._parse(["load"])
+        capsys.readouterr()
+
+    def test_load_defaults(self):
+        args = self._parse(["load", "--url", "http://h:1"])
+        assert args.mode == "closed"
+        assert args.clients == 100
+        assert args.rate == 200.0
+        assert args.tenant == "loadgen"
+        assert args.json is False
+
+
+class TestLoadVerb:
+    def test_load_against_live_v2_service(self, tmp_path, capsys):
+        from repro.campaign import AsyncCampaignService
+
+        svc = AsyncCampaignService(
+            tmp_path / "c.db", workers=1, poll_interval=0.02
+        ).start()
+        try:
+            rc = campaign_main([
+                "load", "--db", str(tmp_path / "unused.db"),
+                "--url", svc.url, "--mode", "closed", "--clients", "8",
+                "--duration", "1.0", "--submissions", "4", "--json",
+            ])
+        finally:
+            svc.stop()
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mode"] == "closed-loop"
+        assert report["requests"] > 0
+        assert report["server_errors_5xx"] == 0
+        assert report["by_code"].get("200", 0) > 0
+        assert "p50" in report["latency_seconds"]

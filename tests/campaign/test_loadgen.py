@@ -1,0 +1,118 @@
+"""Tests for the load-generation harness (spec factory, report math,
+and short closed/open-loop runs against a live v2 service)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    AsyncCampaignService,
+    JobSpec,
+    LoadReport,
+    make_specs,
+    run_closed_loop,
+    run_open_loop,
+)
+
+
+class TestMakeSpecs:
+    def test_specs_are_canonical_and_distinct(self):
+        specs = make_specs(5, seed0=10)
+        assert len(specs) == 5
+        digests = {JobSpec.from_dict(s).digest for s in specs}
+        assert len(digests) == 5  # distinct seeds → distinct jobs
+        for spec in specs:
+            assert spec == JobSpec.from_dict(spec).canonical()
+
+    def test_deterministic(self):
+        assert make_specs(3, seed0=7) == make_specs(3, seed0=7)
+        assert make_specs(3, seed0=7) != make_specs(3, seed0=8)
+
+    def test_empty(self):
+        assert make_specs(0) == []
+
+
+class TestLoadReport:
+    def make_report(self, **overrides) -> LoadReport:
+        base = dict(
+            mode="closed-loop", concurrency=4, duration=2.0, requests=100,
+            by_code={200: 90, 429: 8, 500: 2},
+            latencies_us=sorted(float(1000 * i) for i in range(1, 101)),
+            max_in_flight=4,
+        )
+        base.update(overrides)
+        return LoadReport(**base)
+
+    def test_code_classification(self):
+        r = self.make_report()
+        assert r.server_errors == 2
+        assert r.rejected == 8
+        assert r.throughput == 50.0
+
+    def test_quantiles_from_sorted_latencies(self):
+        r = self.make_report()
+        assert r.quantile(0.5) == pytest.approx(0.051)
+        assert r.quantile(0.99) == pytest.approx(0.100)
+        assert r.quantile(0.0) == pytest.approx(0.001)
+
+    def test_empty_report_is_safe(self):
+        r = LoadReport(mode="open-loop", concurrency=0, duration=0.0)
+        assert r.throughput == 0.0
+        assert r.quantile(0.5) == 0.0
+        record = r.to_record()
+        assert record["latency_seconds"]["mean"] == 0.0
+
+    def test_to_record_shape(self):
+        record = self.make_report().to_record()
+        assert record["by_code"] == {"200": 90, "429": 8, "500": 2}
+        assert record["server_errors_5xx"] == 2
+        assert record["rejected_429"] == 8
+        assert set(record["latency_seconds"]) == {"p50", "p90", "p99", "mean"}
+
+    def test_summary_is_one_line(self):
+        summary = self.make_report().summary()
+        assert "\n" not in summary
+        assert "closed-loop x4" in summary
+        assert "429s=8" in summary
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = AsyncCampaignService(
+        tmp_path / "campaign.db", workers=1, poll_interval=0.02,
+        queue_limit=10_000,
+    ).start()
+    yield svc
+    svc.stop()
+
+
+class TestLiveRuns:
+    def test_closed_loop_round_trip(self, service):
+        report = run_closed_loop(
+            service.url, clients=8, duration=1.0,
+            specs=make_specs(4, seed0=1), tenant="lg",
+        )
+        assert report.mode == "closed-loop"
+        assert report.requests > 0
+        assert report.server_errors == 0
+        assert report.transport_errors == 0
+        assert report.by_code.get(200, 0) > 0
+        assert len(report.latencies_us) == report.requests
+        assert report.latencies_us == sorted(report.latencies_us)
+
+    def test_open_loop_holds_requested_rate(self, service):
+        report = run_open_loop(
+            service.url, rate=50.0, duration=1.0,
+            specs=make_specs(4, seed0=100), tenant="lg",
+        )
+        assert report.mode == "open-loop"
+        assert report.server_errors == 0
+        # Fixed-rate schedule: ~rate*duration requests issued.
+        assert 30 <= report.requests <= 70
+
+    def test_status_only_load_needs_no_specs(self, service):
+        report = run_closed_loop(
+            service.url, clients=4, duration=0.5, specs=[], tenant="lg"
+        )
+        assert report.requests > 0
+        assert report.server_errors == 0

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -10,6 +11,20 @@ import urllib.request
 import pytest
 
 from repro.campaign import CampaignService
+
+
+def raw_request(address: tuple[str, int], payload: bytes) -> bytes:
+    """Send raw bytes over a fresh socket, return whatever comes back."""
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(payload)
+        sock.settimeout(10)
+        chunks = []
+        try:
+            while chunk := sock.recv(65536):
+                chunks.append(chunk)
+        except TimeoutError:
+            pass
+        return b"".join(chunks)
 
 
 def http(url: str, body: dict | None = None) -> tuple[int, dict]:
@@ -149,3 +164,98 @@ class TestWorker:
         body = self.wait_done(worker_service, submitted["digests"][0])
         assert body["status"] == "failed"
         assert "bogus" in body["error"]
+
+    def test_post_execute_failure_does_not_kill_worker(self, worker_service):
+        # Regression: an exception from mark_done (after a successful
+        # execute) used to propagate out of _worker_loop, silently
+        # killing the worker thread and wedging the job in 'running'.
+        svc = worker_service
+        real_mark_done = svc.store.mark_done
+        calls = {"n": 0}
+
+        def flaky_mark_done(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("synthetic store hiccup")
+            return real_mark_done(*args, **kwargs)
+
+        svc.store.mark_done = flaky_mark_done
+        try:
+            _, submitted = http(svc.url + "/submit", {"specs": [SPEC]})
+            body = self.wait_done(svc, submitted["digests"][0])
+            assert body["status"] == "failed"
+            assert "result commit failed" in body["error"]
+            assert "synthetic store hiccup" in body["error"]
+            # The worker survives and still drains subsequent jobs.
+            assert svc.worker_alive()
+            follow_up = {**SPEC, "seed": SPEC["seed"] + 1}
+            _, submitted = http(svc.url + "/submit", {"specs": [follow_up]})
+            body = self.wait_done(svc, submitted["digests"][0])
+            assert body["status"] == "done"
+        finally:
+            svc.store.mark_done = real_mark_done
+
+    def test_status_exposes_worker_liveness(self, worker_service):
+        _, body = http(worker_service.url + "/status")
+        assert body["worker_alive"] is True
+        deadline = time.monotonic() + 5
+        while body["worker_last_beat_age"] is None:
+            assert time.monotonic() < deadline, "worker never heartbeat"
+            time.sleep(0.05)
+            _, body = http(worker_service.url + "/status")
+        assert body["worker_last_beat_age"] >= 0
+
+    def test_status_worker_alive_false_without_worker(self, service):
+        _, body = http(service.url + "/status")
+        assert body["worker_alive"] is False
+
+
+class TestHTTPRegressions:
+    """Fail-on-main regressions for the HTTP parsing sweep."""
+
+    def test_jobs_non_integer_limit_400(self, service):
+        # Regression: bare int(query['limit']) raised ValueError in the
+        # handler thread and surfaced as a 500.
+        code, body = http(service.url + "/jobs?limit=abc")
+        assert code == 400
+        assert "limit" in body["error"]
+
+    @pytest.mark.parametrize("limit", ["-5", "0"])
+    def test_jobs_non_positive_limit_400(self, service, limit):
+        # Regression: negative/zero limits flowed unvalidated into SQL.
+        code, body = http(service.url + f"/jobs?limit={limit}")
+        assert code == 400
+
+    def test_jobs_valid_limit_applies(self, service):
+        specs = [{**SPEC, "seed": s} for s in range(40, 45)]
+        http(service.url + "/submit", {"specs": specs})
+        code, body = http(service.url + "/jobs?limit=2")
+        assert code == 200 and len(body["jobs"]) == 2
+
+    def test_jobs_huge_limit_clamped(self, service):
+        code, _ = http(service.url + "/jobs?limit=999999999")
+        assert code == 200
+
+    def test_malformed_content_length_gets_400(self, service):
+        # Regression: int(self.headers['Content-Length']) raised and the
+        # connection dropped with no response bytes at all.
+        response = raw_request(
+            service.address,
+            b"POST /submit HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: banana\r\n"
+            b"Connection: close\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"Content-Length" in response
+
+    def test_negative_content_length_gets_400(self, service):
+        response = raw_request(
+            service.address,
+            b"POST /submit HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: -7\r\n"
+            b"Connection: close\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400")

@@ -1,0 +1,69 @@
+"""Unit tests for the shared HTTP request-parsing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.httputil import (
+    MAX_BODY_BYTES,
+    MAX_LIMIT,
+    BadRequest,
+    parse_content_length,
+    parse_limit,
+)
+
+
+class TestParseLimit:
+    def test_absent_uses_default(self):
+        assert parse_limit(None) == 100
+        assert parse_limit(None, default=7) == 7
+
+    def test_default_is_clamped_too(self):
+        assert parse_limit(None, default=5000) == MAX_LIMIT
+
+    def test_valid_values_pass_through(self):
+        assert parse_limit("1") == 1
+        assert parse_limit("250") == 250
+
+    def test_above_maximum_clamps(self):
+        assert parse_limit(str(MAX_LIMIT + 1)) == MAX_LIMIT
+        assert parse_limit("50", maximum=10) == 10
+
+    @pytest.mark.parametrize("raw", ["abc", "1.5", "", "0x10", "1e3"])
+    def test_non_integer_raises(self, raw):
+        with pytest.raises(BadRequest, match="limit"):
+            parse_limit(raw)
+
+    @pytest.mark.parametrize("raw", ["0", "-1", "-100"])
+    def test_non_positive_raises(self, raw):
+        with pytest.raises(BadRequest, match="positive"):
+            parse_limit(raw)
+
+    def test_badrequest_is_a_valueerror(self):
+        # Services catch ValueError as a fallback; BadRequest must fold in.
+        assert issubclass(BadRequest, ValueError)
+
+
+class TestParseContentLength:
+    def test_absent_means_zero(self):
+        assert parse_content_length({}) == 0
+        assert parse_content_length(None, None) == 0
+        assert parse_content_length(None, "") == 0
+
+    def test_mapping_and_raw_forms_agree(self):
+        assert parse_content_length({"Content-Length": "42"}) == 42
+        assert parse_content_length(None, "42") == 42
+
+    @pytest.mark.parametrize("raw", ["banana", "12.5", " ", "+-3"])
+    def test_malformed_raises(self, raw):
+        with pytest.raises(BadRequest, match="Content-Length"):
+            parse_content_length(None, raw)
+
+    def test_negative_raises(self):
+        with pytest.raises(BadRequest, match="negative"):
+            parse_content_length(None, "-7")
+
+    def test_oversized_raises_before_any_read(self):
+        with pytest.raises(BadRequest, match="cap"):
+            parse_content_length(None, str(MAX_BODY_BYTES + 1))
+        assert parse_content_length(None, str(MAX_BODY_BYTES)) == MAX_BODY_BYTES

@@ -144,3 +144,46 @@ class TestErrors:
         except urllib.error.HTTPError as exc:
             code = exc.code
         assert code == 400
+
+    def test_sessions_non_integer_limit_400(self, service):
+        # Regression: a bare int(...) on ?limit= surfaced as a 500.
+        code, body = http(service.url + "/sessions?limit=abc")
+        assert code == 400 and "limit" in body["error"]
+
+    def test_sessions_non_positive_limit_400(self, service):
+        assert http(service.url + "/sessions?limit=0")[0] == 400
+        assert http(service.url + "/sessions?limit=-3")[0] == 400
+
+    def test_sessions_limit_applies(self, service, config):
+        for sid in ("a", "b", "c"):
+            http(service.url + "/sessions", dict(config, id=sid))
+        code, body = http(service.url + "/sessions?limit=2")
+        assert code == 200 and len(body["sessions"]) == 2
+
+    def test_snapshots_limit_applies(self, service, config):
+        http(service.url + "/sessions", dict(config, id="a"))
+        http(service.url + "/sessions/a/advance", {"budget": 128})
+        code, body = http(service.url + "/sessions/a/snapshots?limit=1")
+        assert code == 200 and len(body["snapshots"]) == 1
+
+    def test_malformed_content_length_gets_400(self, service):
+        # Regression: int(self.headers['Content-Length']) raised and the
+        # connection dropped with no response bytes at all.
+        import socket
+
+        with socket.create_connection(service.address, timeout=10) as sock:
+            sock.sendall(
+                b"POST /sessions HTTP/1.1\r\n"
+                b"Host: x\r\n"
+                b"Content-Length: banana\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            sock.settimeout(10)
+            chunks = []
+            try:
+                while chunk := sock.recv(65536):
+                    chunks.append(chunk)
+            except TimeoutError:
+                pass
+        response = b"".join(chunks)
+        assert response.startswith(b"HTTP/1.1 400")

@@ -62,7 +62,9 @@ class TestCampaignDoc:
         )
         verbs = set(sub.choices)
         text = (ROOT / "docs" / "campaign.md").read_text()
-        documented = set(re.findall(r"campaign (submit|run|status|gc|serve)", text))
+        documented = set(
+            re.findall(r"campaign (submit|run|status|gc|serve|load)", text)
+        )
         assert documented == verbs
 
     def test_documented_routes_exist(self):
@@ -70,6 +72,15 @@ class TestCampaignDoc:
         source = (ROOT / "src/repro/campaign/service.py").read_text()
         text = (ROOT / "docs" / "campaign.md").read_text()
         for route in ("/healthz", "/status", "/jobs", "/result/", "/metrics",
+                      "/submit"):
+            assert route in source and route in text, route
+
+    def test_documented_v2_routes_exist(self):
+        """The v2 additions in the doc match service_v2.py."""
+        source = (ROOT / "src/repro/campaign/service_v2.py").read_text()
+        text = (ROOT / "docs" / "campaign.md").read_text()
+        for route in ("/healthz", "/status", "/tenants", "/jobs",
+                      "/jobs/stream", "/progress", "/result/", "/metrics",
                       "/submit"):
             assert route in source and route in text, route
 
