@@ -1,0 +1,210 @@
+"""Benchmark: result storage — columnar shards vs JSON tables.
+
+The columnar backbone exists so million-trial-row campaigns stay
+writable and queryable; this benchmark prices its three verbs on a
+synthetic campaign table and compares them with the JSON path the
+repo used before PR 10:
+
+* **write** — streaming `ShardWriter.append_arrays` vs one
+  `write_json` dump,
+* **load + scan** — iterating every row back out of each format,
+* **aggregate** — grouped mean/var/quantiles: streaming
+  `group_reduce` over shards vs the in-memory reference over a
+  materialized row list.
+
+Numbers land in ``BENCH_results.json`` at the repository root with the
+same provenance block as the other ``BENCH_*.json`` artifacts (git
+revision, CPU count, NumPy/Numba versions, active kernel backend).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import get_kernels
+from repro.io.columnar import ColumnStore, ShardWriter, group_reduce, group_reduce_rows
+from repro.io.results import ResultTable
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_results.json"
+ROWS = 200_000
+SHARD_ROWS = 65_536
+SEED = 2026
+
+
+def _provenance() -> dict:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=RESULT_PATH.parent,
+            check=True,
+        ).stdout.strip()
+    except Exception:  # noqa: BLE001 — provenance is best effort
+        rev = "unknown"
+    try:
+        import numba
+
+        numba_version = numba.__version__
+    except Exception:  # noqa: BLE001 — absence is normal
+        numba_version = None
+    return {
+        "git_rev": rev,
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "numba": numba_version,
+        "kernel_backend": get_kernels().backend,
+    }
+
+
+def _record(point: str, payload: dict) -> None:
+    data = {}
+    if RESULT_PATH.exists():
+        try:
+            data = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[point] = payload
+    data["provenance"] = _provenance()
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _synthetic_columns(rows: int) -> dict:
+    """Campaign-trial-shaped columns: the scaling-law sink schema."""
+    rng = np.random.default_rng(SEED)
+    ks = rng.choice([2, 4, 8, 16, 32], size=rows)
+    ns = rng.choice([1_000, 10_000, 100_000, 1_000_000], size=rows)
+    return {
+        "k": ks.astype(np.int64),
+        "n": ns.astype(np.int64),
+        "trial": np.arange(rows, dtype=np.int64) % 100,
+        "interactions": (ns.astype(np.float64) ** 2 * rng.uniform(0.5, 2.0, rows)),
+        "effective_interactions": (ns.astype(np.float64) * rng.uniform(1.0, 9.0, rows)),
+        "converged": np.ones(rows, dtype=bool),
+    }
+
+
+def _rows_from_columns(columns: dict) -> list[dict]:
+    names = list(columns)
+    return [
+        {name: columns[name][i].item() for name in names}
+        for i in range(len(columns[names[0]]))
+    ]
+
+
+def _write_columnar(dest: Path, columns: dict) -> ColumnStore:
+    if dest.exists():
+        shutil.rmtree(dest)
+    with ShardWriter(dest, name="bench", shard_rows=SHARD_ROWS) as writer:
+        writer.append_arrays(**columns)
+    return writer.close()
+
+
+def test_write_columnar_vs_json(benchmark, tmp_path):
+    """Streaming shard writes vs one JSON dump of the same table."""
+    columns = _synthetic_columns(ROWS)
+    rows = _rows_from_columns(columns)
+    table = ResultTable("bench", rows=rows)
+
+    benchmark.pedantic(
+        lambda: _write_columnar(tmp_path / "w.columnar", columns),
+        rounds=3,
+        iterations=1,
+    )
+    columnar_s = benchmark.stats.stats.min
+
+    import time
+
+    t0 = time.perf_counter()
+    table.write_json(tmp_path / "w.json")
+    json_s = time.perf_counter() - t0
+
+    store = ColumnStore(tmp_path / "w.columnar")
+    _record(
+        f"write_{ROWS}_rows",
+        {
+            "rows": ROWS,
+            "shard_rows": SHARD_ROWS,
+            "shards": store.shard_count,
+            "columnar_seconds": round(columnar_s, 4),
+            "json_seconds": round(json_s, 4),
+            "columnar_bytes": store.size_bytes(),
+            "json_bytes": (tmp_path / "w.json").stat().st_size,
+        },
+    )
+    assert store.rows == ROWS
+
+
+def test_load_and_scan(benchmark, tmp_path):
+    """Full-table row iteration out of each format."""
+    columns = _synthetic_columns(ROWS)
+    store = _write_columnar(tmp_path / "r.columnar", columns)
+    table = ResultTable("bench", rows=_rows_from_columns(columns))
+    json_path = table.write_json(tmp_path / "r.json")
+
+    def scan_columnar():
+        count = 0
+        for batch in ColumnStore(store.path).scan():
+            count += len(batch["k"])
+        return count
+
+    benchmark.pedantic(scan_columnar, rounds=3, iterations=1)
+    columnar_s = benchmark.stats.stats.min
+
+    import time
+
+    from repro.io import load_table
+
+    t0 = time.perf_counter()
+    loaded = len(load_table(json_path))
+    json_s = time.perf_counter() - t0
+
+    _record(
+        f"scan_{ROWS}_rows",
+        {
+            "rows": ROWS,
+            "columnar_seconds": round(columnar_s, 4),
+            "json_seconds": round(json_s, 4),
+        },
+    )
+    assert loaded == ROWS
+    assert scan_columnar() == ROWS
+
+
+def test_group_reduce_streaming_vs_rows(benchmark, tmp_path):
+    """Grouped aggregation: out-of-core shards vs materialized rows."""
+    columns = _synthetic_columns(ROWS)
+    store = _write_columnar(tmp_path / "g.columnar", columns)
+    rows = _rows_from_columns(columns)
+    kwargs = dict(
+        by=["k", "n"],
+        values=["interactions", "effective_interactions"],
+        quantiles=(0.5, 0.99),
+    )
+
+    benchmark.pedantic(lambda: group_reduce(store, **kwargs), rounds=3, iterations=1)
+    streaming_s = benchmark.stats.stats.min
+
+    import time
+
+    t0 = time.perf_counter()
+    reference = group_reduce_rows(rows, **kwargs)
+    rows_s = time.perf_counter() - t0
+
+    _record(
+        f"group_reduce_{ROWS}_rows",
+        {
+            "rows": ROWS,
+            "groups": len(reference),
+            "streaming_seconds": round(streaming_s, 4),
+            "rows_seconds": round(rows_s, 4),
+        },
+    )
+    # The differential guarantee the docs advertise.
+    assert group_reduce(store, **kwargs) == reference

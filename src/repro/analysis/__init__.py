@@ -18,6 +18,13 @@ from .reachability import (
     verify_kpartition,
     verify_stabilization,
 )
+from .scaling import (
+    DEFAULT_LOG_EXPONENT_GRID,
+    ScalingFit,
+    bootstrap_scaling_fit,
+    budget_crossing,
+    fit_scaling_law,
+)
 from .search import (
     SearchResult,
     enumerate_group_maps,
@@ -61,6 +68,11 @@ __all__ = [
     "fit_exponential",
     "confidence_interval",
     "growth_classification",
+    "ScalingFit",
+    "fit_scaling_law",
+    "bootstrap_scaling_fit",
+    "DEFAULT_LOG_EXPONENT_GRID",
+    "budget_crossing",
     "GroupingDecomposition",
     "decompose_groupings",
     "ExactExpectation",

@@ -1,0 +1,258 @@
+"""Scaling-law fitting with bootstrap confidence intervals.
+
+The scaling-law study (``repro-experiments scaling-law``) extends the
+paper's convergence figures — which stop near n = 1000 — by one to
+three orders of magnitude and asks a sharper question than
+"superlinear, subexponential": *which* law.  The model fitted here is
+
+    interactions ~ a * n^b * (ln n)^c
+
+whose log transform ``ln y = ln a + b ln n + c ln ln n`` is linear in
+``(ln a, b, c)`` and solved by least squares.  A pure power law is the
+``c = 0`` restriction of the same design matrix, so comparing the two
+fits is an apples-to-apples R² question.
+
+Uncertainty comes from a nonparametric bootstrap over the *per-trial*
+samples at each sweep point: every resample redraws each point's
+trials with replacement, refits, and the percentile spread of the
+resulting exponents is the confidence interval.  That respects the
+structure of the data (trials within a point are exchangeable, points
+are not) without assuming Gaussian residuals.
+
+:func:`budget_crossing` inverts the fitted law — given an interaction
+budget, where does the protocol's expected cost cross it?  The fitted
+mean is monotone in n for every physically sensible fit (b > 0), so
+bisection on ``log10 n`` suffices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import AnalysisError
+
+__all__ = [
+    "ScalingFit",
+    "DEFAULT_LOG_EXPONENT_GRID",
+    "fit_scaling_law",
+    "bootstrap_scaling_fit",
+    "budget_crossing",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingFit:
+    """One fitted ``y = a * n^b * (ln n)^c`` law.
+
+    ``ci_*`` bounds are percentile bootstrap intervals and are ``None``
+    until :func:`bootstrap_scaling_fit` fills them in.
+    """
+
+    amplitude: float  # a
+    exponent: float  # b — the power of n
+    log_exponent: float  # c — the power of ln n
+    r_squared: float
+    points: int
+    ci_exponent: tuple[float, float] | None = None
+    ci_log_exponent: tuple[float, float] | None = None
+    resamples: int = 0
+
+    def predict(self, n: float) -> float:
+        """Expected interactions at population size ``n``."""
+        if n <= 1:
+            raise AnalysisError(f"scaling fits need n > 1, got {n}")
+        return (
+            self.amplitude
+            * n ** self.exponent
+            * math.log(n) ** self.log_exponent
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"a={self.amplitude:.4g}",
+            f"b={self.exponent:.3f}",
+            f"c={self.log_exponent:.3f}",
+            f"R2={self.r_squared:.4f}",
+        ]
+        if self.ci_exponent is not None:
+            lo, hi = self.ci_exponent
+            parts.append(f"b95=[{lo:.3f},{hi:.3f}]")
+        if self.ci_log_exponent is not None:
+            lo, hi = self.ci_log_exponent
+            parts.append(f"c95=[{lo:.3f},{hi:.3f}]")
+        return " ".join(parts)
+
+
+def _design(ns: np.ndarray) -> np.ndarray:
+    log_n = np.log(ns)
+    return np.column_stack([np.ones_like(log_n), log_n, np.log(log_n)])
+
+
+#: Log-power candidates for the constrained fit.  Polylog factors in
+#: population-protocol time bounds come in small integer powers; a
+#: discrete grid keeps b identifiable where the free fit is collinear.
+DEFAULT_LOG_EXPONENT_GRID: tuple[float, ...] = (0.0, 1.0, 2.0)
+
+
+def fit_scaling_law(
+    ns: Sequence[float],
+    ys: Sequence[float],
+    *,
+    log_exponent_grid: Sequence[float] | None = None,
+) -> ScalingFit:
+    """Least-squares fit of ``y = a * n^b * (ln n)^c`` in log space.
+
+    Needs at least three points (three free parameters) with ``n > 1``
+    and ``y > 0``.  With exactly three points the fit is exact and R²
+    is reported as 1.
+
+    By default all three parameters are free.  Over a narrow n-range
+    ``ln n`` and ``ln ln n`` are nearly collinear and the free fit
+    trades b against c wildly while barely moving the residual — pass
+    ``log_exponent_grid`` (e.g. :data:`DEFAULT_LOG_EXPONENT_GRID`) to
+    restrict c to discrete candidates: ``(a, b)`` are then fitted per
+    candidate and the lowest-residual c wins, which keeps the exponent
+    of n identifiable.
+    """
+    ns_arr = np.asarray(list(ns), dtype=np.float64)
+    ys_arr = np.asarray(list(ys), dtype=np.float64)
+    if ns_arr.shape != ys_arr.shape or ns_arr.size < 3:
+        raise AnalysisError(
+            f"scaling fits need >= 3 matched (n, y) points, got {ns_arr.size}"
+        )
+    if np.any(ns_arr <= 1) or np.any(ys_arr <= 0):
+        raise AnalysisError("scaling fits need n > 1 and y > 0 at every point")
+    log_y = np.log(ys_arr)
+    if log_exponent_grid is None:
+        design = _design(ns_arr)
+        coef, *_ = np.linalg.lstsq(design, log_y, rcond=None)
+        log_a, b, c = (float(v) for v in coef)
+        residuals = log_y - design @ coef
+    else:
+        if not log_exponent_grid:
+            raise AnalysisError("log_exponent_grid must not be empty")
+        design = _design(ns_arr)[:, :2]  # [1, ln n]
+        loglog_n = np.log(np.log(ns_arr))
+        best = None
+        for candidate in log_exponent_grid:
+            target = log_y - candidate * loglog_n
+            coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+            res = target - design @ coef
+            ssr = float(res @ res)
+            if best is None or ssr < best[0]:
+                best = (ssr, candidate, coef, res)
+        _, c, coef, residuals = best
+        log_a, b = float(coef[0]), float(coef[1])
+    total = log_y - log_y.mean()
+    ss_tot = float(total @ total)
+    r2 = (
+        1.0 if ss_tot == 0
+        else 1.0 - float(residuals @ residuals) / ss_tot
+    )
+    return ScalingFit(
+        amplitude=float(np.exp(log_a)),
+        exponent=b,
+        log_exponent=float(c),
+        r_squared=r2,
+        points=int(ns_arr.size),
+    )
+
+
+def bootstrap_scaling_fit(
+    samples: Mapping[float, Sequence[float]],
+    *,
+    resamples: int = 200,
+    seed: int = 0,
+    confidence: float = 0.95,
+    log_exponent_grid: Sequence[float] | None = None,
+) -> ScalingFit:
+    """Fit with percentile-bootstrap CIs over per-point trial samples.
+
+    ``samples`` maps each population size to its per-trial interaction
+    counts.  The point estimate fits the per-point means; each
+    bootstrap replicate redraws every point's trials with replacement
+    (points themselves are fixed — they are design, not data), refits,
+    and the ``confidence`` percentile band of the replicated ``b`` and
+    ``c`` becomes the reported intervals.
+    """
+    if resamples < 1:
+        raise AnalysisError(f"resamples must be positive, got {resamples}")
+    if not 0 < confidence < 1:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    ns = sorted(samples)
+    per_point = [
+        np.asarray(list(samples[n]), dtype=np.float64) for n in ns
+    ]
+    if any(p.size == 0 for p in per_point):
+        raise AnalysisError("every sweep point needs at least one trial")
+    base = fit_scaling_law(
+        ns,
+        [float(p.mean()) for p in per_point],
+        log_exponent_grid=log_exponent_grid,
+    )
+
+    rng = np.random.default_rng(seed)
+    exps = np.empty(resamples)
+    log_exps = np.empty(resamples)
+    for r in range(resamples):
+        means = [
+            float(rng.choice(p, size=p.size, replace=True).mean())
+            for p in per_point
+        ]
+        fit = fit_scaling_law(
+            ns, means, log_exponent_grid=log_exponent_grid
+        )
+        exps[r] = fit.exponent
+        log_exps[r] = fit.log_exponent
+    tail = (1.0 - confidence) / 2.0
+    lo, hi = 100 * tail, 100 * (1 - tail)
+    return ScalingFit(
+        amplitude=base.amplitude,
+        exponent=base.exponent,
+        log_exponent=base.log_exponent,
+        r_squared=base.r_squared,
+        points=base.points,
+        ci_exponent=(
+            float(np.percentile(exps, lo)),
+            float(np.percentile(exps, hi)),
+        ),
+        ci_log_exponent=(
+            float(np.percentile(log_exps, lo)),
+            float(np.percentile(log_exps, hi)),
+        ),
+        resamples=resamples,
+    )
+
+
+def budget_crossing(
+    fit: ScalingFit,
+    budget: float,
+    *,
+    n_max: float = 1e12,
+) -> float | None:
+    """Smallest n whose expected interactions exceed ``budget``.
+
+    Bisection on ``log10 n`` over [2, n_max].  Returns ``None`` when
+    the fitted curve never crosses the budget below ``n_max`` (or the
+    fit is decreasing — ``b <= 0`` fits are reported, not inverted).
+    """
+    if budget <= 0:
+        raise AnalysisError(f"budget must be positive, got {budget}")
+    if fit.exponent <= 0:
+        return None
+    lo, hi = math.log10(2.0), math.log10(n_max)
+    if fit.predict(10 ** hi) <= budget:
+        return None
+    if fit.predict(10 ** lo) > budget:
+        return 2.0
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if fit.predict(10 ** mid) > budget:
+            hi = mid
+        else:
+            lo = mid
+    return float(10 ** hi)

@@ -88,6 +88,14 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "--no-submit", action="store_true",
         help="drain only what is already queued (skip grid submission)",
     )
+    p_run.add_argument(
+        "--columnar", default=None, metavar="DIR",
+        help=(
+            "stream one row per trial into a columnar shard store at DIR "
+            "(append-only, keyed by job digest — safe across re-runs; "
+            "aggregate with 'repro-experiments results query')"
+        ),
+    )
     p_run.add_argument("--no-progress", action="store_true")
     p_run.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -229,12 +237,20 @@ def _cmd_run(store: CampaignStore, args: argparse.Namespace) -> int:
         extra = {}
         if args.checkpoint_interactions is not None:
             extra["checkpoint_interactions"] = args.checkpoint_interactions
+        sink = None
+        if args.columnar is not None:
+            from ..io.columnar import ShardWriter
+
+            sink = stack.enter_context(
+                ShardWriter(args.columnar, name="campaign_trials")
+            )
         report = run_campaign(
             store,
             workers=args.workers,
             retries=args.retries,
             max_jobs=args.max_jobs,
             progress=progress if not args.no_progress else None,
+            sink=sink,
             **extra,
         )
     if telemetry is not None:
@@ -245,6 +261,14 @@ def _cmd_run(store: CampaignStore, args: argparse.Namespace) -> int:
         print(
             f"[conform] {conformance.results_checked} final "
             "configuration(s) checked, no violations"
+        )
+    if args.columnar is not None:
+        from ..io.columnar import ColumnStore
+
+        cs = ColumnStore(args.columnar)
+        print(
+            f"[columnar] {cs.rows} trial row(s) in {cs.shard_count} "
+            f"shard(s) at {args.columnar}"
         )
     print(f"campaign run: {report.summary()}")
     if report.interrupted:

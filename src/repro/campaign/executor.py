@@ -34,12 +34,16 @@ from ..engine.session import SessionState
 from .spec import JobSpec
 from .store import DEFAULT_TENANT, CampaignStore, JobRecord
 
+if False:  # pragma: no cover — typing-only import, avoids io cost at startup
+    from ..io.columnar import ShardWriter
+
 __all__ = [
     "CampaignReport",
     "execute_spec",
     "execute_spec_resumable",
     "fetch_trial_set",
     "run_campaign",
+    "trial_sink_rows",
     "DEFAULT_CHECKPOINT_INTERACTIONS",
 ]
 
@@ -248,11 +252,47 @@ class CampaignReport:
         return " ".join(parts)
 
 
+def trial_sink_rows(spec: JobSpec, payload: dict) -> list[dict]:
+    """Flatten one job payload into per-trial scalar rows for a sink.
+
+    One row per trial, scalars only (the columnar layer rejects nested
+    values): job identity (digest, protocol, parameters, engine, seed,
+    scheduler) plus the per-trial outcome.  The ``k`` column is pulled
+    out of the protocol parameters because every partition-family
+    analysis groups on it.
+    """
+    digest = spec.digest
+    record = payload["record"]
+    rows = []
+    for index, result in enumerate(record["results"]):
+        rows.append(
+            {
+                "digest": digest,
+                "protocol": spec.protocol,
+                "k": spec.params.get("k"),
+                "n": result["n"],
+                "engine": record["engine"],
+                "scheduler": spec.scheduler,
+                "seed": spec.seed,
+                "trial": index,
+                "interactions": result["interactions"],
+                "effective_interactions": result["effective_interactions"],
+                "converged": result["converged"],
+                "silent": result["silent"],
+                "elapsed": result["elapsed"],
+            }
+        )
+    return rows
+
+
 def _commit_success(
     store: CampaignStore,
     digest: str,
     payload: dict,
     tenant: str = DEFAULT_TENANT,
+    *,
+    sink: "ShardWriter | None" = None,
+    spec: JobSpec | None = None,
 ) -> None:
     store.mark_done(
         digest,
@@ -263,6 +303,10 @@ def _commit_success(
     )
     if payload.get("trial_key"):
         store.trial_cache(tenant).put(payload["trial_key"], payload["record"])
+    if sink is not None and spec is not None:
+        # Keyed by digest: a retried or resumed drain re-commits the
+        # same job without duplicating its trial rows in the shards.
+        sink.append_keyed(digest, trial_sink_rows(spec, payload))
 
 
 def _handle_failure(
@@ -294,6 +338,7 @@ def run_campaign(
     max_jobs: int | None = None,
     progress: Callable[[str], None] | None = None,
     checkpoint_interactions: int = DEFAULT_CHECKPOINT_INTERACTIONS,
+    sink: "ShardWriter | None" = None,
 ) -> CampaignReport:
     """Drain the store's pending queue; returns a :class:`CampaignReport`.
 
@@ -313,6 +358,11 @@ def run_campaign(
         Per-slice interaction budget of the serial path: each in-flight
         trial's snapshot is persisted every this-many scheduler
         interactions.  Ignored when ``workers > 1``.
+    sink:
+        Optional :class:`~repro.io.columnar.ShardWriter`; every
+        completed job streams one row per trial into it, keyed by the
+        job digest so re-drains stay idempotent.  The sink is flushed
+        per job — a killed drain loses no committed trial rows.
     """
     report = CampaignReport()
     report.recovered = store.recover_running()
@@ -322,10 +372,12 @@ def run_campaign(
         if workers <= 1:
             _drain_serial(
                 store, retries, max_jobs, progress, report,
-                checkpoint_interactions,
+                checkpoint_interactions, sink,
             )
         else:
-            _drain_pool(store, workers, retries, max_jobs, progress, report)
+            _drain_pool(
+                store, workers, retries, max_jobs, progress, report, sink
+            )
     except KeyboardInterrupt:
         report.interrupted = True
         if progress is not None:
@@ -341,6 +393,7 @@ def _drain_serial(
     progress: Callable[[str], None] | None,
     report: CampaignReport,
     checkpoint_interactions: int = DEFAULT_CHECKPOINT_INTERACTIONS,
+    sink: "ShardWriter | None" = None,
 ) -> None:
     while max_jobs is None or report.executed < max_jobs:
         job = store.claim_next()
@@ -364,7 +417,9 @@ def _drain_serial(
                 store, job, _format_error(exc), retries, report, progress
             )
             continue
-        _commit_success(store, job.digest, payload, job.tenant)
+        _commit_success(
+            store, job.digest, payload, job.tenant, sink=sink, spec=job.spec
+        )
         report.executed += 1
         if payload.get("resumed"):
             report.resumed += 1
@@ -382,6 +437,7 @@ def _drain_pool(
     max_jobs: int | None,
     progress: Callable[[str], None] | None,
     report: CampaignReport,
+    sink: "ShardWriter | None" = None,
 ) -> None:
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
@@ -409,7 +465,10 @@ def _drain_pool(
                         )
                         continue
                     payload = future.result()
-                    _commit_success(store, job.digest, payload, job.tenant)
+                    _commit_success(
+                        store, job.digest, payload, job.tenant,
+                        sink=sink, spec=job.spec,
+                    )
                     report.executed += 1
                     if progress is not None:
                         progress(

@@ -23,12 +23,14 @@ from ..experiments.fig3_vary_n import QUICK_PARAMS as FIG3_QUICK
 from ..experiments.fig4_grouping import QUICK_PARAMS as FIG4_QUICK
 from ..experiments.fig5_scaling_n import QUICK_PARAMS as FIG5_QUICK
 from ..experiments.fig6_scaling_k import QUICK_PARAMS as FIG6_QUICK
+from ..experiments.scaling_law import QUICK_PARAMS as SCALING_QUICK
+from ..experiments.scaling_law import grid_points
 from .spec import JobSpec
 
 __all__ = ["GRID_EXPERIMENTS", "experiment_specs"]
 
 #: Experiments decomposable into independent per-point jobs.
-GRID_EXPERIMENTS = ("fig3", "fig4", "fig5", "fig6")
+GRID_EXPERIMENTS = ("fig3", "fig4", "fig5", "fig6", "scaling")
 
 
 def _fig3_specs(
@@ -135,11 +137,42 @@ def _fig6_specs(
     ]
 
 
+def _scaling_specs(
+    *,
+    ks: Sequence[int] = (2, 4, 8, 16, 32),
+    n_values: Sequence[int] = (1_000, 2_000, 5_000, 10_000, 20_000, 50_000),
+    trials: int = 20,
+    seed: int = DEFAULT_SEED,
+    engine: str = "count",
+    bootstrap: int | None = None,  # analysis-only knob; no effect on specs
+) -> list[JobSpec]:
+    """The scaling-law sweep as independent jobs (one per (k, n)).
+
+    Reuses the experiment's own :func:`grid_points` snapping, so a
+    campaign drain warms exactly the trial-cache keys
+    ``repro-experiments scaling-law`` will ask for.  For the full
+    10^5–10^6 study pass ``--engine count-jit`` (or
+    ``ensemble-parallel``) and a ``--columnar`` sink to the runner.
+    """
+    return [
+        JobSpec(
+            protocol="uniform-k-partition",
+            params={"k": k},
+            n=n,
+            trials=trials,
+            engine=engine,
+            seed=point_seed(seed, "scaling-law", k, n),
+        )
+        for k, n in grid_points(ks, n_values)
+    ]
+
+
 _BUILDERS = {
     "fig3": (_fig3_specs, FIG3_QUICK),
     "fig4": (_fig4_specs, FIG4_QUICK),
     "fig5": (_fig5_specs, FIG5_QUICK),
     "fig6": (_fig6_specs, FIG6_QUICK),
+    "scaling": (_scaling_specs, SCALING_QUICK),
 }
 
 

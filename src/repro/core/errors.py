@@ -19,6 +19,7 @@ __all__ = [
     "ConvergenceError",
     "SchedulerError",
     "ExperimentError",
+    "AnalysisError",
     "UnknownEngineError",
     "UnknownProtocolError",
     "CampaignError",
@@ -79,6 +80,10 @@ class SchedulerError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine was given data it cannot fit or invert."""
 
 
 class UnknownEngineError(SimulationError, ValueError):

@@ -50,6 +50,7 @@ from . import (
     fig5_scaling_n,
     fig6_scaling_k,
     graph_density,
+    scaling_law,
     state_table,
     trajectory,
     uniformity_gap,
@@ -126,6 +127,12 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ResultTable], Callable, dict, str]] =
         graph_density.QUICK_PARAMS,
         "graph bipartition: stabilization vs graph density (extension)",
     ),
+    "scaling-law": (
+        scaling_law.run_scaling_law,
+        scaling_law.render_scaling_law,
+        scaling_law.QUICK_PARAMS,
+        "convergence scaling laws a*n^b*ln(n)^c with bootstrap CIs (extension)",
+    ),
     "report": (
         report.run_report,
         report.render_report,
@@ -158,10 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
             "'describe' prints a protocol's states and rules; "
             "'campaign' manages resumable job queues; "
             "'obs' inspects JSONL traces; "
-            "'conform' runs differential/invariant checks — "
+            "'conform' runs differential/invariant checks; "
+            "'results' inspects/converts result tables — "
             "see 'repro-experiments campaign --help' / "
             "'repro-experiments obs --help' / "
-            "'repro-experiments conform --help')"
+            "'repro-experiments conform --help' / "
+            "'repro-experiments results --help')"
         ),
     )
     parser.add_argument(
@@ -356,6 +365,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..sessiond.cli import session_main
 
         return session_main(argv[1:])
+    if argv and argv[0] == "results":
+        from ..io.results_cli import results_main
+
+        return results_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "describe":
         if not args.protocol:

@@ -113,14 +113,24 @@ def write_outputs(
     *,
     render: Callable[[ResultTable], str] | None = None,
 ) -> None:
-    """Persist a result table (CSV + JSON) and its rendering.
+    """Persist a result table (CSV + JSON + columnar) and its rendering.
 
-    Does nothing when ``out_dir`` is None (pure in-memory use).
+    Does nothing when ``out_dir`` is None (pure in-memory use).  The
+    ``<name>.columnar`` shard directory is the out-of-core twin of the
+    JSON artifact — ``results query`` aggregates it without loading,
+    and :func:`~repro.io.results.load_table` recognizes it directly.
     """
     if out_dir is None:
         return
+    import shutil
+
     out = Path(out_dir)
     table.write_csv(out / f"{table.name}.csv")
     table.write_json(out / f"{table.name}.json")
+    columnar = out / f"{table.name}.columnar"
+    if columnar.exists():
+        # Shards are append-only; a re-run replaces the directory.
+        shutil.rmtree(columnar)
+    table.to_columnar(columnar)
     if render is not None:
         (out / f"{table.name}.txt").write_text(render(table) + "\n")

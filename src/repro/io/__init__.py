@@ -1,5 +1,12 @@
 """Result and trace persistence."""
 
+from .columnar import (
+    ColumnStore,
+    ShardWriter,
+    group_reduce,
+    group_reduce_rows,
+    is_column_store,
+)
 from .protocols import (
     load_protocol,
     protocol_from_dict,
@@ -11,6 +18,11 @@ from .traces import load_trace, replay, save_trace, trace_from_dict, trace_to_di
 
 __all__ = [
     "ResultTable",
+    "ColumnStore",
+    "ShardWriter",
+    "group_reduce",
+    "group_reduce_rows",
+    "is_column_store",
     "protocol_to_dict",
     "protocol_from_dict",
     "save_protocol",

@@ -1,25 +1,39 @@
-"""Typed result tables with CSV/JSON persistence.
+"""Typed result tables with CSV/JSON/columnar persistence.
 
-Every experiment produces an :class:`ResultTable`: a named list of
-records (plain dicts with scalar values) plus the parameters that
-generated them.  Tables serialize to CSV (for plotting elsewhere) and
-JSON (with the parameter manifest, for exact provenance).
+Every experiment produces an :class:`ResultTable`: a named collection
+of records (plain dicts with scalar values) plus the parameters that
+generated them.  Since the columnar refactor the table is a *thin
+view* over a pluggable backend — either the classic in-memory row
+list, or an on-disk :class:`~repro.io.columnar.ColumnStore` shard
+directory that is materialized lazily on first row access.  The
+public API (`append` / `where` / `column` / `write_csv` /
+`write_json` / :func:`load_table`) is unchanged either way.
 
-Loading is symmetric: :meth:`ResultTable.from_json` is lossless;
-:meth:`ResultTable.from_csv` recovers column order from the header and
-infers ``int`` / ``float`` / ``bool`` / ``None`` typing from the cell
-text (CSV cannot distinguish the *string* ``"True"`` from the boolean,
-so prefer the JSON artifact — :func:`load_table` does automatically
-when both files exist side by side).
+Serialization formats:
+
+* **JSON** — rows + parameter manifest, lossless, whole-file.
+* **CSV** — header in first-seen column order.  Writing is
+  round-trip-safe: ambiguous string cells (text that type inference
+  would misread, like ``"007"`` or ``"True"``, and the empty string)
+  are wrapped in literal quote characters, which :meth:`from_csv`
+  unwraps back to the exact string.  Unwrapped cells fall back to
+  ``int`` / ``float`` / ``bool`` / ``None`` inference, which also
+  keeps CSVs written before the quoting scheme loadable.
+* **Columnar** — a shard directory for out-of-core tables; see
+  :mod:`repro.io.columnar` and ``docs/results.md``.
+
+:func:`load_table` prefers the lossless sibling when a CSV path is
+given and recognizes columnar directories transparently.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable, Mapping
+
+from .columnar import ColumnStore, ShardWriter, is_column_store
 
 __all__ = ["ResultTable", "load_table"]
 
@@ -39,21 +53,81 @@ def _check_record(record: Mapping[str, object]) -> dict[str, object]:
     return clean
 
 
-@dataclass(slots=True)
+class _MemoryBackend:
+    """The classic backing store: a plain list of row dicts."""
+
+    kind = "memory"
+
+    def __init__(self, rows: list[dict[str, object]] | None = None) -> None:
+        self._rows = rows if rows is not None else []
+
+    def rows(self) -> list[dict[str, object]]:
+        return self._rows
+
+
+class _ColumnarBackend:
+    """Lazy view over an on-disk shard directory.
+
+    Rows are materialized (and cached) only when something actually
+    iterates them; metadata and streaming aggregation go through
+    :attr:`store` without ever loading the table.
+    """
+
+    kind = "columnar"
+
+    def __init__(self, store: ColumnStore) -> None:
+        self.store = store
+        self._rows: list[dict[str, object]] | None = None
+
+    def rows(self) -> list[dict[str, object]]:
+        if self._rows is None:
+            self._rows = list(self.store.iter_rows())
+        return self._rows
+
+
 class ResultTable:
     """An experiment's tabular output plus its provenance manifest."""
 
-    name: str
-    params: dict[str, object] = field(default_factory=dict)
-    rows: list[dict[str, object]] = field(default_factory=list)
+    __slots__ = ("name", "params", "_backend")
+
+    def __init__(
+        self,
+        name: str,
+        params: dict[str, object] | None = None,
+        rows: list[dict[str, object]] | None = None,
+    ) -> None:
+        self.name = name
+        self.params = params if params is not None else {}
+        self._backend: _MemoryBackend | _ColumnarBackend = _MemoryBackend(rows)
+
+    @property
+    def rows(self) -> list[dict[str, object]]:
+        """The row list (materialized on demand for columnar tables)."""
+        return self._backend.rows()
+
+    @rows.setter
+    def rows(self, value: list[dict[str, object]]) -> None:
+        self._backend = _MemoryBackend(value)
+
+    @property
+    def backend(self) -> str:
+        """``"memory"`` or ``"columnar"`` — which store backs the view."""
+        return self._backend.kind
+
+    @property
+    def store(self) -> ColumnStore | None:
+        """The underlying :class:`ColumnStore` for columnar tables."""
+        backend = self._backend
+        return backend.store if isinstance(backend, _ColumnarBackend) else None
 
     def append(self, **record: object) -> None:
         """Add one record (keyword arguments become columns)."""
         self.rows.append(_check_record(record))
 
     def extend(self, records: Iterable[Mapping[str, object]]) -> None:
+        rows = self.rows
         for record in records:
-            self.rows.append(_check_record(record))
+            rows.append(_check_record(record))
 
     @property
     def columns(self) -> list[str]:
@@ -69,10 +143,14 @@ class ResultTable:
         return [row.get(name) for row in self.rows]
 
     def where(self, **conditions: object) -> "ResultTable":
-        """Rows matching all equality conditions, as a new table."""
+        """Rows matching all equality conditions, as a new table.
+
+        The returned rows are *copies*: mutating a filtered row must
+        never corrupt the source table.
+        """
         sub = ResultTable(name=self.name, params=dict(self.params))
         sub.rows = [
-            row
+            dict(row)
             for row in self.rows
             if all(row.get(k) == v for k, v in conditions.items())
         ]
@@ -80,6 +158,21 @@ class ResultTable:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultTable):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.params == other.params
+            and self.rows == other.rows
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultTable(name={self.name!r}, params={self.params!r}, "
+            f"rows=<{len(self.rows)} rows, {self.backend}>)"
+        )
 
     # ------------------------------------------------------------------
     # Persistence
@@ -94,25 +187,34 @@ class ResultTable:
 
     @classmethod
     def from_csv(cls, path: str | Path) -> "ResultTable":
-        """Load a table from CSV, inferring scalar types per cell.
+        """Load a table from CSV.
 
         Column order follows the CSV header (which :meth:`write_csv`
-        emits in first-seen order), empty cells become ``None``, and
-        ``True`` / ``False`` / numeric text become the matching Python
-        scalars.  The table name is the file stem; no parameter
-        manifest survives CSV — use :meth:`from_json` when provenance
-        matters.
+        emits in first-seen order).  Quote-wrapped cells decode to the
+        exact string that was written; other cells fall back to scalar
+        inference (empty becomes ``None``, ``True`` / ``False`` /
+        numeric text become the matching Python scalars).  The table
+        name is the file stem; no parameter manifest survives CSV —
+        use :meth:`from_json` when provenance matters.
         """
         path = Path(path)
         table = cls(name=path.stem)
         with path.open(newline="") as fh:
             reader = csv.DictReader(fh)
             for raw in reader:
-                table.append(**{k: _infer_scalar(v) for k, v in raw.items()})
+                table.append(**{k: _decode_cell(v) for k, v in raw.items()})
+        return table
+
+    @classmethod
+    def from_columnar(cls, path: str | Path) -> "ResultTable":
+        """Open a shard directory as a lazily materialized table."""
+        store = ColumnStore(path)
+        table = cls(name=store.name, params=dict(store.params))
+        table._backend = _ColumnarBackend(store)
         return table
 
     def write_csv(self, path: str | Path) -> Path:
-        """Write the rows as CSV; returns the path."""
+        """Write the rows as round-trip-safe CSV; returns the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         cols = self.columns
@@ -120,7 +222,7 @@ class ResultTable:
             writer = csv.DictWriter(fh, fieldnames=cols)
             writer.writeheader()
             for row in self.rows:
-                writer.writerow(row)
+                writer.writerow({k: _encode_cell(v) for k, v in row.items()})
         return path
 
     def write_json(self, path: str | Path) -> Path:
@@ -130,6 +232,17 @@ class ResultTable:
         payload = {"name": self.name, "params": self.params, "rows": self.rows}
         path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
         return path
+
+    def to_columnar(
+        self, path: str | Path, *, shard_rows: int | None = None
+    ) -> Path:
+        """Write the table as a columnar shard directory; returns it."""
+        kwargs = {} if shard_rows is None else {"shard_rows": shard_rows}
+        with ShardWriter(
+            path, name=self.name, params=self.params, **kwargs
+        ) as writer:
+            writer.append_rows(self.rows)
+        return Path(path)
 
     def render(self, *, max_rows: int | None = None, floatfmt: str = ".1f") -> str:
         """Plain-text table rendering for terminal output."""
@@ -157,10 +270,37 @@ class ResultTable:
         return "\n".join(lines)
 
 
-def _infer_scalar(text: str | None) -> object:
-    """Best-effort inverse of ``str()`` for CSV cells."""
+def _encode_cell(value: object) -> object:
+    """CSV cell encoding that survives :func:`_decode_cell` exactly.
+
+    Non-string scalars pass through (their ``str()`` form re-infers to
+    the same value).  A string is wrapped in literal quote characters
+    when inference would misread it — numeric-looking text, ``"True"``,
+    the empty string (which would collide with ``None``) — or when it
+    already both starts and ends with a quote (so unwrapping stays
+    unambiguous).  The csv module escapes the added quotes as needed.
+    """
+    if not isinstance(value, str):
+        return value
+    if value == "" or (value.startswith('"') and value.endswith('"')):
+        return f'"{value}"'
+    inferred = _infer_scalar(value)
+    if isinstance(inferred, str) and inferred == value:
+        return value
+    return f'"{value}"'
+
+
+def _decode_cell(text: str | None) -> object:
+    """Inverse of :func:`_encode_cell` for one CSV cell."""
     if text is None or text == "":
         return None
+    if len(text) >= 2 and text.startswith('"') and text.endswith('"'):
+        return text[1:-1]
+    return _infer_scalar(text)
+
+
+def _infer_scalar(text: str) -> object:
+    """Best-effort inverse of ``str()`` for unquoted CSV cells."""
     if text == "True":
         return True
     if text == "False":
@@ -176,14 +316,18 @@ def _infer_scalar(text: str | None) -> object:
 
 
 def load_table(path: str | Path) -> ResultTable:
-    """Load a table written by :meth:`ResultTable.write_csv` / ``write_json``.
+    """Load a table written by any of the ``write_*`` / columnar paths.
 
     ``.json`` paths load losslessly.  ``.csv`` paths first look for a
     sibling ``.json`` (the experiment harness always writes both) and
-    prefer it; otherwise the CSV is parsed with scalar-type inference.
-    A path without a suffix tries ``<path>.json`` then ``<path>.csv``.
+    prefer it; otherwise the CSV is parsed with the quote-aware cell
+    decoder.  A directory holding a columnar manifest opens as a lazy
+    columnar view.  A path without a suffix tries ``<path>.json``,
+    ``<path>.csv``, then ``<path>.columnar``.
     """
     path = Path(path)
+    if is_column_store(path):
+        return ResultTable.from_columnar(path)
     if path.suffix == ".json":
         return ResultTable.from_json(path)
     if path.suffix == ".csv":
@@ -194,4 +338,7 @@ def load_table(path: str | Path) -> ResultTable:
     for candidate in (path.with_suffix(".json"), path.with_suffix(".csv")):
         if candidate.exists():
             return load_table(candidate)
-    raise FileNotFoundError(f"no table found at {path}(.json|.csv)")
+    columnar = path.with_suffix(".columnar")
+    if is_column_store(columnar):
+        return ResultTable.from_columnar(columnar)
+    raise FileNotFoundError(f"no table found at {path}(.json|.csv|.columnar)")

@@ -1,0 +1,294 @@
+"""``repro-experiments results`` — inspect, convert, query, merge tables.
+
+The migration and aggregation surface of the columnar backbone::
+
+    results info results/scaling_law.columnar
+    results convert results/fig3.json results/fig3.columnar
+    results convert results/fig3.columnar results/fig3_roundtrip.json
+    results query results/scaling_law.columnar --by k,n \
+        --values interactions --quantiles 0.5,0.9
+    results merge merged.columnar shard-a.columnar shard-b.json
+
+``convert`` moves a table between JSON / CSV / columnar in either
+direction; columnar sources stream shard by shard, so converting *to*
+JSON/CSV is the only direction that materializes rows.  ``query`` runs
+the streaming :func:`~repro.io.columnar.group_reduce` on columnar
+stores and the bit-identical in-memory reference on row files.
+``merge`` concatenates any number of sources into one destination
+(order preserved source by source).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .columnar import (
+    ColumnStore,
+    ShardWriter,
+    group_reduce,
+    group_reduce_rows,
+    is_column_store,
+)
+from .results import ResultTable, load_table
+
+__all__ = ["results_main"]
+
+
+def _load_any(path: str) -> ResultTable:
+    """Load a table from an explicit artifact, without sibling magic.
+
+    Unlike :func:`load_table`, a ``.csv`` argument means the CSV file
+    itself — ``results convert`` must read what it was pointed at.
+    """
+    p = Path(path)
+    if is_column_store(p):
+        return ResultTable.from_columnar(p)
+    if p.suffix == ".csv" and p.exists():
+        return ResultTable.from_csv(p)
+    return load_table(p)
+
+
+def _write_any(table: ResultTable, dest: str, *, shard_rows: int | None) -> Path:
+    p = Path(dest)
+    if p.suffix == ".json":
+        return table.write_json(p)
+    if p.suffix == ".csv":
+        return table.write_csv(p)
+    return table.to_columnar(p, shard_rows=shard_rows)
+
+
+def _parse_list(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _parse_where(clauses: list[str]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for clause in clauses:
+        key, sep, raw = clause.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--where expects KEY=VALUE, got {clause!r}")
+        out[key] = _infer_cli_scalar(raw)
+    return out
+
+
+def _infer_cli_scalar(raw: str) -> object:
+    if raw == "None":
+        return None
+    if raw in ("True", "False"):
+        return raw == "True"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if is_column_store(path):
+        payload = ColumnStore(path).info()
+        payload["backend"] = "columnar"
+    else:
+        table = _load_any(args.path)
+        payload = {
+            "path": str(path),
+            "name": table.name,
+            "rows": len(table),
+            "columns": table.columns,
+            "params": table.params,
+            "backend": table.backend,
+        }
+    print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    table = _load_any(args.src)
+    written = _write_any(table, args.dest, shard_rows=args.shard_rows)
+    print(f"wrote {len(table)} rows to {written}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    by = _parse_list(args.by)
+    values = _parse_list(args.values)
+    reducers = tuple(_parse_list(args.reducers))
+    quantiles = tuple(float(q) for q in _parse_list(args.quantiles or ""))
+    where = _parse_where(args.where)
+
+    path = Path(args.path)
+    if is_column_store(path) and not where:
+        # The streaming path: one shard in memory at a time.
+        rows = group_reduce(
+            ColumnStore(path),
+            by=by,
+            values=values,
+            reducers=reducers,
+            quantiles=quantiles,
+        )
+        name = ColumnStore(path).name
+    else:
+        table = _load_any(args.path)
+        if where:
+            table = table.where(**where)
+        rows = group_reduce_rows(
+            table.rows,
+            by=by,
+            values=values,
+            reducers=reducers,
+            quantiles=quantiles,
+        )
+        name = table.name
+    out = ResultTable(name=f"{name}_query")
+    out.extend(rows)
+    if args.out is not None:
+        written = _write_any(out, args.out, shard_rows=None)
+        print(f"wrote {len(out)} group(s) to {written}")
+    else:
+        print(out.render(floatfmt=".4g"))
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    dest = Path(args.dest)
+    sources = list(args.sources)
+    if not sources:
+        raise SystemExit("merge needs at least one source")
+    if dest.suffix in (".json", ".csv"):
+        merged: ResultTable | None = None
+        for src in sources:
+            table = _load_any(src)
+            if merged is None:
+                merged = ResultTable(name=table.name, params=dict(table.params))
+            merged.extend(table.rows)
+        assert merged is not None
+        written = _write_any(merged, args.dest, shard_rows=None)
+        print(f"wrote {len(merged)} rows to {written}")
+        return 0
+    # Columnar destination: stream every source through the writer.
+    total = 0
+    writer: ShardWriter | None = None
+    for src in sources:
+        if is_column_store(src):
+            store = ColumnStore(src)
+            if writer is None:
+                writer = ShardWriter(
+                    dest,
+                    name=store.name,
+                    params=store.params,
+                    **(
+                        {}
+                        if args.shard_rows is None
+                        else {"shard_rows": args.shard_rows}
+                    ),
+                )
+            writer.append_rows(store.iter_rows())
+            total += store.rows
+        else:
+            table = _load_any(src)
+            if writer is None:
+                writer = ShardWriter(
+                    dest,
+                    name=table.name,
+                    params=dict(table.params),
+                    **(
+                        {}
+                        if args.shard_rows is None
+                        else {"shard_rows": args.shard_rows}
+                    ),
+                )
+            writer.append_rows(table.rows)
+            total += len(table)
+    assert writer is not None
+    writer.flush()
+    print(f"wrote {total} rows to {dest}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments results",
+        description="Inspect, convert, query, and merge result tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="summarize a table or shard store")
+    p_info.add_argument("path", help="JSON/CSV file or columnar directory")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_convert = sub.add_parser(
+        "convert", help="convert between JSON, CSV, and columnar"
+    )
+    p_convert.add_argument("src", help="source artifact")
+    p_convert.add_argument(
+        "dest",
+        help="destination (.json / .csv, anything else is a columnar dir)",
+    )
+    p_convert.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        help="rows per shard for columnar destinations",
+    )
+    p_convert.set_defaults(fn=_cmd_convert)
+
+    p_query = sub.add_parser(
+        "query", help="grouped aggregation (streaming on columnar stores)"
+    )
+    p_query.add_argument("path", help="table or shard store to aggregate")
+    p_query.add_argument(
+        "--by", required=True, help="comma-separated group-key columns"
+    )
+    p_query.add_argument(
+        "--values", required=True, help="comma-separated value columns"
+    )
+    p_query.add_argument(
+        "--reducers",
+        default="count,mean,var,min,max",
+        help="comma-separated reducers (default: count,mean,var,min,max)",
+    )
+    p_query.add_argument(
+        "--quantiles",
+        default=None,
+        help="comma-separated quantiles in [0,1], e.g. 0.5,0.9",
+    )
+    p_query.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="equality filter before grouping (repeatable; loads rows)",
+    )
+    p_query.add_argument(
+        "--out",
+        default=None,
+        help="write the aggregate as a table instead of printing",
+    )
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_merge = sub.add_parser(
+        "merge", help="concatenate tables/stores into one destination"
+    )
+    p_merge.add_argument("dest", help="destination artifact")
+    p_merge.add_argument("sources", nargs="+", help="source artifacts")
+    p_merge.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        help="rows per shard for columnar destinations",
+    )
+    p_merge.set_defaults(fn=_cmd_merge)
+    return parser
+
+
+def results_main(argv: list[str] | None = None) -> int:
+    if argv is None:  # pragma: no cover — script entry
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

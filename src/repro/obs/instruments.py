@@ -34,6 +34,9 @@ Naming scheme::
     runner.trial_interactions           histogram, per-trial totals
     runner.point_seconds                histogram, per-call wall time
     runner.chunk_seconds                histogram, per-chunk wall time
+    results.shards.written              counter, columnar shards flushed
+    results.shards.bytes                counter, shard bytes on disk
+    results.shards.scan_rows            counter, rows streamed by scans
 
 The derived *effective ratio* (effective / total interactions) is
 computed by the renderers from the counter pair rather than stored.
@@ -57,6 +60,8 @@ __all__ = [
     "record_trialset",
     "record_cache_lookup",
     "record_chunk_seconds",
+    "record_shard_write",
+    "record_scan_rows",
 ]
 
 
@@ -161,3 +166,21 @@ def record_chunk_seconds(elapsed: float) -> None:
     if not telemetry.enabled:
         return
     telemetry.histogram("runner.chunk_seconds").record(elapsed)
+
+
+def record_shard_write(*, rows: int, size: int) -> None:
+    """Count one columnar shard flush (rows and on-disk bytes)."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.counter("results.shards.written").inc()
+    telemetry.counter("results.shards.bytes").inc(size)
+    telemetry.counter("results.shards.rows").inc(rows)
+
+
+def record_scan_rows(rows: int) -> None:
+    """Count rows streamed out of a columnar store by a scan."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.counter("results.shards.scan_rows").inc(rows)

@@ -1,0 +1,194 @@
+"""Tests for scaling-law fitting, bootstrap CIs, budget crossings."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    DEFAULT_LOG_EXPONENT_GRID,
+    ScalingFit,
+    bootstrap_scaling_fit,
+    budget_crossing,
+    fit_scaling_law,
+)
+from repro.core.errors import AnalysisError
+
+
+def synth(ns, a=2.0, b=1.5, c=1.0):
+    return [a * n**b * math.log(n) ** c for n in ns]
+
+
+NS = [100, 300, 1000, 3000, 10_000, 100_000, 1_000_000]
+
+
+class TestFit:
+    def test_recovers_known_law_exactly(self):
+        fit = fit_scaling_law(NS, synth(NS))
+        assert fit.amplitude == pytest.approx(2.0, rel=1e-6)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-8)
+        assert fit.log_exponent == pytest.approx(1.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_pure_power_law_gets_c_near_zero(self):
+        fit = fit_scaling_law(NS, [3.0 * n**2 for n in NS])
+        assert fit.exponent == pytest.approx(2.0, abs=1e-8)
+        assert fit.log_exponent == pytest.approx(0.0, abs=1e-6)
+
+    def test_predict_inverts_the_model(self):
+        fit = fit_scaling_law(NS, synth(NS))
+        assert fit.predict(5000) == pytest.approx(
+            2.0 * 5000**1.5 * math.log(5000), rel=1e-6
+        )
+
+    def test_noise_keeps_r_squared_high_not_perfect(self):
+        rng = np.random.default_rng(0)
+        ys = [y * rng.uniform(0.9, 1.1) for y in synth(NS)]
+        fit = fit_scaling_law(NS, ys)
+        assert 0.95 < fit.r_squared < 1.0
+
+    def test_describe_mentions_all_coefficients(self):
+        text = fit_scaling_law(NS, synth(NS)).describe()
+        assert "a=" in text and "b=" in text and "c=" in text and "R2=" in text
+
+    def test_needs_three_points(self):
+        with pytest.raises(AnalysisError, match=">= 3"):
+            fit_scaling_law([10, 100], [1.0, 2.0])
+
+    def test_rejects_nonpositive_domain(self):
+        with pytest.raises(AnalysisError, match="n > 1"):
+            fit_scaling_law([1, 10, 100], [1.0, 2.0, 3.0])
+        with pytest.raises(AnalysisError, match="n > 1"):
+            fit_scaling_law([10, 100, 1000], [1.0, -2.0, 3.0])
+
+    def test_predict_rejects_small_n(self):
+        fit = fit_scaling_law(NS, synth(NS))
+        with pytest.raises(AnalysisError):
+            fit.predict(1)
+
+
+class TestConstrainedGrid:
+    """The discrete-c fit: identifiable b over narrow n-ranges."""
+
+    # A narrow sweep (25x in n) where the free 3-parameter fit is
+    # collinear — ln ln n spans just 0.35 while ln n spans 3.2.
+    NARROW = [2000, 5000, 10_000, 20_000, 50_000]
+
+    def test_picks_the_true_log_power(self):
+        for c_true in DEFAULT_LOG_EXPONENT_GRID:
+            fit = fit_scaling_law(
+                NS,
+                [3.0 * n**2 * math.log(n) ** c_true for n in NS],
+                log_exponent_grid=DEFAULT_LOG_EXPONENT_GRID,
+            )
+            assert fit.log_exponent == c_true
+            assert fit.exponent == pytest.approx(2.0, abs=1e-8)
+            assert fit.amplitude == pytest.approx(3.0, rel=1e-6)
+
+    def test_narrow_range_keeps_b_sane_where_free_fit_degenerates(self):
+        rng = np.random.default_rng(4)
+        ys = [
+            2.0 * n**2 * math.log(n) * rng.uniform(0.8, 1.25)
+            for n in self.NARROW
+        ]
+        constrained = fit_scaling_law(
+            self.NARROW, ys, log_exponent_grid=DEFAULT_LOG_EXPONENT_GRID
+        )
+        assert 1.5 < constrained.exponent < 2.5
+        assert constrained.log_exponent in DEFAULT_LOG_EXPONENT_GRID
+
+    def test_bootstrap_passes_grid_through(self):
+        rng = np.random.default_rng(9)
+        samples = {
+            float(n): (
+                2.0 * n**2 * math.log(n) * rng.uniform(0.9, 1.1, 8)
+            ).tolist()
+            for n in self.NARROW
+        }
+        fit = bootstrap_scaling_fit(
+            samples,
+            resamples=60,
+            seed=1,
+            log_exponent_grid=DEFAULT_LOG_EXPONENT_GRID,
+        )
+        assert fit.log_exponent in DEFAULT_LOG_EXPONENT_GRID
+        lo, hi = fit.ci_exponent
+        assert lo <= fit.exponent <= hi
+        assert hi - lo < 1.0  # identifiable, unlike the free fit
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(AnalysisError, match="grid"):
+            fit_scaling_law(NS, synth(NS), log_exponent_grid=())
+
+
+class TestBootstrap:
+    def samples(self, spread=0.1, trials=12, seed=1):
+        rng = np.random.default_rng(seed)
+        return {
+            float(n): (y * rng.uniform(1 - spread, 1 + spread, trials)).tolist()
+            for n, y in zip(NS, synth(NS))
+        }
+
+    def test_ci_brackets_true_exponent(self):
+        fit = bootstrap_scaling_fit(self.samples(), resamples=100, seed=5)
+        lo, hi = fit.ci_exponent
+        assert lo <= 1.5 <= hi or abs(fit.exponent - 1.5) < 0.2
+        assert lo < hi
+        assert fit.resamples == 100
+
+    def test_deterministic_given_seed(self):
+        a = bootstrap_scaling_fit(self.samples(), resamples=50, seed=3)
+        b = bootstrap_scaling_fit(self.samples(), resamples=50, seed=3)
+        assert a == b
+
+    def test_tight_samples_give_tight_ci(self):
+        wide = bootstrap_scaling_fit(
+            self.samples(spread=0.4), resamples=80, seed=2
+        )
+        tight = bootstrap_scaling_fit(
+            self.samples(spread=0.01), resamples=80, seed=2
+        )
+        assert (tight.ci_exponent[1] - tight.ci_exponent[0]) < (
+            wide.ci_exponent[1] - wide.ci_exponent[0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError, match="resamples"):
+            bootstrap_scaling_fit(self.samples(), resamples=0)
+        with pytest.raises(AnalysisError, match="confidence"):
+            bootstrap_scaling_fit(self.samples(), confidence=1.5)
+        with pytest.raises(AnalysisError, match="at least one trial"):
+            bootstrap_scaling_fit({10.0: [1.0], 100.0: [], 1000.0: [2.0]})
+
+
+class TestBudgetCrossing:
+    def fit(self) -> ScalingFit:
+        return fit_scaling_law(NS, synth(NS))
+
+    def test_crossing_inverts_predict(self):
+        fit = self.fit()
+        budget = 1e9
+        n_star = budget_crossing(fit, budget)
+        assert n_star is not None
+        assert fit.predict(n_star) == pytest.approx(budget, rel=1e-3)
+        # Just below the crossing the cost is within budget.
+        assert fit.predict(n_star * 0.99) < budget
+
+    def test_unreachable_budget_returns_none(self):
+        assert budget_crossing(self.fit(), 1e30, n_max=1e6) is None
+
+    def test_decreasing_fit_returns_none(self):
+        fit = ScalingFit(
+            amplitude=10.0, exponent=-1.0, log_exponent=0.0,
+            r_squared=1.0, points=3,
+        )
+        assert budget_crossing(fit, 1.0) is None
+
+    def test_budget_below_minimum_returns_floor(self):
+        assert budget_crossing(self.fit(), 1e-9) == 2.0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(AnalysisError, match="budget"):
+            budget_crossing(self.fit(), 0.0)

@@ -45,10 +45,12 @@ class TestGridShapes:
             assert spec.seed == point_seed(123, "fig6", k, spec.n)
 
     def test_all_is_concatenation(self):
+        from repro.campaign.grids import GRID_EXPERIMENTS
+
         total = len(experiment_specs("all", quick=True))
         parts = sum(
             len(experiment_specs(name, quick=True))
-            for name in ("fig3", "fig4", "fig5", "fig6")
+            for name in GRID_EXPERIMENTS
         )
         assert total == parts
 

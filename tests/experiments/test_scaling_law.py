@@ -1,0 +1,135 @@
+"""Tests for the scaling-law experiment: grid, rows, fits, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scaling_law import (
+    DEFAULT_BUDGETS,
+    QUICK_PARAMS,
+    grid_points,
+    render_scaling_law,
+    run_scaling_law,
+    scaling_report,
+)
+
+
+class TestGridPoints:
+    def test_snaps_n_to_multiple_of_k(self):
+        for k, n in grid_points([2, 3, 8], [100, 250, 999]):
+            assert n % k == 0
+
+    def test_floor_is_two_k(self):
+        assert (16, 32) in grid_points([16], [3])
+
+    def test_dedupes_after_snapping(self):
+        # 99 and 100 both snap to 100 for k=4 (round(99/4)=25).
+        points = grid_points([4], [99, 100])
+        assert points == [(4, 100)]
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ValueError, match="k must be at least 2"):
+            grid_points([1], [100])
+
+
+@pytest.fixture(scope="module")
+def quick_table():
+    return run_scaling_law(
+        ks=(2, 3),
+        n_values=(60, 120, 240, 480),
+        trials=4,
+        seed=7,
+        bootstrap=25,
+    )
+
+
+class TestRunScalingLaw:
+    def test_one_row_per_trial(self, quick_table):
+        points = grid_points((2, 3), (60, 120, 240, 480))
+        assert len(quick_table) == 4 * len(points)
+        counts: dict[tuple[int, int], int] = {}
+        for row in quick_table.rows:
+            counts[(row["k"], row["n"])] = counts.get((row["k"], row["n"]), 0) + 1
+            assert row["interactions"] >= row["effective_interactions"] > 0
+            assert row["converged"] is True
+        assert set(counts.values()) == {4}
+
+    def test_params_record_the_sweep(self, quick_table):
+        p = quick_table.params
+        assert p["ks"] == [2, 3]
+        assert p["trials"] == 4
+        assert p["bootstrap"] == 25
+        assert p["budgets"] == list(DEFAULT_BUDGETS)
+
+    def test_deterministic_per_seed(self):
+        kwargs = dict(ks=(2,), n_values=(60, 120, 180), trials=2, seed=11)
+        assert run_scaling_law(**kwargs) == run_scaling_law(**kwargs)
+
+    def test_quick_params_runnable(self):
+        # The CLI passes QUICK_PARAMS verbatim; a stale key here would
+        # break `repro-experiments scaling-law --quick` at dispatch.
+        table = run_scaling_law(**{**QUICK_PARAMS, "trials": 1})
+        assert len(table) > 0
+
+
+class TestReport:
+    def test_fits_and_crossings_per_k(self, quick_table):
+        report = scaling_report(quick_table)
+        assert sorted(report) == [2, 3]
+        for entry in report.values():
+            fit = entry["fit"]
+            assert fit.resamples == 25
+            assert fit.ci_exponent is not None
+            assert sorted(entry["crossings"]) == sorted(DEFAULT_BUDGETS)
+            # Quick-scale n-ranges make b/c collinear, but the model
+            # value at a grid point should still track the data.
+            assert fit.r_squared > 0.5
+
+    def test_custom_budget_crossing_is_ordered(self, quick_table):
+        report = scaling_report(quick_table, budgets=[1e6, 1e12])
+        for entry in report.values():
+            low, high = entry["crossings"][1e6], entry["crossings"][1e12]
+            if low is not None and high is not None:
+                assert low <= high
+
+    def test_too_few_points_omitted(self):
+        table = run_scaling_law(
+            ks=(2,), n_values=(60, 120), trials=2, seed=3, bootstrap=10
+        )
+        assert scaling_report(table) == {}
+
+    def test_report_identical_on_columnar_backend(self, quick_table, tmp_path):
+        from repro.io.results import ResultTable
+
+        view = ResultTable.from_columnar(
+            quick_table.to_columnar(tmp_path / "sl.columnar")
+        )
+        mem = scaling_report(quick_table)
+        col = scaling_report(view)
+        assert sorted(mem) == sorted(col)
+        for k in mem:
+            assert mem[k]["fit"] == col[k]["fit"]
+            assert mem[k]["crossings"] == col[k]["crossings"]
+
+
+class TestRender:
+    def test_render_contains_fits_and_crossings(self, quick_table):
+        text = render_scaling_law(quick_table)
+        assert "fitted laws" in text
+        assert "k=2:" in text and "k=3:" in text
+        assert "budget crossings:" in text
+        assert "b95=" in text
+
+    def test_render_degrades_without_enough_points(self):
+        table = run_scaling_law(
+            ks=(2,), n_values=(60,), trials=2, seed=3, bootstrap=10
+        )
+        assert ">= 3 population sizes" in render_scaling_law(table)
+
+    def test_registered_in_cli(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        run, render, quick, _ = EXPERIMENTS["scaling-law"]
+        assert run is run_scaling_law
+        assert render is render_scaling_law
+        assert quick == QUICK_PARAMS

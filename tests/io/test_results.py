@@ -158,3 +158,127 @@ class TestRoundTrip:
     def test_load_table_missing_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_table(tmp_path / "absent")
+
+
+class TestWhereCopiesRows:
+    """Regression: where() used to alias the parent's row dicts."""
+
+    def test_mutating_filtered_row_leaves_source_intact(self):
+        t = ResultTable("t")
+        t.append(k=3, mean=1.5)
+        t.append(k=4, mean=2.0)
+        sub = t.where(k=3)
+        sub.rows[0]["mean"] = 999.0
+        assert t.rows[0]["mean"] == 1.5
+
+    def test_filtered_rows_equal_but_not_identical(self):
+        t = ResultTable("t")
+        t.append(k=3, mean=1.5)
+        sub = t.where(k=3)
+        assert sub.rows == [t.rows[0]]
+        assert sub.rows[0] is not t.rows[0]
+
+
+class TestCsvRoundTripSafety:
+    """Regression: numeric-looking *strings* must survive write→read."""
+
+    AMBIGUOUS = ["007", "1e3", "True", "False", "", " 1", "nan", "-0", '"', '"x"']
+
+    def test_ambiguous_strings_stay_strings(self, tmp_path):
+        t = ResultTable("t")
+        for i, s in enumerate(self.AMBIGUOUS):
+            t.append(i=i, value=s)
+        back = ResultTable.from_csv(t.write_csv(tmp_path / "t.csv"))
+        assert back.rows == t.rows
+        for row in back.rows:
+            assert isinstance(row["value"], str)
+
+    def test_real_scalars_still_typed(self, tmp_path):
+        t = ResultTable("t")
+        t.append(b=True, i=7, f=1.5, none=None, s="plain")
+        back = ResultTable.from_csv(t.write_csv(tmp_path / "t.csv"))
+        assert back.rows == t.rows
+        assert back.rows[0]["b"] is True
+        assert isinstance(back.rows[0]["i"], int)
+        assert isinstance(back.rows[0]["f"], float)
+
+    def test_none_and_empty_string_distinguished(self, tmp_path):
+        t = ResultTable("t")
+        t.append(a=None, b="")
+        back = ResultTable.from_csv(t.write_csv(tmp_path / "t.csv"))
+        assert back.rows[0]["a"] is None
+        assert back.rows[0]["b"] == ""
+
+    def test_legacy_unquoted_csv_still_infers(self, tmp_path):
+        # Files written before the quoting scheme keep loading the old way.
+        path = tmp_path / "legacy.csv"
+        path.write_text("k,mean,converged,note\n3,1.5,True,\n")
+        back = ResultTable.from_csv(path)
+        assert back.rows == [
+            {"k": 3, "mean": 1.5, "converged": True, "note": None}
+        ]
+
+
+class TestColumnarBackend:
+    """ResultTable as a thin view over an on-disk ColumnStore."""
+
+    def table(self) -> ResultTable:
+        t = ResultTable("exp", params={"trials": 4})
+        t.append(k=3, n=12, mean=1.5, converged=True, note=None)
+        t.append(k=4, n=12, mean=2.0, converged=False, note="slow")
+        return t
+
+    def test_to_columnar_and_back(self, tmp_path):
+        t = self.table()
+        path = t.to_columnar(tmp_path / "exp.columnar")
+        back = ResultTable.from_columnar(path)
+        assert back.backend == "columnar"
+        assert back.name == t.name
+        assert back.params == t.params
+        assert back.rows == t.rows
+        assert back == t  # __eq__ spans backends
+
+    def test_memory_backend_is_default(self):
+        assert ResultTable("t").backend == "memory"
+        assert ResultTable("t").store is None
+
+    def test_columnar_view_exposes_store(self, tmp_path):
+        t = self.table()
+        back = ResultTable.from_columnar(t.to_columnar(tmp_path / "c"))
+        assert back.store is not None
+        assert back.store.rows == 2
+
+    def test_api_works_identically_on_columnar_view(self, tmp_path):
+        t = self.table()
+        back = ResultTable.from_columnar(t.to_columnar(tmp_path / "c"))
+        assert back.columns == t.columns
+        assert back.column("mean") == t.column("mean")
+        assert back.where(k=3).rows == t.where(k=3).rows
+        assert len(back) == len(t)
+
+    def test_append_after_materialize(self, tmp_path):
+        back = ResultTable.from_columnar(
+            self.table().to_columnar(tmp_path / "c")
+        )
+        back.append(k=5, n=12, mean=3.0, converged=True, note=None)
+        assert len(back) == 3
+
+    def test_load_table_recognizes_columnar_dir(self, tmp_path):
+        t = self.table()
+        t.to_columnar(tmp_path / "exp.columnar")
+        loaded = load_table(tmp_path / "exp.columnar")
+        assert loaded.backend == "columnar"
+        assert loaded.rows == t.rows
+
+    def test_load_table_suffixless_finds_columnar(self, tmp_path):
+        t = self.table()
+        t.to_columnar(tmp_path / "exp.columnar")
+        assert load_table(tmp_path / "exp").rows == t.rows
+
+    def test_shard_rows_override(self, tmp_path):
+        t = ResultTable("t")
+        t.extend({"i": i} for i in range(10))
+        t.to_columnar(tmp_path / "c", shard_rows=3)
+        back = ResultTable.from_columnar(tmp_path / "c")
+        assert back.store.shard_count == 4
+        assert back.rows == t.rows

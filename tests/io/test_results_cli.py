@@ -1,0 +1,138 @@
+"""Tests for the ``results`` CLI verbs: info, convert, query, merge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io import ResultTable, load_table
+from repro.io.columnar import ColumnStore, is_column_store
+from repro.io.results_cli import results_main
+
+
+@pytest.fixture()
+def table() -> ResultTable:
+    t = ResultTable("exp", params={"trials": 3})
+    for k in (2, 3):
+        for trial in range(3):
+            t.append(k=k, trial=trial, interactions=float(10 * k + trial))
+    return t
+
+
+def test_info_json_file(table, tmp_path, capsys):
+    path = table.write_json(tmp_path / "exp.json")
+    assert results_main(["info", str(path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rows"] == 6
+    assert payload["name"] == "exp"
+    assert payload["backend"] == "memory"
+
+
+def test_info_columnar_store(table, tmp_path, capsys):
+    path = table.to_columnar(tmp_path / "exp.columnar")
+    assert results_main(["info", str(path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["backend"] == "columnar"
+    assert payload["rows"] == 6
+    assert payload["shards"] == 1
+    assert payload["columns"]["interactions"] == "float"
+
+
+def test_convert_json_to_columnar_and_back(table, tmp_path, capsys):
+    src = table.write_json(tmp_path / "exp.json")
+    store_dir = tmp_path / "exp.columnar"
+    assert results_main(["convert", str(src), str(store_dir)]) == 0
+    assert is_column_store(store_dir)
+    back = tmp_path / "back.json"
+    assert results_main(["convert", str(store_dir), str(back)]) == 0
+    assert load_table(back) == table
+
+    out = capsys.readouterr().out
+    assert "6 rows" in out
+
+
+def test_convert_respects_shard_rows(table, tmp_path):
+    src = table.write_json(tmp_path / "exp.json")
+    dest = tmp_path / "exp.columnar"
+    assert results_main(
+        ["convert", str(src), str(dest), "--shard-rows", "2"]
+    ) == 0
+    assert ColumnStore(dest).shard_count == 3
+
+
+def test_convert_csv_reads_the_csv_itself(table, tmp_path):
+    # Unlike load_table, convert must not silently prefer a JSON sibling.
+    table.write_csv(tmp_path / "exp.csv")
+    other = ResultTable("other")
+    other.append(k=99)
+    other.write_json(tmp_path / "exp.json")
+    dest = tmp_path / "exp.columnar"
+    assert results_main(["convert", str(tmp_path / "exp.csv"), str(dest)]) == 0
+    assert ColumnStore(dest).rows == 6
+
+
+def test_query_streaming_equals_reference(table, tmp_path, capsys):
+    store_dir = table.to_columnar(tmp_path / "exp.columnar")
+    assert results_main(
+        [
+            "query", str(store_dir),
+            "--by", "k",
+            "--values", "interactions",
+            "--quantiles", "0.5",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "mean" in out and "p50" in out
+
+    # --out writes the aggregate as a loadable table.
+    agg = tmp_path / "agg.json"
+    assert results_main(
+        [
+            "query", str(store_dir),
+            "--by", "k",
+            "--values", "interactions",
+            "--out", str(agg),
+        ]
+    ) == 0
+    rows = load_table(agg).rows
+    assert [row["k"] for row in rows] == [2, 3]
+    assert rows[0]["mean"] == pytest.approx(21.0)
+    assert rows[0]["count"] == 3
+
+
+def test_query_where_filters_before_grouping(table, tmp_path, capsys):
+    src = table.write_json(tmp_path / "exp.json")
+    assert results_main(
+        [
+            "query", str(src),
+            "--by", "k",
+            "--values", "interactions",
+            "--where", "k=2",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "3" not in out.splitlines()[2].split()[0]
+
+
+def test_merge_columnar_destination(table, tmp_path, capsys):
+    a = table.write_json(tmp_path / "a.json")
+    b = table.to_columnar(tmp_path / "b.columnar")
+    dest = tmp_path / "merged.columnar"
+    assert results_main(["merge", str(dest), str(a), str(b)]) == 0
+    assert ColumnStore(dest).rows == 12
+
+
+def test_merge_json_destination(table, tmp_path):
+    a = table.write_json(tmp_path / "a.json")
+    dest = tmp_path / "merged.json"
+    assert results_main(["merge", str(dest), str(a), str(a)]) == 0
+    assert len(load_table(dest)) == 12
+
+
+def test_results_dispatched_from_experiments_cli(table, tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    path = table.write_json(tmp_path / "exp.json")
+    assert main(["results", "info", str(path)]) == 0
+    assert json.loads(capsys.readouterr().out)["rows"] == 6

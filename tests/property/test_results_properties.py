@@ -1,0 +1,114 @@
+"""Property tests for the result layer: round trips and aggregation.
+
+Random tables — mixed scalar types, adversarial strings, missing
+cells — must survive CSV and columnar round trips exactly, and the
+streaming sharded aggregation must equal the in-memory reference bit
+for bit whatever the shard size.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.io import ResultTable
+from repro.io.columnar import group_reduce, group_reduce_rows
+
+# Strings that stress the quote-or-sentinel CSV encoding: numeric
+# lookalikes, bool lookalikes, quotes, whitespace, emptiness.
+tricky_text = st.one_of(
+    st.sampled_from(
+        ["007", "1e3", "True", "False", "None", "", " ", '"', '""', '"x"',
+         " 1", "1 ", "nan", "inf", "-0", "0x10", "1_000"]
+    ),
+    st.text(alphabet="abcXYZ019._\"'-+eE, \t", max_size=8),
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    tricky_text,
+)
+
+column_names = st.sampled_from(["a", "b", "c", "dd", "e_1"])
+
+rows_strategy = st.lists(
+    st.dictionaries(column_names, scalars, max_size=5),
+    max_size=25,
+)
+
+# CSV cannot represent a row with *absent* cells (missing and None both
+# serialize to an empty cell), so the CSV property is stated over
+# rectangular tables — the shape every experiment writes.
+rect_rows_strategy = st.lists(
+    st.fixed_dictionaries({"a": scalars, "b": scalars, "c": scalars}),
+    max_size=25,
+)
+
+
+def make_table(rows) -> ResultTable:
+    t = ResultTable("prop")
+    t.extend(rows)
+    return t
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(rows=rect_rows_strategy)
+def test_csv_round_trip_exact(tmp_path, rows):
+    t = make_table(rows)
+    back = ResultTable.from_csv(t.write_csv(tmp_path / "t.csv"))
+    assert back.rows == t.rows
+    assert back.columns == t.columns
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(rows=rows_strategy, shard_rows=st.integers(min_value=1, max_value=8))
+def test_columnar_round_trip_exact(tmp_path, rows, shard_rows):
+    t = make_table(rows)
+    dest = tmp_path / f"t{abs(hash(str(rows))) % 10**6}.columnar"
+    import shutil
+
+    if dest.exists():
+        shutil.rmtree(dest)
+    back = ResultTable.from_columnar(
+        t.to_columnar(dest, shard_rows=shard_rows)
+    )
+    assert back.rows == t.rows
+    assert back.params == t.params
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    rows=st.lists(
+        st.fixed_dictionaries(
+            {"g": st.integers(min_value=0, max_value=3)},
+            optional={
+                "x": st.one_of(
+                    st.none(),
+                    st.floats(allow_nan=False, allow_infinity=False, width=32),
+                )
+            },
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    shard_rows=st.integers(min_value=1, max_value=7),
+)
+def test_group_reduce_differential(tmp_path, rows, shard_rows):
+    import shutil
+
+    dest = tmp_path / "g.columnar"
+    if dest.exists():
+        shutil.rmtree(dest)
+    t = make_table(rows)
+    t.to_columnar(dest, shard_rows=shard_rows)
+    from repro.io.columnar import ColumnStore
+
+    kwargs = dict(by=["g"], values=["x"], quantiles=(0.5,))
+    assert group_reduce(ColumnStore(dest), **kwargs) == group_reduce_rows(
+        rows, **kwargs
+    )

@@ -38,7 +38,7 @@ class TestReadme:
 
         text = (ROOT / "README.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform", "session"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform", "session", "results"}, name
 
 
 class TestExperimentsDoc:
@@ -47,7 +47,7 @@ class TestExperimentsDoc:
 
         text = (ROOT / "EXPERIMENTS.md").read_text()
         for name in re.findall(r"repro-experiments ([a-z0-9-]+)", text):
-            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform", "session"}, name
+            assert name in set(EXPERIMENTS) | {"all", "campaign", "obs", "conform", "session", "results"}, name
 
 
 class TestCampaignDoc:
